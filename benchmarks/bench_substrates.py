@@ -1,0 +1,79 @@
+"""E9 — substrate micro-benchmarks.
+
+The paper's footnote 5 calibrates expectations ("even testing inclusion
+of two conjunctive queries is NP-complete"): the atoms of verification
+cost are FO evaluation and automata construction.  Series:
+
+- conjunctive-query evaluation vs join width (number of atoms);
+- quantifier evaluation: guided (input-bounded guard) vs fallback;
+- LTL → Büchi construction vs formula size;
+- configuration-graph successor computation on the demo core.
+"""
+
+import pytest
+
+from repro.fol import EvalContext, evaluate, evaluate_query, parse_formula
+from repro.ltl import LTLAtom, LF, LG, LU, LX, ltl_to_buchi
+from repro.schema import Database, RelationalSchema, database_relation
+from repro.schema.generators import random_database
+
+
+@pytest.fixture(scope="module")
+def join_ctx():
+    schema = RelationalSchema([database_relation("edge", 2)])
+    db = random_database(schema, [f"n{i}" for i in range(12)], density=0.2, rng=3)
+    return EvalContext(database=db)
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4])
+@pytest.mark.benchmark(group="E9 conjunctive query vs join width")
+def test_join_width(benchmark, join_ctx, width):
+    atoms = " & ".join(
+        f"edge(x{i}, x{i + 1})" for i in range(width)
+    )
+    formula = parse_formula(atoms)
+    variables = tuple(f"x{i}" for i in range(width + 1))
+    benchmark(lambda: evaluate_query(formula, variables, join_ctx))
+
+
+@pytest.mark.benchmark(group="E9 quantifier evaluation strategies")
+def test_guided_existential(benchmark, join_ctx):
+    # The guard atom drives the enumeration (input-bounded pattern).
+    formula = parse_formula("exists x, y . edge(x, y) & x != y")
+    benchmark(lambda: evaluate(formula, join_ctx))
+
+
+@pytest.mark.benchmark(group="E9 quantifier evaluation strategies")
+def test_unguided_universal(benchmark, join_ctx):
+    # No guard: the evaluator must sweep the domain square.
+    formula = parse_formula("forall x . forall y . edge(x, y) -> edge(y, x)")
+    benchmark(lambda: evaluate(formula, join_ctx))
+
+
+def _ltl_formula(size):
+    f = LTLAtom("p0")
+    for i in range(size):
+        f = LU(LTLAtom(f"p{i % 3}"), LX(f)) if i % 2 else LF(LG(f))
+    return f
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4])
+@pytest.mark.benchmark(group="E9 LTL -> Buchi construction vs formula size")
+def test_buchi_construction(benchmark, size):
+    formula = _ltl_formula(size)
+    ba = benchmark(lambda: ltl_to_buchi(formula))
+    assert ba.n_states >= 1
+
+
+@pytest.mark.benchmark(group="E9 configuration-graph step (demo core)")
+def test_successor_computation(benchmark):
+    from repro.demo import core_database, core_service
+    from repro.service import RunContext, initial_snapshots, successors
+
+    service = core_service()
+    ctx = RunContext(
+        service, core_database(service),
+        sigma={"name": "alice", "password": "pw1"},
+    )
+    start = initial_snapshots(ctx)[0]
+    benchmark(lambda: successors(ctx, start))

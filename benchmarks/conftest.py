@@ -1,0 +1,13 @@
+"""Benchmark suite configuration.
+
+Each experiment file (E1..E9, see DESIGN.md and EXPERIMENTS.md) uses
+pytest-benchmark groups so ``pytest benchmarks/ --benchmark-only``
+prints one comparison table per experiment, with parameters in the test
+ids forming the series the experiment reports.
+"""
+
+import sys
+from pathlib import Path
+
+# make `workloads` importable as a plain module from the benchmark files
+sys.path.insert(0, str(Path(__file__).parent))

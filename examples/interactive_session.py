@@ -1,0 +1,87 @@
+"""Drive the Figure 2 store interactively, like the paper's demo site.
+
+Plays a scripted shopping session against the full 19-page service —
+login, laptop search, product view, cart, payment — printing each page
+the way the paper's Web demo would render it, and finishing with the
+run transcript.  Pass ``--repl`` for a free-form prompt where you pick
+the inputs yourself.
+
+Run with:  python examples/interactive_session.py [--repl]
+"""
+
+import sys
+
+from repro.demo import ecommerce_database, ecommerce_service
+from repro.service import Session
+
+
+def scripted() -> None:
+    service = ecommerce_service()
+    session = Session(service, ecommerce_database(service))
+
+    script = [
+        ("log in as alice",
+         {"button": ("login",)},
+         {"name": "alice", "password": "pw1"}),
+        ("browse laptops", {"button": ("laptop",)}, {}),
+        ("search 8G/512G/14in",
+         {"laptopsearch": ("8G", "512G", "14in"), "button": ("search",)}, {}),
+        ("view the featherbook", {"select": ("l1", "999"), "button": ("view",)}, {}),
+        ("add to cart", {"button": ("add to cart",)}, {}),
+        ("buy", {"button": ("buy",)}, {}),
+        ("pay 999",
+         {"pay": ("999",), "button": ("authorize payment",)},
+         {"ccno": "4111-1111-1111"}),
+        ("continue shopping", {"button": ("continue shopping",)}, {}),
+    ]
+
+    for label, picks, constants in script:
+        print(session.describe())
+        print(f"\n>>> {label}\n")
+        session.submit(picks=picks, constants=constants)
+    print(session.describe())
+
+    print("\n" + "=" * 72)
+    print("run transcript")
+    print("=" * 72)
+    print(session.run().describe(service))
+
+
+def repl() -> None:
+    service = ecommerce_service()
+    session = Session(service, ecommerce_database(service))
+    print("Figure 2 store — type an input like  button=login  or")
+    print("laptopsearch=8G,512G,14in ; constants like  name:alice ;")
+    print("empty line submits, 'quit' exits.\n")
+    while not session.at_error_page:
+        print(session.describe())
+        picks: dict = {}
+        constants: dict = {}
+        while True:
+            line = input("> ").strip()
+            if line == "quit":
+                return
+            if not line:
+                break
+            if ":" in line and "=" not in line:
+                const, value = line.split(":", 1)
+                constants[const.strip()] = value.strip()
+            elif "=" in line:
+                name, raw = line.split("=", 1)
+                picks[name.strip()] = tuple(
+                    part.strip() for part in raw.split(",")
+                )
+            else:
+                print("  (unrecognised; use input=v1,v2 or constant:value)")
+        try:
+            session.submit(picks=picks, constants=constants)
+        except Exception as exc:  # show the problem, keep the session
+            print(f"  !! {exc}")
+    print(session.describe())
+
+
+if __name__ == "__main__":
+    if "--repl" in sys.argv:
+        repl()
+    else:
+        scripted()

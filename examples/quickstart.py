@@ -1,0 +1,77 @@
+"""Quickstart: specify a tiny data-driven Web service and verify it.
+
+A two-page sign-off workflow: a document can be submitted on the home
+page and then approved or rejected on a review page.  We verify the
+linear-time property "nothing is ever approved before it was submitted"
+(the shape of the paper's paid-before-ship property (2)/(4)) and get a
+concrete counterexample lasso when we break the service.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Database, LTLFOSentence, ServiceBuilder, verify
+from repro.fol import Atom, Not, Var
+from repro.ltl import B
+from repro.verifier import decidability_report
+
+
+def build_service(broken: bool = False):
+    b = ServiceBuilder("sign-off" + ("-broken" if broken else ""))
+    b.database("document", 1)          # the fixed document catalog
+    b.input("submit", 1)               # user picks a document to submit
+    b.input("decide", 1)               # reviewer picks one to approve
+    b.state("submitted", 1)
+    b.action("approve", 1)
+
+    home = b.page("HOME", home=True)
+    home.options("submit", "document(d)", ("d",))
+    home.insert("submitted", "submit(d)", ("d",))
+    home.target("REVIEW", "exists d . submit(d)")
+
+    review = b.page("REVIEW")
+    if broken:
+        # BUG: any document can be approved, submitted or not.
+        review.options("decide", "document(d)", ("d",))
+    else:
+        # the just-submitted document flows in through prev_submit,
+        # keeping the rule input-bounded (§3)
+        review.options("decide", "prev_submit(d)", ("d",))
+    review.act("approve", "decide(d)", ("d",))
+    review.target("HOME", "true")
+    return b.build()
+
+
+def main() -> None:
+    service = build_service()
+    database = Database(
+        service.schema.database,
+        {"document": [("report",), ("invoice",)]},
+    )
+
+    # "for every document x: x is submitted before x is ever approved"
+    prop = LTLFOSentence(
+        ("x",),
+        B(Atom("submit", (Var("x"),)), Not(Atom("approve", (Var("x"),)))),
+        name="submitted before approved",
+    )
+
+    print(decidability_report(service, prop))
+    print()
+
+    result = verify(service, prop, databases=[database])
+    print(result.describe())
+    print()
+
+    broken = build_service(broken=True)
+    result2 = verify(broken, prop, databases=[
+        Database(
+            broken.schema.database,
+            {"document": [("report",), ("invoice",)]},
+        )
+    ])
+    # submit the invoice, approve the never-submitted report:
+    print(result2.describe(broken))
+
+
+if __name__ == "__main__":
+    main()

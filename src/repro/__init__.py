@@ -1,0 +1,77 @@
+"""repro — a verifier for data-driven Web services.
+
+An open-source implementation of the model and decision procedures of
+*Specification and Verification of Data-driven Web Services* (Deutsch,
+Sui & Vianu, PODS 2004): the Web service specification language of §2,
+LTL-FO / CTL(*) property languages, the decidable verification classes
+(input-bounded, propositional, fully propositional, input-driven
+search), executable forms of every undecidability reduction, and the
+paper's running e-commerce example.
+
+See README.md for the full tour and DESIGN.md for the map from paper
+sections to modules.
+"""
+
+from repro.schema import (
+    Database,
+    Instance,
+    RelationalSchema,
+    ServiceSchema,
+    enumerate_databases,
+)
+from repro.fol import (
+    parse_formula,
+    evaluate,
+    evaluate_query,
+    EvalContext,
+    check_input_bounded,
+)
+from repro.service import (
+    ServiceBuilder,
+    WebService,
+    WebPageSchema,
+    Session,
+    RunContext,
+    Run,
+    classify,
+    ServiceClass,
+)
+from repro.ltl import LTLFOSentence, X, U, G, F, B
+from repro.ctl import (
+    CAtom,
+    EX, AX, EF, AF, EG, AG, EU, AU,
+    KripkeStructure,
+    check_ctl,
+    check_ctl_star,
+)
+from repro.verifier import (
+    verify,
+    verify_ltlfo,
+    verify_error_free,
+    verify_ctl,
+    verify_fully_propositional,
+    verify_input_driven_search,
+    decidability_report,
+    VerificationResult,
+    Verdict,
+    UndecidableInstanceError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database", "Instance", "RelationalSchema", "ServiceSchema",
+    "enumerate_databases",
+    "parse_formula", "evaluate", "evaluate_query", "EvalContext",
+    "check_input_bounded",
+    "ServiceBuilder", "WebService", "WebPageSchema", "Session",
+    "RunContext", "Run", "classify", "ServiceClass",
+    "LTLFOSentence", "X", "U", "G", "F", "B",
+    "CAtom", "EX", "AX", "EF", "AF", "EG", "AG", "EU", "AU",
+    "KripkeStructure", "check_ctl", "check_ctl_star",
+    "verify", "verify_ltlfo", "verify_error_free", "verify_ctl",
+    "verify_fully_propositional", "verify_input_driven_search",
+    "decidability_report", "VerificationResult", "Verdict",
+    "UndecidableInstanceError",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Static-analysis product features.
+
+The paper's introduction motivates verification with concrete authoring
+questions: is the transition specification unambiguous, is every page
+reachable from the home page, is the input-constant protocol respected?
+This subpackage packages those checks as one-call audits on top of the
+verifier machinery.
+"""
+
+from repro.analysis.navigation import (
+    page_graph,
+    reachable_pages,
+    unreachable_pages,
+    dead_target_rules,
+    navigation_report,
+)
+from repro.analysis.protocol import (
+    constant_protocol_audit,
+    ambiguity_audit,
+    audit_service,
+    AuditFinding,
+)
+
+__all__ = [
+    "page_graph",
+    "reachable_pages",
+    "unreachable_pages",
+    "dead_target_rules",
+    "navigation_report",
+    "constant_protocol_audit",
+    "ambiguity_audit",
+    "audit_service",
+    "AuditFinding",
+]

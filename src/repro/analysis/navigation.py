@@ -1,0 +1,83 @@
+"""Navigation-graph analyses.
+
+These are *syntactic* checks over the page/target-rule graph — cheap
+over-approximations of run-level reachability (a target rule whose
+formula is unsatisfiable still counts as an edge here).  For exact
+reachability on a concrete database use the verifier's configuration
+graph (``EF page`` via :mod:`repro.verifier.branching`).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.service.webservice import WebService
+
+
+def page_graph(service: WebService) -> "nx.DiGraph":
+    """The static page graph: one edge per target rule, plus the
+    implicit self-loop (Definition 2.3: when no target fires, the run
+    stays on the current page)."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(service.pages)
+    for page in service.pages.values():
+        graph.add_edge(page.name, page.name)  # "no target fires" loop
+        for rule in page.target_rules:
+            graph.add_edge(page.name, rule.target, rule=str(rule.formula))
+    return graph
+
+
+def reachable_pages(service: WebService) -> frozenset[str]:
+    """Pages reachable from the home page in the static page graph."""
+    graph = page_graph(service)
+    return frozenset(nx.descendants(graph, service.home) | {service.home})
+
+
+def unreachable_pages(service: WebService) -> frozenset[str]:
+    """Declared pages no chain of target rules can reach — dead weight
+    in the specification."""
+    return service.page_names - reachable_pages(service)
+
+
+def dead_target_rules(service: WebService) -> list[str]:
+    """Target rules that are trivially dead: the rule's formula is the
+    constant *false* after simplification."""
+    from repro.fol.formulas import Bottom
+    from repro.fol.transforms import simplify
+
+    dead = []
+    for page in service.pages.values():
+        for rule in page.target_rules:
+            if isinstance(simplify(rule.formula), Bottom):
+                dead.append(f"page {page.name}: target rule {rule.target} <- false")
+    return dead
+
+
+def navigation_report(service: WebService) -> str:
+    """Human-readable navigation audit."""
+    graph = page_graph(service)
+    unreachable = sorted(unreachable_pages(service))
+    dead = dead_target_rules(service)
+    sinks = sorted(
+        p for p in service.pages
+        if set(graph.successors(p)) <= {p}
+    )
+    lines = [
+        f"navigation audit for {service.name!r}",
+        f"  pages: {len(service.pages)}, target-rule edges: "
+        f"{graph.number_of_edges() - len(service.pages)}",
+        f"  home page: {service.home}",
+    ]
+    lines.append(
+        "  unreachable pages: " + (", ".join(unreachable) or "none")
+    )
+    lines.append(
+        "  terminal pages (no outgoing target rule): "
+        + (", ".join(sinks) or "none")
+    )
+    if dead:
+        lines.append("  dead target rules:")
+        lines.extend(f"    - {d}" for d in dead)
+    else:
+        lines.append("  dead target rules: none")
+    return "\n".join(lines)

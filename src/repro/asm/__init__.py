@@ -1,0 +1,23 @@
+"""ASM relational transducers (Appendix A.1).
+
+Spielmann's input-bounded ASM transducers with bounded input flow
+(ASM_I, extended with input options and ``prev`` atoms to ASM_IR) are
+the machinery behind the paper's Theorem 3.5 upper bound.  In the
+paper's own words, "the ASM relational transducer can be viewed as a
+simplified Web service consisting of a single Web page" — which is
+exactly how this package realises them: an :class:`ASMTransducer`
+wraps a *simple* Web service (Definition A.8), and the Lemma A.9/A.10
+correspondences are conversions to and from the general model.
+"""
+
+from repro.asm.transducer import (
+    ASMTransducer,
+    from_simple_service,
+    web_service_to_transducer,
+)
+
+__all__ = [
+    "ASMTransducer",
+    "from_simple_service",
+    "web_service_to_transducer",
+]

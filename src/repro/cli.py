@@ -1,0 +1,174 @@
+"""Command-line interface.
+
+Specifications and databases travel as JSON (see :mod:`repro.io`);
+properties are written in the temporal text syntaxes of
+:mod:`repro.ltl.parser` and :mod:`repro.ctl.parser`.
+
+::
+
+    python -m repro show spec.json
+    python -m repro classify spec.json
+    python -m repro audit spec.json
+    python -m repro verify spec.json --ltl 'G !ERROR' --db catalog.json
+    python -m repro verify spec.json --ctl 'AG EF HP'
+    python -m repro verify spec.json --error-free --db catalog.json
+    python -m repro simulate spec.json --db catalog.json --steps 12 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import audit_service
+from repro.ctl.parser import parse_ctl
+from repro.io import database_from_dict, load_service, service_to_text
+from repro.ltl.parser import parse_ltlfo
+from repro.service.classify import classify
+from repro.service.runs import RunContext, random_run
+from repro.verifier import (
+    UndecidableInstanceError,
+    decidability_report,
+    verify,
+    verify_error_free,
+)
+
+
+def _load_databases(service, paths):
+    databases = []
+    for path in paths or []:
+        data = json.loads(Path(path).read_text())
+        databases.append(database_from_dict(data, service.schema.database))
+    return databases or None
+
+
+def _cmd_show(args) -> int:
+    service = load_service(args.spec)
+    print(service_to_text(service))
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    service = load_service(args.spec)
+    print(classify(service).describe())
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    service = load_service(args.spec)
+    print(audit_service(service))
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    service = load_service(args.spec)
+    databases = _load_databases(service, args.db)
+    options = {}
+    if databases is not None:
+        options["databases"] = databases
+    if args.domain_size is not None:
+        options["domain_size"] = args.domain_size
+
+    if args.error_free:
+        result = verify_error_free(service, **options)
+    else:
+        if args.ltl:
+            prop = parse_ltlfo(
+                args.ltl,
+                input_constants=service.schema.input_constants,
+                db_constants=service.schema.database.constants,
+            )
+        elif args.ctl:
+            prop = parse_ctl(args.ctl)
+        else:
+            print(
+                "error: pass --ltl/--ctl with a property, or --error-free",
+                file=sys.stderr,
+            )
+            return 2
+        if args.explain:
+            print(decidability_report(service, prop))
+            print()
+        try:
+            result = verify(service, prop, force=args.force, **options)
+        except UndecidableInstanceError as exc:
+            print(str(exc), file=sys.stderr)
+            print(
+                "hint: --force runs the bounded search anyway "
+                "(sound for violations found)",
+                file=sys.stderr,
+            )
+            return 3
+    print(result.describe(service))
+    return 0 if result.holds else 1
+
+
+def _cmd_simulate(args) -> int:
+    service = load_service(args.spec)
+    databases = _load_databases(service, args.db)
+    if not databases:
+        print("error: simulate needs --db", file=sys.stderr)
+        return 2
+    sigma = dict(pair.split("=", 1) for pair in args.constant or [])
+    ctx = RunContext(service, databases[0], sigma=sigma)
+    run = random_run(ctx, args.steps, rng=args.seed)
+    print(run.describe(service, limit=args.steps))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Verifier for data-driven Web services (PODS 2004).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="pretty-print a specification")
+    show.add_argument("spec")
+    show.set_defaults(func=_cmd_show)
+
+    cls = sub.add_parser("classify", help="decidable-class report")
+    cls.add_argument("spec")
+    cls.set_defaults(func=_cmd_classify)
+
+    audit = sub.add_parser("audit", help="static navigation/protocol audit")
+    audit.add_argument("spec")
+    audit.set_defaults(func=_cmd_audit)
+
+    ver = sub.add_parser("verify", help="verify a temporal property")
+    ver.add_argument("spec")
+    ver.add_argument("--ltl", help="LTL-FO sentence (text syntax)")
+    ver.add_argument("--ctl", help="CTL/CTL* formula (text syntax)")
+    ver.add_argument("--error-free", action="store_true",
+                     help="check error-freeness instead of a property")
+    ver.add_argument("--db", action="append",
+                     help="database JSON (repeatable); default: enumerate")
+    ver.add_argument("--domain-size", type=int,
+                     help="anonymous-domain size for the enumeration")
+    ver.add_argument("--force", action="store_true",
+                     help="run the bounded search on undecidable instances")
+    ver.add_argument("--explain", action="store_true",
+                     help="print the decidability report first")
+    ver.set_defaults(func=_cmd_verify)
+
+    sim = sub.add_parser("simulate", help="random run over a database")
+    sim.add_argument("spec")
+    sim.add_argument("--db", action="append", required=False)
+    sim.add_argument("--steps", type=int, default=10)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--constant", action="append",
+                     help="input constant value, e.g. name=alice (repeatable)")
+    sim.set_defaults(func=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Branching-time substrate: CTL and CTL* (paper §4, Appendix A.2).
+
+- :mod:`repro.ctl.syntax` — state/path formula ASTs following
+  Definition A.3 (CTL*-FO restricted here to propositional payloads as
+  used by Theorems 4.4-4.9; FO payloads are grounded by the verifier
+  before reaching this layer);
+- :mod:`repro.ctl.kripke` — finite Kripke structures (Definition A.4);
+- :mod:`repro.ctl.modelcheck` — the CTL labelling model checker and the
+  CTL* checker built on the LTL/Büchi machinery.
+"""
+
+from repro.ctl.syntax import (
+    StateFormula,
+    PathFormula,
+    CAtom,
+    CTrue,
+    CFalse,
+    CTL_TRUE,
+    CTL_FALSE,
+    CNot,
+    CAnd,
+    COr,
+    CImplies,
+    E,
+    A,
+    PState,
+    PNot,
+    PAnd,
+    POr,
+    PX,
+    PU,
+    PF,
+    PG,
+    EX, AX, EF, AF, EG, AG, EU, AU,
+    is_ctl,
+    state_atoms,
+    ctl_size,
+)
+from repro.ctl.kripke import KripkeStructure
+from repro.ctl.modelcheck import check_ctl, check_ctl_star, satisfying_states
+from repro.ctl.parser import parse_ctl
+from repro.ctl.satisfiability import ctl_satisfiable
+
+__all__ = [
+    "parse_ctl", "ctl_satisfiable",
+    "StateFormula", "PathFormula",
+    "CAtom", "CTrue", "CFalse", "CTL_TRUE", "CTL_FALSE",
+    "CNot", "CAnd", "COr", "CImplies",
+    "E", "A", "PState", "PNot", "PAnd", "POr", "PX", "PU", "PF", "PG",
+    "EX", "AX", "EF", "AF", "EG", "AG", "EU", "AU",
+    "is_ctl", "state_atoms", "ctl_size",
+    "KripkeStructure",
+    "check_ctl", "check_ctl_star", "satisfying_states",
+]

@@ -1,0 +1,101 @@
+"""Finite Kripke structures (Definition A.4).
+
+A Kripke structure is ``(S, S0, R, L)`` with a total transition relation
+``R`` and a labelling ``L`` assigning to each state the set of atomic
+propositions true there.  States and propositions are arbitrary hashable
+values.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+State = Hashable
+Proposition = Hashable
+
+
+class KripkeStructure:
+    """An explicit finite Kripke structure.
+
+    Parameters
+    ----------
+    states:
+        The state set.
+    initial:
+        The initial states (the paper uses a single ``s0``; a set is
+        convenient for products).
+    edges:
+        Mapping from state to an iterable of successor states.  The
+        relation must be total — every state needs at least one
+        successor (add a self-loop for terminal states).
+    labels:
+        Mapping from state to the set of propositions true there.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        initial: Iterable[State],
+        edges: Mapping[State, Iterable[State]],
+        labels: Mapping[State, Iterable[Proposition]],
+    ) -> None:
+        self.states: list[State] = list(dict.fromkeys(states))
+        state_set = set(self.states)
+        self.initial: frozenset[State] = frozenset(initial)
+        if not self.initial <= state_set:
+            missing = self.initial - state_set
+            raise ValueError(f"initial states not in state set: {sorted(missing, key=repr)}")
+        self._succ: dict[State, tuple[State, ...]] = {}
+        for s in self.states:
+            succs = tuple(dict.fromkeys(edges.get(s, ())))
+            if not succs:
+                raise ValueError(
+                    f"transition relation is not total: state {s!r} has no "
+                    "successor (add a self-loop)"
+                )
+            bad = [t for t in succs if t not in state_set]
+            if bad:
+                raise ValueError(f"successors of {s!r} not in state set: {bad}")
+            self._succ[s] = succs
+        self._labels: dict[State, frozenset[Proposition]] = {
+            s: frozenset(labels.get(s, ())) for s in self.states
+        }
+
+    # -- queries ---------------------------------------------------------
+
+    def successors(self, state: State) -> tuple[State, ...]:
+        """The successors of a state (never empty)."""
+        return self._succ[state]
+
+    def label(self, state: State) -> frozenset[Proposition]:
+        """Propositions true at a state."""
+        return self._labels[state]
+
+    def holds(self, state: State, prop: Proposition) -> bool:
+        """Whether a proposition is true at a state."""
+        return prop in self._labels[state]
+
+    def predecessors_map(self) -> dict[State, list[State]]:
+        """Reverse adjacency (computed on demand)."""
+        preds: dict[State, list[State]] = {s: [] for s in self.states}
+        for s in self.states:
+            for t in self._succ[s]:
+                preds[t].append(s)
+        return preds
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(v) for v in self._succ.values())
+
+    def __iter__(self) -> Iterator[State]:
+        return iter(self.states)
+
+    def __repr__(self) -> str:
+        return (
+            f"KripkeStructure({self.n_states} states, {self.n_edges} edges, "
+            f"{len(self.initial)} initial)"
+        )

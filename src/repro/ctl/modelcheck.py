@@ -1,0 +1,208 @@
+"""CTL and CTL* model checking on finite Kripke structures.
+
+For the CTL fragment the classical labelling algorithm is used, built on
+three set-level primitives:
+
+- ``EX T`` — pre-image of ``T``;
+- ``E(S U T)`` — least fixpoint by backward propagation from ``T``;
+- ``EG S`` — greatest fixpoint by iterated removal.
+
+The universal quantifier and derived operators reduce to these by the
+standard dualities (e.g. ``A(f U g) = ¬(E(¬g U ¬f∧¬g) ∨ EG ¬g)``).
+
+For full CTL* the checker recurses: every maximal state subformula under
+a path quantifier is evaluated first and replaced by a fresh atom; the
+remaining pure path formula is translated to LTL, compiled to a Büchi
+automaton (:mod:`repro.ltl.buchi`), and ``E ψ`` holds at the states from
+which the product has an accepting run — the automata-theoretic approach
+of Kupferman, Vardi & Wolper [19] that the paper's Theorem 4.6 builds
+on.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.ctl.kripke import KripkeStructure
+from repro.ctl.syntax import (
+    A,
+    CAnd,
+    CAtom,
+    CFalse,
+    CNot,
+    COr,
+    CTrue,
+    E,
+    PAnd,
+    PathFormula,
+    PNot,
+    POr,
+    PState,
+    PU,
+    PX,
+    StateFormula,
+    is_ctl,
+)
+from repro.ltl.buchi import accepting_product_states, ltl_to_buchi
+from repro.ltl.syntax import LAnd, LNot, LOr, LTLAtom, LTLFormula, LU, LX
+
+State = Hashable
+
+
+def satisfying_states(kripke: KripkeStructure, formula: StateFormula) -> set[State]:
+    """The set of states of ``kripke`` satisfying ``formula``.
+
+    Dispatches to the labelling algorithm for CTL formulas and to the
+    automata-theoretic algorithm otherwise.
+    """
+    checker = _Checker(kripke)
+    return checker.sat(formula)
+
+
+def check_ctl(kripke: KripkeStructure, formula: StateFormula) -> bool:
+    """Whether every initial state satisfies a CTL formula."""
+    if not is_ctl(formula):
+        raise ValueError("formula is not in the CTL fragment; use check_ctl_star")
+    return kripke.initial <= satisfying_states(kripke, formula)
+
+
+def check_ctl_star(kripke: KripkeStructure, formula: StateFormula) -> bool:
+    """Whether every initial state satisfies a CTL* formula."""
+    return kripke.initial <= satisfying_states(kripke, formula)
+
+
+class _Checker:
+    """Shared memoisation for one (structure, formula) evaluation."""
+
+    def __init__(self, kripke: KripkeStructure) -> None:
+        self.k = kripke
+        self.all_states = set(kripke.states)
+        self.preds = kripke.predecessors_map()
+        self._cache: dict[StateFormula, frozenset[State]] = {}
+
+    # -- set-level primitives ------------------------------------------------
+
+    def ex(self, target: set[State]) -> set[State]:
+        """States with some successor in ``target``."""
+        return {
+            s for s in self.k.states if any(t in target for t in self.k.successors(s))
+        }
+
+    def eu(self, left: set[State], right: set[State]) -> set[State]:
+        """States satisfying ``E(left U right)`` (least fixpoint)."""
+        result = set(right)
+        frontier = list(right)
+        while frontier:
+            t = frontier.pop()
+            for s in self.preds[t]:
+                if s not in result and s in left:
+                    result.add(s)
+                    frontier.append(s)
+        return result
+
+    def eg(self, inside: set[State]) -> set[State]:
+        """States satisfying ``EG inside`` (greatest fixpoint)."""
+        result = set(inside)
+        changed = True
+        while changed:
+            changed = False
+            for s in list(result):
+                if not any(t in result for t in self.k.successors(s)):
+                    result.discard(s)
+                    changed = True
+        return result
+
+    # -- state formulas ----------------------------------------------------
+
+    def sat(self, f: StateFormula) -> set[State]:
+        cached = self._cache.get(f)
+        if cached is not None:
+            return set(cached)
+        result = self._sat(f)
+        self._cache[f] = frozenset(result)
+        return result
+
+    def _sat(self, f: StateFormula) -> set[State]:
+        if isinstance(f, CTrue):
+            return set(self.all_states)
+        if isinstance(f, CFalse):
+            return set()
+        if isinstance(f, CAtom):
+            return {s for s in self.k.states if self.k.holds(s, f.payload)}
+        if isinstance(f, CNot):
+            return self.all_states - self.sat(f.body)
+        if isinstance(f, CAnd):
+            return self.sat(f.left) & self.sat(f.right)
+        if isinstance(f, COr):
+            return self.sat(f.left) | self.sat(f.right)
+        if isinstance(f, E):
+            return self.sat_path(f.path, existential=True)
+        if isinstance(f, A):
+            return self.sat_path(f.path, existential=False)
+        raise TypeError(f"unknown state formula {f!r}")
+
+    # -- quantified path formulas --------------------------------------------
+
+    def sat_path(self, p: PathFormula, existential: bool) -> set[State]:
+        """States satisfying ``E p`` (or ``A p``)."""
+        # CTL shapes first — they keep the complexity polynomial.
+        if isinstance(p, PState):
+            # E s  ≡  A s  ≡  s  (a state formula constrains the first state).
+            return self.sat(p.state)
+        if isinstance(p, PNot):
+            # E ¬q = ¬A q;  A ¬q = ¬E q.
+            return self.all_states - self.sat_path(p.body, not existential)
+        if isinstance(p, PX) and isinstance(p.body, PState):
+            target = self.sat(p.body.state)
+            if existential:
+                return self.ex(target)
+            return self.all_states - self.ex(self.all_states - target)
+        if (
+            isinstance(p, PU)
+            and isinstance(p.left, PState)
+            and isinstance(p.right, PState)
+        ):
+            left = self.sat(p.left.state)
+            right = self.sat(p.right.state)
+            if existential:
+                return self.eu(left, right)
+            # A(f U g) = ¬( E(¬g U (¬f ∧ ¬g)) ∨ EG ¬g )
+            not_left = self.all_states - left
+            not_right = self.all_states - right
+            bad = self.eu(not_right, not_left & not_right) | self.eg(not_right)
+            return self.all_states - bad
+        # General CTL* path formula: automata-theoretic route.
+        if existential:
+            return self._sat_e_path_ltl(p)
+        return self.all_states - self._sat_e_path_ltl(PNot(p))
+
+    def _sat_e_path_ltl(self, p: PathFormula) -> set[State]:
+        """``E p`` for an arbitrary path formula, via LTL → Büchi."""
+        sets: list[frozenset[State]] = []
+
+        def to_ltl(q: PathFormula) -> LTLFormula:
+            if isinstance(q, PState):
+                sets.append(frozenset(self.sat(q.state)))
+                return LTLAtom(("sat", len(sets) - 1))
+            if isinstance(q, PNot):
+                return LNot(to_ltl(q.body))
+            if isinstance(q, PAnd):
+                return LAnd(to_ltl(q.left), to_ltl(q.right))
+            if isinstance(q, POr):
+                return LOr(to_ltl(q.left), to_ltl(q.right))
+            if isinstance(q, PX):
+                return LX(to_ltl(q.body))
+            if isinstance(q, PU):
+                return LU(to_ltl(q.left), to_ltl(q.right))
+            raise TypeError(f"unknown path formula {q!r}")
+
+        ltl = to_ltl(p)
+        ba = ltl_to_buchi(ltl)
+
+        def label(state: State, payload) -> bool:
+            _tag, idx = payload
+            return state in sets[idx]
+
+        return accepting_product_states(
+            ba, self.k.states, self.k.successors, label
+        )

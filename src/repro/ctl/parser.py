@@ -1,0 +1,230 @@
+"""Text syntax for propositional CTL/CTL* formulas.
+
+For the propositional verification classes (§4) properties are written
+over page symbols, propositional states/actions/inputs, and ground
+input atoms::
+
+    parse_ctl('AG EF HP')
+    parse_ctl('AG ((HP & btn_login) -> EF btn_authorize)')
+    parse_ctl('AG (button("login") -> EF button("authorize payment"))')
+    parse_ctl('E (F CC & F COP)')            # CTL*
+    parse_ctl('A (G !buy | F COP)')          # CTL*
+
+Grammar::
+
+    state  := impl
+    impl   := or ( '->' impl )?
+    or     := and ( '|' and )*
+    and    := unary ( '&' unary )*
+    unary  := '!' unary | 'AG'|'AF'|'AX'|'EG'|'EF'|'EX' unary
+            | 'A' path | 'E' path | '(' state ')' | atom
+    path   := pimpl                       # after A/E: a path formula
+    pimpl  := por ( '->' pimpl )?
+    por    := pand ( '|' pand )*
+    pand   := punary ( '&' punary )*
+    punary := '!' punary | 'G'|'F'|'X' punary | '(' ppath ')' | state-atom
+    ppath  := pimpl ( ('U'|'B') pimpl )*
+
+    atom   := IDENT [ '(' literal (',' literal)* ')' ] | 'true' | 'false'
+
+A bare identifier is a proposition ``CAtom(name)``; an applied atom
+``button("login")`` becomes the ground pair ``CAtom(("button",
+("login",)))`` matching the configuration labels of
+:mod:`repro.verifier.branching`.
+"""
+
+from __future__ import annotations
+
+from repro.ctl.syntax import (
+    A,
+    CAnd,
+    CAtom,
+    CImplies,
+    CNot,
+    COr,
+    CTL_FALSE,
+    CTL_TRUE,
+    E,
+    PAnd,
+    PathFormula,
+    PNot,
+    POr,
+    PState,
+    PU,
+    PX,
+    StateFormula,
+)
+from repro.fol.parser import FormulaSyntaxError, _tokenize
+
+_SUGAR = {"AG", "AF", "AX", "EG", "EF", "EX"}
+_PATH_UNARY = {"G", "F", "X"}
+
+
+class _CTLParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def next(self):
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def accept(self, kind, value=None) -> bool:
+        k, v = self.peek()
+        if k == kind and (value is None or v == value):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, kind, value=None):
+        k, v = self.next()
+        if k != kind or (value is not None and v != value):
+            raise FormulaSyntaxError(
+                f"expected {value or kind}, found {v!r} in {self.text!r}"
+            )
+        return v
+
+    # -- state formulas ----------------------------------------------------
+
+    def parse(self) -> StateFormula:
+        f = self.impl()
+        if self.peek()[0] != "eof":
+            raise FormulaSyntaxError(
+                f"trailing tokens in {self.text!r}: {self.peek()[1]!r}"
+            )
+        return f
+
+    def impl(self) -> StateFormula:
+        left = self.or_()
+        if self.accept("op", "->"):
+            return CImplies(left, self.impl())
+        return left
+
+    def or_(self) -> StateFormula:
+        left = self.and_()
+        while self.accept("op", "|"):
+            left = COr(left, self.and_())
+        return left
+
+    def and_(self) -> StateFormula:
+        left = self.unary()
+        while self.accept("op", "&"):
+            left = CAnd(left, self.unary())
+        return left
+
+    def unary(self) -> StateFormula:
+        if self.accept("op", "!"):
+            return CNot(self.unary())
+        kind, value = self.peek()
+        if kind == "ident" and value in _SUGAR:
+            self.next()
+            quantifier, op = value[0], value[1]
+            inner = self.unary()
+            path = {
+                "G": lambda s: PNot(PU(PState(CTL_TRUE), PState(CNot(s)))),
+                "F": lambda s: PU(PState(CTL_TRUE), PState(s)),
+                "X": lambda s: PX(PState(s)),
+            }[op](inner)
+            return E(path) if quantifier == "E" else A(path)
+        if kind == "ident" and value in ("A", "E"):
+            self.next()
+            path = self.path_impl()
+            return A(path) if value == "A" else E(path)
+        if self.accept("op", "("):
+            inner = self.impl()
+            self.expect("op", ")")
+            return inner
+        return self.atom()
+
+    def atom(self) -> StateFormula:
+        kind, value = self.next()
+        if kind == "kw" and value == "true":
+            return CTL_TRUE
+        if kind == "kw" and value == "false":
+            return CTL_FALSE
+        if kind != "ident":
+            raise FormulaSyntaxError(
+                f"expected a proposition, found {value!r} in {self.text!r}"
+            )
+        name = value
+        if self.accept("op", "("):
+            args = []
+            if not self.accept("op", ")"):
+                while True:
+                    k, v = self.next()
+                    if k not in ("string", "number"):
+                        raise FormulaSyntaxError(
+                            f"ground atom arguments must be literals in "
+                            f"{self.text!r}, found {v!r}"
+                        )
+                    args.append(v)
+                    if self.accept("op", ")"):
+                        break
+                    self.expect("op", ",")
+            return CAtom((name, tuple(args)))
+        return CAtom(name)
+
+    # -- path formulas ----------------------------------------------------
+
+    def path_impl(self) -> PathFormula:
+        left = self.path_until()
+        if self.accept("op", "->"):
+            return POr(PNot(left), self.path_impl())
+        return left
+
+    def path_until(self) -> PathFormula:
+        left = self.path_or()
+        while True:
+            kind, value = self.peek()
+            if kind == "ident" and value in ("U", "B"):
+                self.next()
+                right = self.path_or()
+                if value == "U":
+                    left = PU(left, right)
+                else:  # B == release == not((not l) U (not r))
+                    left = PNot(PU(PNot(left), PNot(right)))
+                continue
+            break
+        return left
+
+    def path_or(self) -> PathFormula:
+        left = self.path_and()
+        while self.accept("op", "|"):
+            left = POr(left, self.path_and())
+        return left
+
+    def path_and(self) -> PathFormula:
+        left = self.path_unary()
+        while self.accept("op", "&"):
+            left = PAnd(left, self.path_unary())
+        return left
+
+    def path_unary(self) -> PathFormula:
+        if self.accept("op", "!"):
+            return PNot(self.path_unary())
+        kind, value = self.peek()
+        if kind == "ident" and value in _PATH_UNARY:
+            self.next()
+            inner = self.path_unary()
+            if value == "X":
+                return PX(inner)
+            if value == "F":
+                return PU(PState(CTL_TRUE), inner)
+            return PNot(PU(PState(CTL_TRUE), PNot(inner)))  # G
+        if kind == "op" and value == "(":
+            self.next()
+            inner = self.path_impl()
+            self.expect("op", ")")
+            return inner
+        # nested state formula (possibly a further A/E quantifier)
+        return PState(self.unary())
+
+
+def parse_ctl(text: str) -> StateFormula:
+    """Parse a CTL/CTL* state formula; see the module docstring."""
+    return _CTLParser(text).parse()

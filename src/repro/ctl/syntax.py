@@ -1,0 +1,289 @@
+"""CTL* state/path formula ASTs (Definition A.3).
+
+State formulas: atoms, boolean combinations, and ``E ψ`` / ``A ψ`` for
+path formulas ψ.  Path formulas: state formulas (embedded via
+:class:`PState`), boolean combinations, ``X ψ`` and ``ψ U χ``.  The CTL
+fragment restricts path formulas under a quantifier to a single ``X`` or
+``U`` over state formulas — :func:`is_ctl` recognises it.
+
+Atom payloads are opaque and hashable: the propositional verifier uses
+strings and ground input atoms (e.g. ``("button", ("login",))``), while
+the CTL*-FO layer grounds FO formulas into payloads before model
+checking.
+
+The usual sugar is provided: ``EX/AX/EF/AF/EG/AG/EU/AU`` and ``PF/PG``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+
+class StateFormula:
+    """Base class of state formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "StateFormula") -> "StateFormula":
+        return CAnd(self, other)
+
+    def __or__(self, other: "StateFormula") -> "StateFormula":
+        return COr(self, other)
+
+    def __invert__(self) -> "StateFormula":
+        return CNot(self)
+
+
+class PathFormula:
+    """Base class of path formulas."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class CAtom(StateFormula):
+    """An atomic proposition (opaque payload)."""
+
+    payload: Hashable
+
+    def __str__(self) -> str:
+        return str(self.payload)
+
+
+@dataclass(frozen=True)
+class CTrue(StateFormula):
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class CFalse(StateFormula):
+    def __str__(self) -> str:
+        return "false"
+
+
+CTL_TRUE = CTrue()
+CTL_FALSE = CFalse()
+
+
+@dataclass(frozen=True)
+class CNot(StateFormula):
+    body: StateFormula
+
+    def __str__(self) -> str:
+        return f"¬({self.body})"
+
+
+@dataclass(frozen=True)
+class CAnd(StateFormula):
+    left: StateFormula
+    right: StateFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class COr(StateFormula):
+    left: StateFormula
+    right: StateFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+def CImplies(left: StateFormula, right: StateFormula) -> StateFormula:
+    """``left → right``."""
+    return COr(CNot(left), right)
+
+
+@dataclass(frozen=True)
+class E(StateFormula):
+    """``E ψ``: some continuation satisfies the path formula."""
+
+    path: PathFormula
+
+    def __str__(self) -> str:
+        return f"E {self.path}"
+
+
+@dataclass(frozen=True)
+class A(StateFormula):
+    """``A ψ``: every continuation satisfies the path formula."""
+
+    path: PathFormula
+
+    def __str__(self) -> str:
+        return f"A {self.path}"
+
+
+@dataclass(frozen=True)
+class PState(PathFormula):
+    """A state formula used as a path formula (rule 4 of Def. A.3)."""
+
+    state: StateFormula
+
+    def __str__(self) -> str:
+        return str(self.state)
+
+
+@dataclass(frozen=True)
+class PNot(PathFormula):
+    body: PathFormula
+
+    def __str__(self) -> str:
+        return f"¬({self.body})"
+
+
+@dataclass(frozen=True)
+class PAnd(PathFormula):
+    left: PathFormula
+    right: PathFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class POr(PathFormula):
+    left: PathFormula
+    right: PathFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class PX(PathFormula):
+    body: PathFormula
+
+    def __str__(self) -> str:
+        return f"X({self.body})"
+
+
+@dataclass(frozen=True)
+class PU(PathFormula):
+    left: PathFormula
+    right: PathFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} U {self.right})"
+
+
+def _as_path(f: "StateFormula | PathFormula") -> PathFormula:
+    if isinstance(f, StateFormula):
+        return PState(f)
+    return f
+
+
+def PF(f: "StateFormula | PathFormula") -> PathFormula:
+    """Eventually on paths."""
+    return PU(PState(CTL_TRUE), _as_path(f))
+
+
+def PG(f: "StateFormula | PathFormula") -> PathFormula:
+    """Always on paths (``G ψ ≡ ¬F¬ψ``)."""
+    return PNot(PF(PNot(_as_path(f)) if isinstance(f, PathFormula) else PState(CNot(f))))
+
+
+# -- CTL sugar ---------------------------------------------------------------
+
+def EX(f: StateFormula) -> StateFormula:
+    return E(PX(PState(f)))
+
+
+def AX(f: StateFormula) -> StateFormula:
+    return A(PX(PState(f)))
+
+
+def EF(f: StateFormula) -> StateFormula:
+    return E(PF(f))
+
+
+def AF(f: StateFormula) -> StateFormula:
+    return A(PF(f))
+
+
+def EG(f: StateFormula) -> StateFormula:
+    return E(PG(f))
+
+
+def AG(f: StateFormula) -> StateFormula:
+    return A(PG(f))
+
+
+def EU(left: StateFormula, right: StateFormula) -> StateFormula:
+    return E(PU(PState(left), PState(right)))
+
+
+def AU(left: StateFormula, right: StateFormula) -> StateFormula:
+    return A(PU(PState(left), PState(right)))
+
+
+# -- structural queries --------------------------------------------------------
+
+def is_ctl(f: StateFormula) -> bool:
+    """Whether the formula lies in the CTL fragment of Definition A.3."""
+    if isinstance(f, (CAtom, CTrue, CFalse)):
+        return True
+    if isinstance(f, CNot):
+        return is_ctl(f.body)
+    if isinstance(f, (CAnd, COr)):
+        return is_ctl(f.left) and is_ctl(f.right)
+    if isinstance(f, (E, A)):
+        return _is_ctl_path(f.path)
+    return False
+
+
+def _is_ctl_path(p: PathFormula) -> bool:
+    """CTL path formulas: X/U (possibly under one negation) over state
+    formulas, or a plain state formula."""
+    if isinstance(p, PState):
+        return is_ctl(p.state)
+    if isinstance(p, PNot):
+        return _is_ctl_path(p.body)
+    if isinstance(p, PX):
+        return isinstance(p.body, PState) and is_ctl(p.body.state)
+    if isinstance(p, PU):
+        return (
+            isinstance(p.left, PState)
+            and isinstance(p.right, PState)
+            and is_ctl(p.left.state)
+            and is_ctl(p.right.state)
+        )
+    return False
+
+
+def state_atoms(f: "StateFormula | PathFormula") -> Iterator[CAtom]:
+    """All atoms of a formula."""
+    if isinstance(f, CAtom):
+        yield f
+    elif isinstance(f, (CTrue, CFalse)):
+        return
+    elif isinstance(f, (CNot, PNot, PX)):
+        yield from state_atoms(f.body)
+    elif isinstance(f, (CAnd, COr, PAnd, POr, PU)):
+        yield from state_atoms(f.left)
+        yield from state_atoms(f.right)
+    elif isinstance(f, (E, A)):
+        yield from state_atoms(f.path)
+    elif isinstance(f, PState):
+        yield from state_atoms(f.state)
+    else:
+        raise TypeError(f"unknown formula {f!r}")
+
+
+def ctl_size(f: "StateFormula | PathFormula") -> int:
+    """Node count."""
+    if isinstance(f, (CAtom, CTrue, CFalse)):
+        return 1
+    if isinstance(f, (CNot, PNot, PX)):
+        return 1 + ctl_size(f.body)
+    if isinstance(f, (CAnd, COr, PAnd, POr, PU)):
+        return 1 + ctl_size(f.left) + ctl_size(f.right)
+    if isinstance(f, (E, A)):
+        return 1 + ctl_size(f.path)
+    if isinstance(f, PState):
+        return ctl_size(f.state)
+    raise TypeError(f"unknown formula {f!r}")

@@ -1,0 +1,46 @@
+"""The paper's running examples as executable specifications.
+
+- :mod:`repro.demo.ecommerce` — the full Figure 2 demo site (19 pages,
+  the computer-selling service of Example 2.2) plus sample databases;
+- :mod:`repro.demo.core` — the input-bounded core of the same service
+  (HP → CP → LSP → PIP → UPP → COP slice), which lies in the Theorem 3.5
+  decidable class and carries the paper's properties (1)-(4);
+- :mod:`repro.demo.propositional` — the propositional abstraction of
+  Example 4.3, in the Theorem 4.4 class;
+- :mod:`repro.demo.search_site` — the Figure 1 / Example 4.8
+  input-driven-search store (Theorem 4.9 class);
+- :mod:`repro.demo.properties` — the paper's temporal properties,
+  numbered as in the text.
+"""
+
+from repro.demo.ecommerce import ecommerce_service, ecommerce_database
+from repro.demo.core import core_service, core_database
+from repro.demo.propositional import propositional_service
+from repro.demo.search_site import (
+    search_service,
+    figure1_database,
+    scaled_hierarchy_database,
+)
+from repro.demo.properties import (
+    property_1_navigation,
+    property_4_paid_before_ship,
+    example_41_cancel_until_ship,
+    example_43_home_reachable,
+    example_43_login_to_payment,
+)
+
+__all__ = [
+    "ecommerce_service",
+    "ecommerce_database",
+    "core_service",
+    "core_database",
+    "propositional_service",
+    "search_service",
+    "figure1_database",
+    "scaled_hierarchy_database",
+    "property_1_navigation",
+    "property_4_paid_before_ship",
+    "example_41_cancel_until_ship",
+    "example_43_home_reachable",
+    "example_43_login_to_payment",
+]

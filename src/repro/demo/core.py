@@ -1,0 +1,170 @@
+"""The input-bounded core of the demo store (Theorem 3.5 territory).
+
+A trimmed slice of the Figure 2 site — HP → CP → LSP → PIP → UPP → COP,
+with MP as the terminal "goodbye/failed login" page — engineered to lie
+*inside* the decidable class of §3:
+
+- every state/action/target rule is input-bounded, every input rule is
+  ∃* with ground (here: no) state atoms;
+- information flows between pages through ``prev`` inputs, not through
+  set-valued state lookups (which would need non-ground state atoms);
+- the ``name``/``password`` constants are requested exactly once (HP is
+  never revisited), and every constant-requesting page leaves in one
+  step, so the service is error-free;
+- the ``conf``/``ship`` actions of the paper's property (2)/(4) fire on
+  the confirmation page and the payment bookkeeping is cleared on exit,
+  so the *paid-before-ship* property genuinely holds.
+
+:func:`core_service_broken` is the same service with the payment check
+removed — the verifier produces a concrete ship-without-payment lasso
+for it, which the tests and the E3 benchmark rely on.
+"""
+
+from __future__ import annotations
+
+from repro.schema.database import Database
+from repro.service.builder import ServiceBuilder
+from repro.service.webservice import WebService
+
+
+def core_service(broken: bool = False) -> WebService:
+    """The input-bounded purchasing slice of the demo store.
+
+    With ``broken=True`` the payment page authorises shipment without
+    checking that an amount was paid (the bug the paper's motivating
+    property is designed to catch).
+    """
+    b = ServiceBuilder("ecommerce-core" + ("-broken" if broken else ""))
+
+    b.database("user", 2)
+    b.database("prod_prices", 2)
+    b.database("criteria", 3)
+    b.database("laptop_spec", 4)
+
+    b.input_constant("name", "password")
+    b.input("button", 1)
+    b.input("laptopsearch", 3)
+    b.input("select", 2)
+    b.input("pay", 1)
+
+    b.state("error", 1)
+    b.state("logged", 1)
+    b.state("pick", 2)
+    b.state("paid", 1)
+    b.state("ordered", 1)
+
+    b.action("conf", 2)
+    b.action("ship", 2)
+
+    login_ok = 'user(name, password) & button("login")'
+
+    hp = b.page("HP", home=True)
+    hp.request("name", "password")
+    hp.options("button", 'x = "login"', ("x",))
+    hp.insert("error", f'm = "failed login" & !({login_ok})', ("m",))
+    hp.insert("logged", f'u = name & {login_ok}', ("u",))
+    hp.target("CP", login_ok)
+    hp.target("MP", f'!({login_ok})')
+
+    mp = b.page("MP")  # terminal: failed login / goodbye
+
+    cp = b.page("CP")
+    cp.options("button", 'x = "laptop" | x = "logout"', ("x",))
+    cp.target("LSP", 'button("laptop")')
+    cp.target("MP", 'button("logout")')
+
+    lsp = b.page("LSP")
+    lsp.options("button", 'x = "search" | x = "logout"', ("x",))
+    lsp.options(
+        "laptopsearch",
+        'criteria("laptop", "ram", r) & criteria("laptop", "hdd", h) '
+        '& criteria("laptop", "display", d)',
+        ("r", "h", "d"),
+    )
+    lsp.target(
+        "PIP", '(exists r, h, d . laptopsearch(r, h, d)) & button("search")'
+    )
+    lsp.target("MP", 'button("logout")')
+
+    pip = b.page("PIP")
+    pip.options(
+        "select",
+        'exists r, h, d . prev_laptopsearch(r, h, d) '
+        '& laptop_spec(pid, r, h, d) & prod_prices(pid, price)',
+        ("pid", "price"),
+    )
+    pip.options("button", 'x = "buy" | x = "back" | x = "logout"', ("x",))
+    pip.insert("pick", 'select(pid, price) & button("buy")', ("pid", "price"))
+    pip.target(
+        "UPP", '(exists pid, price . select(pid, price)) & button("buy")'
+    )
+    pip.target("LSP", 'button("back")')
+    pip.target("MP", 'button("logout")')
+
+    upp = b.page("UPP")
+    if broken:
+        # BUG (the paper's motivating one): the payment box accepts *any*
+        # catalog price, so the user can pay 999 for the 1299 laptop —
+        # shipment then pairs with payment of the wrong amount.
+        upp.options("pay", 'exists p . prod_prices(p, amount)', ("amount",))
+        upp.insert(
+            "ordered",
+            '(exists amount . pay(amount)) '
+            '& (exists amount . prev_select(pid, amount)) '
+            '& button("authorize payment")',
+            ("pid",),
+        )
+    else:
+        upp.options("pay", 'exists pid . prev_select(pid, amount)', ("amount",))
+        upp.insert(
+            "ordered",
+            '(exists amount . pay(amount) & prev_select(pid, amount)) '
+            '& button("authorize payment")',
+            ("pid",),
+        )
+    upp.options("button", 'x = "authorize payment" | x = "back"', ("x",))
+    upp.insert("paid", 'pay(amount) & button("authorize payment")', ("amount",))
+    upp.target(
+        "COP",
+        '(exists amount . pay(amount)) & button("authorize payment")',
+    )
+    upp.target("PIP", 'button("back")')
+
+    cop = b.page("COP")
+    cop.act("conf", 'u = name & paid(price)', ("u", "price"))
+    cop.act("ship", 'u = name & ordered(pid)', ("u", "pid"))
+    cop.options("button", 'x = "continue shopping" | x = "logout"', ("x",))
+    # Clear the per-purchase bookkeeping so a later purchase cannot pair
+    # an old price with a new product.
+    cop.delete("paid", 'paid(price)', ("price",))
+    cop.delete("ordered", 'ordered(pid)', ("pid",))
+    cop.target("CP", 'button("continue shopping")')
+    cop.target("MP", 'button("logout")')
+
+    return b.build()
+
+
+def core_service_broken() -> WebService:
+    """The payment-bypass variant (ship without pay)."""
+    return core_service(broken=True)
+
+
+def core_database(service: WebService | None = None) -> Database:
+    """A two-laptop catalog sized for exhaustive verification."""
+    service = service or core_service()
+    return Database(
+        service.schema.database,
+        {
+            "user": [("alice", "pw1")],
+            "prod_prices": [("l1", "999"), ("l2", "1299")],
+            "criteria": [
+                ("laptop", "ram", "8G"),
+                ("laptop", "hdd", "512G"),
+                ("laptop", "display", "14in"),
+            ],
+            "laptop_spec": [
+                ("l1", "8G", "512G", "14in"),
+                ("l2", "8G", "512G", "14in"),
+            ],
+        },
+    )

@@ -1,0 +1,338 @@
+"""The full Figure 2 demo: an online computer store in 19 pages.
+
+This is the paper's running example (Example 2.2 and Figure 2),
+reconstructed as an executable specification: registration, login (with
+the special ``Admin`` user routed to the administration pages), desktop
+and laptop search driven by the ``criteria`` database relation, a
+product index fed by the previous search input, product details, a
+shopping cart, payment with ``conf``/``ship`` actions, order viewing and
+cancellation, and the admin's pending-order/shipping workflow.
+
+Faithfulness note: like the paper's own demo, the *full* site is not
+input-bounded everywhere (e.g. the cart page lists a set-valued state
+relation in its options — a non-ground state atom), and pages such as
+``MP → back → HP`` re-request the ``name``/``password`` constants, which
+Definition 2.3's condition (ii) flags as an error.  Both facts are part
+of the story: :func:`repro.service.classify.classify` pinpoints the
+rules outside the decidable classes, and the error-freeness checker
+finds the constant-protocol flaw.  The trimmed, fully input-bounded
+slice lives in :mod:`repro.demo.core`.
+"""
+
+from __future__ import annotations
+
+from repro.schema.database import Database
+from repro.service.builder import ServiceBuilder
+from repro.service.webservice import WebService
+
+
+def ecommerce_service() -> WebService:
+    """Build the 19-page Figure 2 Web service."""
+    b = ServiceBuilder("ecommerce-demo")
+
+    # ---- database schema -------------------------------------------------
+    b.database("user", 2)                 # user(name, password)
+    b.database("prod_prices", 2)          # prod_prices(pid, price)
+    b.database("prod_names", 2)           # prod_names(pid, pname)
+    b.database("prod_category", 2)        # prod_category(pid, cat)
+    b.database("criteria", 3)             # criteria(cat, attr, value)
+    b.database("laptop_spec", 4)          # laptop_spec(pid, ram, hdd, display)
+    b.database("desktop_spec", 3)         # desktop_spec(pid, ram, hdd)
+
+    # ---- input schema -------------------------------------------------------
+    b.input_constant("name", "password", "repassword", "ccno")
+    b.input("button", 1)
+    b.input("laptopsearch", 3)
+    b.input("desktopsearch", 2)
+    b.input("select", 2)                  # select(pid, price) on PIP
+    b.input("cartitem", 1)                # cart row picks on CC
+    b.input("pay", 1)                     # pay(amount) on UPP
+    b.input("orderitem", 1)               # order row picks on VOP / POP
+
+    # ---- state schema --------------------------------------------------------
+    b.state("error", 1)
+    b.state("logged", 1)
+    b.state("newuser", 2)
+    b.state("userchoice", 3)              # the LSP example's state
+    b.state("pick", 2)                    # pick(pid, price), Example 3.3
+    b.state("chosen", 1)
+    b.state("cart", 1)
+    b.state("paid", 1)
+    b.state("ordered", 1)
+    b.state("shipped", 1)
+    b.state("cancelled", 1)
+
+    # ---- action schema --------------------------------------------------------
+    b.action("conf", 2)                   # conf(user, price)
+    b.action("ship", 2)                   # ship(user, pid)
+
+    login_ok = 'user(name, password) & button("login")'
+    login_bad = '!user(name, password) & button("login")'
+
+    # ---- HP: home page (Example 2.2, verbatim rules) -----------------------
+    hp = b.page("HP", home=True)
+    hp.request("name", "password")
+    hp.options("button", 'x = "login" | x = "register" | x = "clear"', ("x",))
+    hp.insert("error", f'm = "failed login" & {login_bad}', ("m",))
+    hp.insert("logged", f'u = name & {login_ok}', ("u",))
+    hp.target("HP", 'button("clear")')
+    hp.target("NP", 'button("register")')
+    hp.target("CP", f'{login_ok} & name != "Admin"')
+    hp.target("AP", f'{login_ok} & name = "Admin"')
+    hp.target("MP", login_bad)
+
+    # ---- NP: new-user registration page ----------------------------------
+    np = b.page("NP")
+    np.request("repassword")
+    np.options("button", 'x = "register" | x = "cancel"', ("x",))
+    np.insert(
+        "newuser",
+        'u = name & p = password & password = repassword & button("register")',
+        ("u", "p"),
+    )
+    np.insert("logged", 'u = name & password = repassword & button("register")', ("u",))
+    np.target("RP", 'button("register") & password = repassword')
+    np.target("MP", 'button("register") & password != repassword')
+    np.target("HP", 'button("cancel")')
+
+    # ---- RP: successful registration ---------------------------------------
+    rp = b.page("RP")
+    rp.options("button", 'x = "continue" | x = "logout"', ("x",))
+    rp.target("CP", 'button("continue")')
+    rp.target("HP", 'button("logout")')
+
+    # ---- MP: error message page ------------------------------------------
+    mp = b.page("MP")
+    mp.options("button", 'x = "back"', ("x",))
+    mp.target("HP", 'button("back")')
+
+    # ---- CP: customer page -------------------------------------------------
+    cp = b.page("CP")
+    cp.options(
+        "button",
+        'x = "desktop" | x = "laptop" | x = "view cart" | x = "my order" '
+        '| x = "logout"',
+        ("x",),
+    )
+    cp.target("DSP", 'button("desktop")')
+    cp.target("LSP", 'button("laptop")')
+    cp.target("CC", 'button("view cart")')
+    cp.target("VOP", 'button("my order")')
+    cp.target("HP", 'button("logout")')
+
+    # ---- AP: administrator page ---------------------------------------------
+    ap = b.page("AP")
+    ap.options(
+        "button",
+        'x = "pending orders" | x = "order status" | x = "logout"',
+        ("x",),
+    )
+    ap.target("POP", 'button("pending orders")')
+    ap.target("OSP", 'button("order status")')
+    ap.target("HP", 'button("logout")')
+
+    # ---- LSP: laptop search page (Example 2.2, verbatim) --------------------
+    lsp = b.page("LSP")
+    lsp.options(
+        "button", 'x = "search" | x = "view cart" | x = "logout"', ("x",)
+    )
+    lsp.options(
+        "laptopsearch",
+        'criteria("laptop", "ram", r) & criteria("laptop", "hdd", h) '
+        '& criteria("laptop", "display", d)',
+        ("r", "h", "d"),
+    )
+    lsp.insert(
+        "userchoice", 'laptopsearch(r, h, d) & button("search")', ("r", "h", "d")
+    )
+    lsp.target("HP", 'button("logout")')
+    lsp.target(
+        "PIP", '(exists r, h, d . laptopsearch(r, h, d)) & button("search")'
+    )
+    lsp.target("CC", 'button("view cart")')
+
+    # ---- DSP: desktop search page ------------------------------------------
+    dsp = b.page("DSP")
+    dsp.options(
+        "button", 'x = "search" | x = "view cart" | x = "logout"', ("x",)
+    )
+    dsp.options(
+        "desktopsearch",
+        'criteria("desktop", "ram", r) & criteria("desktop", "hdd", h)',
+        ("r", "h"),
+    )
+    dsp.target("HP", 'button("logout")')
+    dsp.target(
+        "PIP", '(exists r, h . desktopsearch(r, h)) & button("search")'
+    )
+    dsp.target("CC", 'button("view cart")')
+
+    # ---- PIP: product index page (search results) --------------------------
+    pip = b.page("PIP")
+    pip.options(
+        "select",
+        '(exists r, h, d . prev_laptopsearch(r, h, d) '
+        '   & laptop_spec(pid, r, h, d)) & prod_prices(pid, price)'
+        ' | (exists r, h . prev_desktopsearch(r, h) '
+        '   & desktop_spec(pid, r, h)) & prod_prices(pid, price)',
+        ("pid", "price"),
+    )
+    pip.options(
+        "button",
+        'x = "view" | x = "back" | x = "view cart" | x = "continue shopping" '
+        '| x = "logout"',
+        ("x",),
+    )
+    pip.insert("pick", 'select(pid, price) & button("view")', ("pid", "price"))
+    pip.insert(
+        "chosen", '(exists price . select(pid, price)) & button("view")', ("pid",)
+    )
+    pip.target("PP", '(exists pid, price . select(pid, price)) & button("view")')
+    pip.target("CP", 'button("back") | button("continue shopping")')
+    pip.target("CC", 'button("view cart")')
+    pip.target("HP", 'button("logout")')
+
+    # ---- PP: product detail page -----------------------------------------
+    pp = b.page("PP")
+    pp.options(
+        "button",
+        'x = "add to cart" | x = "back" | x = "view cart" '
+        '| x = "continue shopping" | x = "logout"',
+        ("x",),
+    )
+    pp.insert("cart", 'chosen(pid) & button("add to cart")', ("pid",))
+    pp.target("CC", 'button("add to cart") | button("view cart")')
+    pp.target("CP", 'button("back") | button("continue shopping")')
+    pp.target("HP", 'button("logout")')
+
+    # ---- CC: cart contents -------------------------------------------------
+    cc = b.page("CC")
+    cc.options("cartitem", 'cart(pid)', ("pid",))
+    cc.options(
+        "button",
+        'x = "empty cart" | x = "buy" | x = "continue shopping" | x = "logout"',
+        ("x",),
+    )
+    cc.delete("cart", 'cart(pid) & button("empty cart")', ("pid",))
+    cc.target("UPP", 'button("buy")')
+    cc.target("CP", 'button("continue shopping") | button("empty cart")')
+    cc.target("HP", 'button("logout")')
+
+    # ---- UPP: user payment page (Example 3.3's payment page) ---------------
+    upp = b.page("UPP")
+    upp.request("ccno")
+    upp.options("pay", 'exists pid . pick(pid, amount)', ("amount",))
+    upp.options(
+        "button", 'x = "authorize payment" | x = "back"', ("x",)
+    )
+    upp.insert("paid", 'pay(amount) & button("authorize payment")', ("amount",))
+    upp.insert(
+        "ordered",
+        'chosen(pid) & (exists amount . pay(amount)) '
+        '& button("authorize payment")',
+        ("pid",),
+    )
+    upp.target("COP", '(exists amount . pay(amount)) & button("authorize payment")')
+    upp.target("CC", 'button("back")')
+
+    # ---- COP: order confirmation page (actions conf and ship) ----------------
+    cop = b.page("COP")
+    cop.act("conf", 'u = name & paid(price)', ("u", "price"))
+    cop.act("ship", 'u = name & ordered(pid)', ("u", "pid"))
+    cop.options(
+        "button",
+        'x = "view cart" | x = "continue shopping" | x = "logout"',
+        ("x",),
+    )
+    cop.target("CC", 'button("view cart")')
+    cop.target("CP", 'button("continue shopping")')
+    cop.target("HP", 'button("logout")')
+
+    # ---- VOP: view order page ----------------------------------------------
+    vop = b.page("VOP")
+    vop.options("orderitem", 'ordered(pid) & !cancelled(pid)', ("pid",))
+    vop.options(
+        "button", 'x = "cancel" | x = "back" | x = "logout"', ("x",)
+    )
+    vop.insert("cancelled", 'orderitem(pid) & button("cancel")', ("pid",))
+    vop.delete("ordered", 'orderitem(pid) & button("cancel")', ("pid",))
+    vop.target("CCP", '(exists pid . orderitem(pid)) & button("cancel")')
+    vop.target("CP", 'button("back")')
+    vop.target("HP", 'button("logout")')
+
+    # ---- POP: pending orders (admin) ---------------------------------------
+    pop = b.page("POP")
+    pop.options("orderitem", 'ordered(pid) & !shipped(pid)', ("pid",))
+    pop.options(
+        "button",
+        'x = "ship" | x = "delete" | x = "back" | x = "logout"',
+        ("x",),
+    )
+    pop.insert("shipped", 'orderitem(pid) & button("ship")', ("pid",))
+    pop.delete("ordered", 'orderitem(pid) & button("delete")', ("pid",))
+    pop.target("SCP", '(exists pid . orderitem(pid)) & button("ship")')
+    pop.target("DCP", '(exists pid . orderitem(pid)) & button("delete")')
+    pop.target("AP", 'button("back")')
+    pop.target("HP", 'button("logout")')
+
+    # ---- OSP: order status (admin) -----------------------------------------
+    osp = b.page("OSP")
+    osp.options("orderitem", 'shipped(pid) | ordered(pid)', ("pid",))
+    osp.options("button", 'x = "back" | x = "logout"', ("x",))
+    osp.target("AP", 'button("back")')
+    osp.target("HP", 'button("logout")')
+
+    # ---- SCP / DCP / CCP: confirmations -------------------------------------
+    scp = b.page("SCP")
+    scp.options("button", 'x = "continue control" | x = "logout"', ("x",))
+    scp.target("POP", 'button("continue control")')
+    scp.target("HP", 'button("logout")')
+
+    dcp = b.page("DCP")
+    dcp.options("button", 'x = "continue control" | x = "logout"', ("x",))
+    dcp.target("POP", 'button("continue control")')
+    dcp.target("HP", 'button("logout")')
+
+    ccp = b.page("CCP")
+    ccp.options("button", 'x = "continue shopping" | x = "logout"', ("x",))
+    ccp.target("CP", 'button("continue shopping")')
+    ccp.target("HP", 'button("logout")')
+
+    return b.build()
+
+
+def ecommerce_database(service: WebService | None = None) -> Database:
+    """A small realistic catalog for the demo site."""
+    service = service or ecommerce_service()
+    return Database(
+        service.schema.database,
+        {
+            "user": [("alice", "pw1"), ("bob", "pw2"), ("Admin", "root")],
+            "prod_prices": [
+                ("l1", "999"), ("l2", "1299"), ("d1", "599"), ("d2", "899"),
+            ],
+            "prod_names": [
+                ("l1", "featherbook"), ("l2", "workbook pro"),
+                ("d1", "towerline"), ("d2", "towerline xl"),
+            ],
+            "prod_category": [
+                ("l1", "laptop"), ("l2", "laptop"),
+                ("d1", "desktop"), ("d2", "desktop"),
+            ],
+            "criteria": [
+                ("laptop", "ram", "8G"), ("laptop", "ram", "16G"),
+                ("laptop", "hdd", "512G"), ("laptop", "display", "14in"),
+                ("laptop", "display", "16in"),
+                ("desktop", "ram", "16G"), ("desktop", "ram", "32G"),
+                ("desktop", "hdd", "1T"),
+            ],
+            "laptop_spec": [
+                ("l1", "8G", "512G", "14in"),
+                ("l2", "16G", "512G", "16in"),
+            ],
+            "desktop_spec": [
+                ("d1", "16G", "1T"),
+                ("d2", "32G", "1T"),
+            ],
+        },
+    )

@@ -1,0 +1,116 @@
+"""The paper's temporal properties, numbered as in the text.
+
+- Property (1), Example 3.2 — navigation: whenever page P is reached,
+  page Q is eventually reached: ``G(¬P) ∨ F(P ∧ F Q)``;
+- Property (2)/(4), Examples 3.3-3.4 — no shipping before payment:
+  ``∀pid ∀price  θ'(pid, price) B ¬(conf(name, price) ∧ ship(name, pid))``
+  with θ' the input-bounded payment condition of (5);
+- Example 4.1 — CTL*: a bought product eventually ships, and can be
+  cancelled until it does;
+- Example 4.3 — CTL navigation on the propositional abstraction:
+  ``AG EF HP`` and ``AG((HP ∧ login) → EF authorize)``.
+"""
+
+from __future__ import annotations
+
+from repro.ctl.syntax import (
+    A,
+    AG,
+    CAtom,
+    CImplies,
+    E,
+    EF,
+    PF,
+    PState,
+    PU,
+    StateFormula,
+)
+from repro.fol.formulas import And, Atom, Formula, Not
+from repro.fol.parser import parse_formula
+from repro.fol.terms import InputConst, Var
+from repro.ltl.ltlfo import B, F, G, LTLFOSentence
+from repro.ltl.syntax import LAnd, LNot, LOr, LTLAtom, LTLFormula
+
+
+def property_1_navigation(page_p: str, page_q: str) -> LTLFOSentence:
+    """Property (1): ``G(¬P) ∨ F(P ∧ F Q)`` for page propositions P, Q."""
+    p = Atom(page_p, ())
+    q = Atom(page_q, ())
+    skeleton: LTLFormula = LOr(
+        G(Not(p)),
+        F(LAnd(LTLAtom(p), F(q))),
+    )
+    return LTLFOSentence((), skeleton, name=f"reach {page_q} after {page_p}")
+
+
+def _theta_prime(payment_page: str = "UPP") -> Formula:
+    """θ'(pid, price) of Example 3.4, formula (5): the input-bounded
+    payment condition (with the catalog split into ``prod_prices``)."""
+    return parse_formula(
+        f'{payment_page} & pay(price) & button("authorize payment") '
+        '& pick(pid, price) & prod_prices(pid, price)',
+        input_constants=("name",),
+    )
+
+
+def property_4_paid_before_ship(payment_page: str = "UPP") -> LTLFOSentence:
+    """Property (4): any shipped product was previously paid for.
+
+    ``∀pid ∀price  θ' B ¬(conf(name, price) ∧ ship(name, pid))``.
+    """
+    theta = _theta_prime(payment_page)
+    conf = Atom("conf", (InputConst("name"), Var("price")))
+    ship = Atom("ship", (InputConst("name"), Var("pid")))
+    skeleton = B(theta, Not(And(conf, ship)))
+    return LTLFOSentence(("pid", "price"), skeleton, name="paid before ship")
+
+
+def example_41_cancel_until_ship() -> LTLFOSentence:
+    """A linear-time reading of Example 4.1's guarantee: once θ' holds,
+    the product eventually ships.
+
+    (The full Example 4.1 sentence is CTL*-FO —
+    ``AG(θ' → A((EF cancel) U ship))`` — and lies outside the decidable
+    classes by Theorem 4.2; this LTL-FO weakening is the part the
+    Theorem 3.5 verifier can decide.)
+    """
+    theta = _theta_prime()
+    ship = Atom("ship", (InputConst("name"), Var("pid")))
+    skeleton = G(LOr(LNot(LTLAtom(theta)), F(ship)))
+    return LTLFOSentence(("pid", "price"), skeleton, name="bought implies ships")
+
+
+def example_43_home_reachable(home: str = "HP") -> StateFormula:
+    """Example 4.3: from any page one can navigate back home —
+    ``AG EF HP``."""
+    return AG(EF(CAtom(home)))
+
+
+def example_43_login_to_payment(
+    home: str = "HP",
+    login_prop: object = "btn_login",
+    authorize_prop: object = "btn_authorize",
+) -> StateFormula:
+    """Example 4.3: after login, the user can reach a page where payment
+    can be authorised —
+    ``AG((HP ∧ login) → EF authorize)``."""
+    return AG(
+        CImplies(
+            CAtom(home) & CAtom(login_prop),
+            EF(CAtom(authorize_prop)),
+        )
+    )
+
+
+def ctl_star_eventual_purchase(
+    buy_prop: object = "btn_buy", cop: str = "COP"
+) -> StateFormula:
+    """A CTL* property (not expressible in CTL): on every path, either
+    the user never buys, or the purchase page is eventually reached —
+    ``A(G ¬buy ∨ F COP)`` with the temporal operators mixed under one
+    path quantifier."""
+    from repro.ctl.syntax import PNot, POr
+
+    never_buy = PNot(PF(CAtom(buy_prop)))
+    reaches_cop = PF(CAtom(cop))
+    return A(POr(never_buy, reaches_cop))

@@ -1,0 +1,99 @@
+"""The propositional abstraction of the demo store (Example 4.3).
+
+§4's recipe: "abstract their predicates to propositional symbols, thus
+concentrating only on reachability properties".  Pages and buttons stay;
+the database lookup of the login check is abstracted into a free
+propositional input ``login_ok`` (the environment decides whether the
+credentials check out), and per-item state collapses to the
+propositions ``logged_in``, ``has_cart``, ``has_order``.
+
+The result is *fully propositional* (Theorem 4.6) and carries the
+Example 4.3 properties: ``AG EF HP`` and
+``AG((HP ∧ button_login) → EF button_authorize)``.
+"""
+
+from __future__ import annotations
+
+from repro.service.builder import ServiceBuilder
+from repro.service.webservice import WebService
+
+
+def propositional_service() -> WebService:
+    """Build the propositional navigation skeleton of the store."""
+    b = ServiceBuilder("ecommerce-propositional")
+
+    buttons = [
+        "btn_login", "btn_register", "btn_clear",
+        "btn_search", "btn_view_cart", "btn_logout",
+        "btn_add_to_cart", "btn_buy", "btn_authorize", "btn_back",
+        "btn_continue",
+    ]
+    for name in buttons:
+        b.input(name)
+    b.input("login_ok")  # abstraction of user(name, password)
+
+    b.state("logged_in")
+    b.state("has_cart")
+    b.state("has_order")
+
+    hp = b.page("HP", home=True)
+    hp.toggle("btn_login", "btn_register", "btn_clear", "login_ok")
+    hp.insert("logged_in", "btn_login & login_ok")
+    hp.target("HP", "btn_clear & !btn_login & !btn_register")
+    hp.target("RP", "btn_register & !btn_login & !btn_clear")
+    hp.target("CP", "btn_login & login_ok & !btn_register & !btn_clear")
+    hp.target("MP", "btn_login & !login_ok & !btn_register & !btn_clear")
+
+    rp = b.page("RP")
+    rp.toggle("btn_continue", "btn_back")
+    rp.insert("logged_in", "btn_continue")
+    rp.target("CP", "btn_continue & !btn_back")
+    rp.target("HP", "btn_back & !btn_continue")
+
+    mp = b.page("MP")
+    mp.toggle("btn_back")
+    mp.target("HP", "btn_back")
+
+    cp = b.page("CP")
+    cp.toggle("btn_search", "btn_view_cart", "btn_logout")
+    cp.delete("logged_in", "btn_logout")
+    cp.target("LSP", "btn_search & !btn_view_cart & !btn_logout")
+    cp.target("CC", "btn_view_cart & !btn_search & !btn_logout")
+    cp.target("HP", "btn_logout & !btn_search & !btn_view_cart")
+
+    lsp = b.page("LSP")
+    lsp.toggle("btn_search", "btn_back", "btn_logout")
+    lsp.delete("logged_in", "btn_logout")
+    lsp.target("PIP", "btn_search & !btn_back & !btn_logout")
+    lsp.target("CP", "btn_back & !btn_search & !btn_logout")
+    lsp.target("HP", "btn_logout & !btn_search & !btn_back")
+
+    pip = b.page("PIP")
+    pip.toggle("btn_add_to_cart", "btn_back", "btn_logout")
+    pip.insert("has_cart", "btn_add_to_cart")
+    pip.delete("logged_in", "btn_logout")
+    pip.target("CC", "btn_add_to_cart & !btn_back & !btn_logout")
+    pip.target("LSP", "btn_back & !btn_add_to_cart & !btn_logout")
+    pip.target("HP", "btn_logout & !btn_add_to_cart & !btn_back")
+
+    cc = b.page("CC")
+    cc.toggle("btn_buy", "btn_continue", "btn_logout")
+    cc.delete("logged_in", "btn_logout")
+    cc.target("UPP", "has_cart & btn_buy & !btn_continue & !btn_logout")
+    cc.target("CP", "btn_continue & !btn_buy & !btn_logout")
+    cc.target("HP", "btn_logout & !btn_buy & !btn_continue")
+
+    upp = b.page("UPP")
+    upp.toggle("btn_authorize", "btn_back")
+    upp.insert("has_order", "btn_authorize")
+    upp.delete("has_cart", "btn_authorize")
+    upp.target("COP", "btn_authorize & !btn_back")
+    upp.target("CC", "btn_back & !btn_authorize")
+
+    cop = b.page("COP")
+    cop.toggle("btn_continue", "btn_logout")
+    cop.delete("logged_in", "btn_logout")
+    cop.target("CP", "btn_continue & !btn_logout")
+    cop.target("HP", "btn_logout & !btn_continue")
+
+    return b.build()

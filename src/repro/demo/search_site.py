@@ -1,0 +1,105 @@
+"""Figure 1 / Example 4.8: the input-driven-search computer store.
+
+A Web service with input-driven search (Definition 4.7): the single
+unary input ``I`` starts at the database constant ``i0`` (the root
+``products`` category) and thereafter follows edges of the binary search
+relation ``R_I``, filtered by the quantifier-free condition ``avail(y)``
+(the category or product is currently in stock).  The propositional
+state ``new`` is set while browsing the *new* branch, mirroring the
+example's reuse of page schemas for new and used computers.
+
+:func:`figure1_database` is the exact hierarchy of Figure 1;
+:func:`scaled_hierarchy_database` generates deeper/wider versions for
+the Theorem 4.9 scaling benchmark (E6).
+"""
+
+from __future__ import annotations
+
+from repro.schema.database import Database
+from repro.service.builder import ServiceBuilder
+from repro.service.webservice import WebService
+
+ROOT = "products"
+
+
+def search_service() -> WebService:
+    """Build the Definition 4.7 service for the category search."""
+    b = ServiceBuilder("figure1-search")
+    b.database("R_I", 2)
+    b.database("avail", 1)
+    b.db_constant("i0")
+    b.input("I", 1)
+    b.state("not_start")
+    b.state("new")
+
+    page = b.page("SEARCH", home=True)
+    page.options(
+        "I",
+        '(!not_start & y = #i0)'
+        ' | (not_start & (exists x . prev_I(x) & R_I(x, y)) & avail(y))',
+        ("y",),
+    )
+    page.insert("not_start", "!not_start")
+    page.insert("new", 'I("new")')
+    page.delete("new", 'I("used")')
+    return b.build()
+
+
+def figure1_database(service: WebService | None = None) -> Database:
+    """The Figure 1 hierarchy, with a small in-stock product set."""
+    service = service or search_service()
+    edges = [
+        (ROOT, "new"), (ROOT, "used"),
+        ("new", "new desktops"), ("new", "new laptops"),
+        ("used", "used desktops"), ("used", "used laptops"),
+        ("new desktops", "nd1"), ("new laptops", "nl1"),
+        ("used desktops", "ud1"), ("used laptops", "ul1"),
+        ("used laptops", "ul2"),
+    ]
+    in_stock = [
+        ROOT, "new", "used",
+        "new desktops", "new laptops", "used desktops", "used laptops",
+        "nd1", "nl1", "ul1",  # ul2 and ud1 are out of stock
+    ]
+    return Database(
+        service.schema.database,
+        {"R_I": edges, "avail": [(v,) for v in in_stock]},
+        {"i0": ROOT},
+    )
+
+
+def scaled_hierarchy_database(
+    depth: int,
+    branching: int = 2,
+    service: WebService | None = None,
+    stock_ratio: float = 1.0,
+) -> Database:
+    """A complete ``branching``-ary category tree of the given depth.
+
+    Node ``n_<path>`` children are ``n_<path><i>``; every node is in
+    stock except a deterministic ``1 - stock_ratio`` fraction of leaves
+    (so benchmarks vary both size and filtering).
+    """
+    service = service or search_service()
+    edges: list[tuple[str, str]] = []
+    in_stock: list[str] = [ROOT]
+    frontier = [ROOT]
+    names = {ROOT: "n"}
+    for _level in range(depth):
+        nxt: list[str] = []
+        for node in frontier:
+            for i in range(branching):
+                child = f"{names[node]}{i}"
+                names[child] = child
+                edges.append((node, child))
+                nxt.append(child)
+        frontier = nxt
+        for j, node in enumerate(frontier):
+            is_leaf = _level == depth - 1
+            if not is_leaf or (j * stock_ratio) % 1.0 < stock_ratio:
+                in_stock.append(node)
+    return Database(
+        service.schema.database,
+        {"R_I": edges, "avail": [(v,) for v in in_stock]},
+        {"i0": ROOT},
+    )

@@ -1,0 +1,338 @@
+"""Syntactic analyses of formulas.
+
+Free variables, vocabulary usage, and the two syntactic restrictions at
+the heart of the paper's decidability results (§3):
+
+- **input-bounded** formulas: every quantifier is guarded by a current or
+  previous input atom covering the quantified variables, and the
+  quantified variables stay out of state and action atoms — the form
+  ``∃x(α ∧ φ)`` / ``∀x(α → φ)`` with ``α`` over ``I ∪ Prev_I``;
+- **input-rule formulas**: ``∃*`` FO formulas in which all state atoms
+  are ground.
+
+:func:`check_input_bounded` and :func:`check_input_rule_formula` return an
+:class:`InputBoundednessReport` whose ``reasons`` pinpoint each violation,
+so the verifier can explain *why* it refuses an instance (Theorem 3.7/3.8
+territory) instead of failing opaquely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.fol.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.fol.terms import DbConst, InputConst, Lit, Term, Var
+from repro.schema.schema import ServiceSchema
+from repro.schema.symbols import RelationKind
+
+
+# ---------------------------------------------------------------------------
+# basic structural queries
+# ---------------------------------------------------------------------------
+
+def _term_vars(terms: Iterable[Term]) -> frozenset[str]:
+    return frozenset(t.name for t in terms if isinstance(t, Var))
+
+
+def free_variables(f: Formula) -> frozenset[str]:
+    """Free variables of a formula."""
+    if isinstance(f, Atom):
+        return _term_vars(f.terms)
+    if isinstance(f, Eq):
+        return _term_vars((f.left, f.right))
+    if isinstance(f, (Top, Bottom)):
+        return frozenset()
+    if isinstance(f, Not):
+        return free_variables(f.body)
+    if isinstance(f, (And, Or)):
+        out: frozenset[str] = frozenset()
+        for p in f.parts:
+            out |= free_variables(p)
+        return out
+    if isinstance(f, Implies):
+        return free_variables(f.antecedent) | free_variables(f.consequent)
+    if isinstance(f, Iff):
+        return free_variables(f.left) | free_variables(f.right)
+    if isinstance(f, (Exists, Forall)):
+        return free_variables(f.body) - frozenset(f.variables)
+    raise TypeError(f"unknown formula {f!r}")
+
+
+def all_variables(f: Formula) -> frozenset[str]:
+    """Free and bound variables of a formula."""
+    if isinstance(f, (Exists, Forall)):
+        return all_variables(f.body) | frozenset(f.variables)
+    return frozenset().union(
+        *(all_variables(g) for g in _children(f)),
+        free_variables(f) if isinstance(f, (Atom, Eq)) else frozenset(),
+    )
+
+
+def _children(f: Formula) -> tuple[Formula, ...]:
+    if isinstance(f, Not):
+        return (f.body,)
+    if isinstance(f, (And, Or)):
+        return f.parts
+    if isinstance(f, Implies):
+        return (f.antecedent, f.consequent)
+    if isinstance(f, Iff):
+        return (f.left, f.right)
+    if isinstance(f, (Exists, Forall)):
+        return (f.body,)
+    return ()
+
+
+def atoms_of(f: Formula) -> Iterator[Atom]:
+    """All relational atoms occurring in a formula (any polarity)."""
+    if isinstance(f, Atom):
+        yield f
+    for child in _children(f):
+        yield from atoms_of(child)
+
+
+def relation_names(f: Formula) -> frozenset[str]:
+    """Names of all relations mentioned by a formula."""
+    return frozenset(a.relation for a in atoms_of(f))
+
+
+def _terms_of(f: Formula) -> Iterator[Term]:
+    if isinstance(f, Atom):
+        yield from f.terms
+    elif isinstance(f, Eq):
+        yield f.left
+        yield f.right
+    for child in _children(f):
+        yield from _terms_of(child)
+
+
+def input_constants_of(f: Formula) -> frozenset[str]:
+    """Names of the input constants a formula reads."""
+    return frozenset(t.name for t in _terms_of(f) if isinstance(t, InputConst))
+
+
+def db_constants_of(f: Formula) -> frozenset[str]:
+    """Names of the database constants a formula reads."""
+    return frozenset(t.name for t in _terms_of(f) if isinstance(t, DbConst))
+
+
+def literals_of(f: Formula) -> frozenset:
+    """Values of the literal constants occurring in a formula.
+
+    Active-domain semantics treats the constants of the specification as
+    part of every structure's domain; the run machinery widens its
+    quantification domain with these values.
+    """
+    return frozenset(t.value for t in _terms_of(f) if isinstance(t, Lit))
+
+
+def is_quantifier_free(f: Formula) -> bool:
+    """True when the formula contains no quantifier."""
+    if isinstance(f, (Exists, Forall)):
+        return False
+    return all(is_quantifier_free(c) for c in _children(f))
+
+
+def is_existential(f: Formula) -> bool:
+    """True when the formula is existential (``∃*``): in negation normal
+    form it contains no universal quantifier.  This is the standard
+    semantic reading of the paper's "∃* FO formulas" — closed under
+    ∧/∨, with negation on atoms only."""
+    from repro.fol.transforms import nnf
+
+    def no_universal(g: Formula) -> bool:
+        if isinstance(g, Forall):
+            return False
+        return all(no_universal(c) for c in _children(g))
+
+    return no_universal(nnf(f))
+
+
+# ---------------------------------------------------------------------------
+# input-boundedness (paper §3)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class InputBoundednessReport:
+    """Outcome of a syntactic-restriction check, with explanations."""
+
+    ok: bool
+    reasons: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @staticmethod
+    def success() -> "InputBoundednessReport":
+        return InputBoundednessReport(True, [])
+
+    @staticmethod
+    def failure(*reasons: str) -> "InputBoundednessReport":
+        return InputBoundednessReport(False, list(reasons))
+
+    def merge(self, other: "InputBoundednessReport") -> "InputBoundednessReport":
+        return InputBoundednessReport(
+            self.ok and other.ok, self.reasons + other.reasons
+        )
+
+
+KindOf = Callable[[str], "RelationKind | None"]
+
+
+def _kind_resolver(
+    schema: ServiceSchema, page_names: Iterable[str] = ()
+) -> KindOf:
+    pages = frozenset(page_names)
+
+    def kind_of(name: str) -> RelationKind | None:
+        sym = schema.resolve(name)
+        if sym is not None:
+            return sym.kind
+        if name in pages:
+            # Page symbols act as propositions in property formulas; they
+            # are neither state nor action atoms for the restriction.
+            return None
+        return None
+
+    return kind_of
+
+
+def check_input_bounded(
+    f: Formula,
+    schema: ServiceSchema,
+    page_names: Iterable[str] = (),
+) -> InputBoundednessReport:
+    """Check the input-bounded restriction of §3.
+
+    Every quantifier node must have the guarded shape ``∃x(α ∧ φ)`` or
+    ``∀x(α → φ)`` where ``α`` is an atom over ``I ∪ Prev_I`` with
+    ``x ⊆ free(α)``, and no state or action atom of ``φ`` mentions any
+    variable of ``x``.
+    """
+    kind_of = _kind_resolver(schema, page_names)
+    report = InputBoundednessReport.success()
+    for reason in _ib_violations(f, kind_of):
+        report = report.merge(InputBoundednessReport.failure(reason))
+    return report
+
+
+def _ib_violations(f: Formula, kind_of: KindOf) -> Iterator[str]:
+    if isinstance(f, (Atom, Eq, Top, Bottom)):
+        return
+    if isinstance(f, (Exists, Forall)):
+        yield from _check_guarded(f, kind_of)
+        return
+    for child in _children(f):
+        yield from _ib_violations(child, kind_of)
+
+
+def _is_input_atom(part: Formula, kind_of: KindOf) -> bool:
+    return isinstance(part, Atom) and kind_of(part.relation) in (
+        RelationKind.INPUT,
+        RelationKind.PREV,
+    )
+
+
+def _check_guarded(f: Exists | Forall, kind_of: KindOf) -> Iterator[str]:
+    quantified = set(f.variables)
+    if isinstance(f, Exists):
+        body = f.body
+        parts = list(body.parts) if isinstance(body, And) else [body]
+        guard = next(
+            (
+                p
+                for p in parts
+                if _is_input_atom(p, kind_of)
+                and quantified <= _term_vars(p.terms)  # type: ignore[union-attr]
+            ),
+            None,
+        )
+        if guard is None:
+            yield (
+                f"existential quantifier over {sorted(quantified)} in {f} lacks a "
+                "current/previous input-atom guard covering its variables"
+            )
+            rest = parts
+        else:
+            rest = [p for p in parts if p is not guard]
+    else:
+        body = f.body
+        if not isinstance(body, Implies):
+            yield (
+                f"universal quantifier in {f} must have the form "
+                "forall x . guard -> phi"
+            )
+            yield from _ib_violations(body, kind_of)
+            return
+        guard_formula = body.antecedent
+        guard_parts = (
+            list(guard_formula.parts)
+            if isinstance(guard_formula, And)
+            else [guard_formula]
+        )
+        guard = next(
+            (
+                p
+                for p in guard_parts
+                if _is_input_atom(p, kind_of)
+                and quantified <= _term_vars(p.terms)  # type: ignore[union-attr]
+            ),
+            None,
+        )
+        if guard is None:
+            yield (
+                f"universal quantifier over {sorted(quantified)} in {f} lacks a "
+                "current/previous input-atom guard covering its variables"
+            )
+        rest = [p for p in guard_parts if p is not guard] + [body.consequent]
+
+    for part in rest:
+        for bad_atom in atoms_of(part):
+            kind = kind_of(bad_atom.relation)
+            if kind in (RelationKind.STATE, RelationKind.ACTION):
+                shared = quantified & _term_vars(bad_atom.terms)
+                if shared:
+                    yield (
+                        f"{kind.value} atom {bad_atom} uses quantified "
+                        f"variable(s) {sorted(shared)} in {f}"
+                    )
+        yield from _ib_violations(part, kind_of)
+
+
+def check_input_rule_formula(
+    f: Formula,
+    schema: ServiceSchema,
+) -> InputBoundednessReport:
+    """Check the input-rule restriction of §3.
+
+    Input-option rules of an input-bounded service must use ``∃*`` FO
+    formulas in which all state atoms are ground.
+    """
+    reasons: list[str] = []
+    if not is_existential(f):
+        reasons.append(f"input-rule formula {f} is not an exists* formula")
+    for a in atoms_of(f):
+        sym = schema.resolve(a.relation)
+        if sym is not None and sym.kind is RelationKind.STATE:
+            vars_in = _term_vars(a.terms)
+            if vars_in:
+                reasons.append(
+                    f"state atom {a} in input rule is not ground "
+                    f"(variables {sorted(vars_in)})"
+                )
+    if reasons:
+        return InputBoundednessReport.failure(*reasons)
+    return InputBoundednessReport.success()

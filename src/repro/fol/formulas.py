@@ -1,0 +1,247 @@
+"""First-order formula AST.
+
+Formulas are immutable trees built from relational atoms, (in)equalities,
+the boolean connectives and the two quantifiers.  ``And``/``Or`` are
+n-ary for readability of large generated specifications.
+
+Construction helpers accept plain Python values and strings liberally:
+
+>>> atom("user", Var("n"), Var("p"))
+user(n, p)
+>>> And(atom("button", Lit("login")), Not(atom("error")))
+(button("login") ∧ ¬error)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.fol.terms import DbConst, InputConst, Lit, Term, Var
+
+
+class Formula:
+    """Base class of all formulas.  Immutable and hashable."""
+
+    __slots__ = ()
+
+    # Convenience operator sugar (used heavily by the demos and tests).
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        """``self → other``."""
+        return Implies(self, other)
+
+
+def _coerce_term(value: Term | str | int | float) -> Term:
+    """Coerce a raw Python value into a term.
+
+    Strings become :class:`Var` when they look like identifiers starting
+    with a lowercase letter?  No — implicit guessing is error prone, so:
+    raw strings/numbers become literals; pass :class:`Var`/:class:`DbConst`
+    /:class:`InputConst` explicitly (or use the parser, which resolves
+    identifiers against a schema).
+    """
+    if isinstance(value, Term):
+        return value
+    return Lit(value)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A relational atom ``R(t1, ..., tk)``; ``k`` may be 0."""
+
+    relation: str
+    terms: tuple[Term, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return self.relation
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation}({args})"
+
+    __repr__ = __str__
+
+
+def atom(relation: str, *terms: Term | str | int | float) -> Atom:
+    """Build an atom, coercing raw strings/numbers to literals."""
+    return Atom(relation, tuple(_coerce_term(t) for t in terms))
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """Equality between two terms."""
+
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+    __repr__ = __str__
+
+
+def neq(left: Term | str | int, right: Term | str | int) -> Formula:
+    """Inequality ``left ≠ right`` (sugar for ``¬(left = right)``)."""
+    return Not(Eq(_coerce_term(left), _coerce_term(right)))
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The formula *true*."""
+
+    def __str__(self) -> str:
+        return "true"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The formula *false*."""
+
+    def __str__(self) -> str:
+        return "false"
+
+    __repr__ = __str__
+
+
+TRUE = Top()
+FALSE = Bottom()
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"¬{_paren(self.body)}"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """N-ary conjunction; ``And()`` is *true*."""
+
+    parts: tuple[Formula, ...]
+
+    def __init__(self, *parts: Formula | Iterable[Formula]) -> None:
+        object.__setattr__(self, "parts", _flatten_parts(parts))
+
+    def __str__(self) -> str:
+        if not self.parts:
+            return "true"
+        return "(" + " ∧ ".join(_paren(p) for p in self.parts) + ")"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """N-ary disjunction; ``Or()`` is *false*."""
+
+    parts: tuple[Formula, ...]
+
+    def __init__(self, *parts: Formula | Iterable[Formula]) -> None:
+        object.__setattr__(self, "parts", _flatten_parts(parts))
+
+    def __str__(self) -> str:
+        if not self.parts:
+            return "false"
+        return "(" + " ∨ ".join(_paren(p) for p in self.parts) + ")"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication ``antecedent → consequent``."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def __str__(self) -> str:
+        return f"({_paren(self.antecedent)} → {_paren(self.consequent)})"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    """Bi-implication."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({_paren(self.left)} ↔ {_paren(self.right)})"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over one or more variables."""
+
+    variables: tuple[str, ...]
+    body: Formula
+
+    def __init__(self, variables: str | Iterable[str], body: Formula) -> None:
+        names = (variables,) if isinstance(variables, str) else tuple(variables)
+        if not names:
+            raise ValueError("Exists needs at least one variable")
+        object.__setattr__(self, "variables", names)
+        object.__setattr__(self, "body", body)
+
+    def __str__(self) -> str:
+        return f"∃{','.join(self.variables)}.{_paren(self.body)}"
+
+    __repr__ = __str__
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Universal quantification over one or more variables."""
+
+    variables: tuple[str, ...]
+    body: Formula
+
+    def __init__(self, variables: str | Iterable[str], body: Formula) -> None:
+        names = (variables,) if isinstance(variables, str) else tuple(variables)
+        if not names:
+            raise ValueError("Forall needs at least one variable")
+        object.__setattr__(self, "variables", names)
+        object.__setattr__(self, "body", body)
+
+    def __str__(self) -> str:
+        return f"∀{','.join(self.variables)}.{_paren(self.body)}"
+
+    __repr__ = __str__
+
+
+def _paren(f: Formula) -> str:
+    text = str(f)
+    if isinstance(f, (Atom, Top, Bottom, Not)) or text.startswith("("):
+        return text
+    return f"({text})"
+
+
+def _flatten_parts(parts: tuple) -> tuple[Formula, ...]:
+    """Flatten one level of iterables so And(a, b) and And([a, b]) agree."""
+    out: list[Formula] = []
+    for p in parts:
+        if isinstance(p, Formula):
+            out.append(p)
+        else:
+            out.extend(p)
+    return tuple(out)

@@ -1,0 +1,303 @@
+"""Text syntax for FO formulas.
+
+Rule formulas in specifications can be written as readable text::
+
+    parse_formula('user(name, password) & button = "login"',
+                  input_constants={"name", "password"})
+
+Grammar (ASCII and unicode operators both accepted)::
+
+    formula  := iff
+    iff      := implies ( ('<->' | 'iff') implies )*
+    implies  := or ( ('->' | 'implies') implies )?      # right associative
+    or       := and ( ('|' | 'or') and )*
+    and      := unary ( ('&' | 'and') unary )*
+    unary    := ('!' | 'not') unary
+              | ('exists' | 'forall') IDENT+ '.' formula   # scopes rightwards
+              | primary
+    primary  := '(' formula ')' | 'true' | 'false'
+              | term ('=' | '!=') term
+              | IDENT [ '(' term (',' term)* ')' ]         # atom
+    term     := IDENT | STRING | NUMBER | '@' IDENT | '#' IDENT
+
+Identifier resolution: a bare identifier appearing in *term position*
+becomes an :class:`~repro.fol.terms.InputConst` when listed in
+``input_constants``, a :class:`~repro.fol.terms.DbConst` when listed in
+``db_constants``, and a :class:`~repro.fol.terms.Var` otherwise.  The
+``@name`` / ``#name`` forms force input/database constant readings.
+
+A quantifier scopes over everything to its right (up to a closing
+parenthesis), so ``exists x . p(x) & q(x)`` binds ``x`` in both conjuncts.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.fol.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.fol.terms import DbConst, InputConst, Lit, Term, Var
+
+
+class FormulaSyntaxError(Exception):
+    """Raised when formula text cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"[^"]*"|'[^']*')
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<op><->|->|!=|≠|=|\(|\)|,|\.|:|&|∧|\||∨|!|¬|@|\#|∃|∀|→|↔)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "and": "&", "or": "|", "not": "!",
+    "exists": "exists", "forall": "forall",
+    "true": "true", "false": "false",
+    "implies": "->", "iff": "<->",
+}
+_UNICODE_OPS = {"∧": "&", "∨": "|", "¬": "!", "∃": "exists", "∀": "forall",
+                "→": "->", "↔": "<->", "≠": "!="}
+
+
+def _tokenize(text: str) -> list[tuple[str, object]]:
+    tokens: list[tuple[str, object]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise FormulaSyntaxError(
+                f"unexpected character {text[pos]!r} at position {pos} in {text!r}"
+            )
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        if m.lastgroup == "string":
+            tokens.append(("string", m.group()[1:-1]))
+        elif m.lastgroup == "number":
+            raw = m.group()
+            value: object = float(raw) if "." in raw else int(raw)
+            tokens.append(("number", value))
+        elif m.lastgroup == "op":
+            op = _UNICODE_OPS.get(m.group(), m.group())
+            if op in ("exists", "forall"):
+                tokens.append(("kw", op))
+            else:
+                tokens.append(("op", op))
+        else:
+            word = m.group()
+            if word in _KEYWORDS:
+                kw = _KEYWORDS[word]
+                if kw in ("true", "false", "exists", "forall"):
+                    tokens.append(("kw", kw))
+                else:
+                    tokens.append(("op", kw))
+            else:
+                tokens.append(("ident", word))
+    tokens.append(("eof", None))
+    return tokens
+
+
+class _Parser:
+    def __init__(
+        self,
+        text: str,
+        input_constants: frozenset[str],
+        db_constants: frozenset[str],
+    ) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.input_constants = input_constants
+        self.db_constants = db_constants
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self) -> tuple[str, object]:
+        return self.tokens[self.pos]
+
+    def next(self) -> tuple[str, object]:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def accept(self, kind: str, value: object = None) -> bool:
+        k, v = self.peek()
+        if k == kind and (value is None or v == value):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, kind: str, value: object = None) -> object:
+        k, v = self.next()
+        if k != kind or (value is not None and v != value):
+            raise FormulaSyntaxError(
+                f"expected {value or kind}, found {v!r} in {self.text!r}"
+            )
+        return v
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> Formula:
+        f = self.iff()
+        if self.peek()[0] != "eof":
+            raise FormulaSyntaxError(
+                f"trailing tokens after formula in {self.text!r}: {self.peek()[1]!r}"
+            )
+        return f
+
+    def iff(self) -> Formula:
+        left = self.implies()
+        while self.accept("op", "<->"):
+            right = self.implies()
+            left = Iff(left, right)
+        return left
+
+    def implies(self) -> Formula:
+        left = self.or_()
+        if self.accept("op", "->"):
+            right = self.implies()
+            return Implies(left, right)
+        return left
+
+    def or_(self) -> Formula:
+        parts = [self.and_()]
+        while self.accept("op", "|"):
+            parts.append(self.and_())
+        return parts[0] if len(parts) == 1 else Or(parts)
+
+    def and_(self) -> Formula:
+        parts = [self.unary()]
+        while self.accept("op", "&"):
+            parts.append(self.unary())
+        return parts[0] if len(parts) == 1 else And(parts)
+
+    def unary(self) -> Formula:
+        if self.accept("op", "!"):
+            return Not(self.unary())
+        kind, value = self.peek()
+        if kind == "kw" and value in ("exists", "forall"):
+            self.next()
+            names: list[str] = []
+            while self.peek()[0] == "ident":
+                names.append(self.next()[1])  # type: ignore[arg-type]
+                self.accept("op", ",")
+            if not names:
+                raise FormulaSyntaxError(f"quantifier needs variables in {self.text!r}")
+            self.expect("op", ".")
+            body = self.iff()
+            return Exists(names, body) if value == "exists" else Forall(names, body)
+        return self.primary()
+
+    def primary(self) -> Formula:
+        kind, value = self.peek()
+        if self.accept("op", "("):
+            inner = self.iff()
+            self.expect("op", ")")
+            return self._maybe_comparison_of_formula(inner)
+        if kind == "kw" and value == "true":
+            self.next()
+            return Top()
+        if kind == "kw" and value == "false":
+            self.next()
+            return Bottom()
+        if kind in ("string", "number") or (kind == "op" and value in ("@", "#")):
+            left = self.term()
+            return self.comparison(left)
+        if kind == "ident":
+            name = self.next()[1]
+            assert isinstance(name, str)
+            if self.accept("op", "("):
+                terms: list[Term] = []
+                if not self.accept("op", ")"):
+                    terms.append(self.term())
+                    while self.accept("op", ","):
+                        terms.append(self.term())
+                    self.expect("op", ")")
+                return Atom(name, tuple(terms))
+            nk, nv = self.peek()
+            if nk == "op" and nv in ("=", "!="):
+                return self.comparison(self.resolve_ident(name))
+            return Atom(name, ())
+        raise FormulaSyntaxError(f"unexpected token {value!r} in {self.text!r}")
+
+    def _maybe_comparison_of_formula(self, inner: Formula) -> Formula:
+        # Parenthesised expressions are formulas, never terms, in this
+        # grammar; nothing to do, but kept as an extension point.
+        return inner
+
+    def comparison(self, left: Term) -> Formula:
+        kind, value = self.next()
+        if kind != "op" or value not in ("=", "!="):
+            raise FormulaSyntaxError(
+                f"expected '=' or '!=' after term in {self.text!r}"
+            )
+        right = self.term()
+        eq = Eq(left, right)
+        return Not(eq) if value == "!=" else eq
+
+    def term(self) -> Term:
+        kind, value = self.next()
+        if kind == "string":
+            return Lit(value)
+        if kind == "number":
+            return Lit(value)
+        if kind == "op" and value == "@":
+            name = self.expect("ident")
+            assert isinstance(name, str)
+            return InputConst(name)
+        if kind == "op" and value == "#":
+            name = self.expect("ident")
+            assert isinstance(name, str)
+            return DbConst(name)
+        if kind == "ident":
+            assert isinstance(value, str)
+            return self.resolve_ident(value)
+        raise FormulaSyntaxError(f"expected a term, found {value!r} in {self.text!r}")
+
+    def resolve_ident(self, name: str) -> Term:
+        if name in self.input_constants:
+            return InputConst(name)
+        if name in self.db_constants:
+            return DbConst(name)
+        return Var(name)
+
+
+def parse_formula(
+    text: str,
+    input_constants: Iterable[str] = (),
+    db_constants: Iterable[str] = (),
+) -> Formula:
+    """Parse formula text; see the module docstring for the grammar."""
+    parser = _Parser(text, frozenset(input_constants), frozenset(db_constants))
+    return parser.parse()
+
+
+def parse_term(
+    text: str,
+    input_constants: Iterable[str] = (),
+    db_constants: Iterable[str] = (),
+) -> Term:
+    """Parse a single term."""
+    parser = _Parser(text, frozenset(input_constants), frozenset(db_constants))
+    term = parser.term()
+    if parser.peek()[0] != "eof":
+        raise FormulaSyntaxError(f"trailing tokens after term in {text!r}")
+    return term

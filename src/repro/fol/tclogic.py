@@ -1,0 +1,309 @@
+"""The Appendix A.1 logics: FO^W, FO+TC, and E+TC.
+
+The upper bound of Theorem 3.5 goes through a chain of logics with
+decidable finite satisfiability (Spielmann):
+
+- **FO^W** — witness-bounded FO: quantification only of the forms
+  ``(∃x ∈ W) φ`` and ``(∀x ∈ W) φ`` for a finite witness set W of
+  constants and free variables (Definition A.1);
+- **FO^W + posTC** — plus positive occurrences of transitive closure;
+- **E+TC** — existential FO with transitive closure, whose finite
+  satisfiability is PSPACE for fixed arity and EXPSPACE otherwise.
+
+This module adds the :class:`TC` operator to the formula language,
+evaluation over finite structures, syntactic membership checks for the
+three fragments, and a bounded finite-satisfiability decision
+(:func:`finite_satisfiable`) by canonical-structure enumeration — the
+operational stand-in for the satisfiability back-end in the paper's
+proof (see DESIGN.md, substitution 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from repro.fol.evaluation import EvalContext, eval_term, evaluate
+from repro.fol.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from repro.fol.terms import Term, Var
+
+Value = Hashable
+
+
+@dataclass(frozen=True)
+class TC(Formula):
+    """Transitive closure: ``[TC_{x,y} φ(x, y)](s, t)``.
+
+    Holds when ``(s, t)`` is in the transitive closure of the binary
+    relation ``{(a, b) | φ[x:=a, y:=b]}`` over the active domain.
+    ``x``/``y`` may be tuples of variables for higher-arity closure;
+    ``source``/``target`` must have matching lengths.
+    """
+
+    x: tuple[str, ...]
+    y: tuple[str, ...]
+    body: Formula
+    source: tuple[Term, ...]
+    target: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.x) == len(self.y) == len(self.source) == len(self.target)):
+            raise ValueError("TC variable/argument tuples must have equal length")
+        if len(self.x) == 0:
+            raise ValueError("TC needs at least one closure variable")
+
+    def __str__(self) -> str:
+        xs = ",".join(self.x)
+        ys = ",".join(self.y)
+        src = ",".join(str(t) for t in self.source)
+        tgt = ",".join(str(t) for t in self.target)
+        return f"[TC_{{{xs};{ys}}} {self.body}]({src}; {tgt})"
+
+    __repr__ = __str__
+
+
+def evaluate_tc(formula: Formula, ctx: EvalContext, env=None) -> bool:
+    """Evaluate a formula that may contain :class:`TC` nodes.
+
+    Plain subformulas delegate to the standard evaluator; each TC node
+    computes the closure by breadth-first search over domain tuples.
+    """
+    env = dict(env or {})
+    return _eval_tc(formula, ctx, env)
+
+
+def _eval_tc(f: Formula, ctx: EvalContext, env: dict) -> bool:
+    if isinstance(f, TC):
+        k = len(f.x)
+        start = tuple(eval_term(t, ctx, env) for t in f.source)
+        goal = tuple(eval_term(t, ctx, env) for t in f.target)
+        domain = sorted(ctx.domain, key=repr)
+
+        import itertools
+
+        def succs(node: tuple) -> Iterator[tuple]:
+            for combo in itertools.product(domain, repeat=k):
+                env2 = dict(env)
+                env2.update(zip(f.x, node))
+                env2.update(zip(f.y, combo))
+                if _eval_tc(f.body, ctx, env2):
+                    yield combo
+
+        seen: set[tuple] = set()
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for nxt in succs(node):
+                if nxt == goal:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+    if isinstance(f, (Atom, Eq, Top, Bottom)):
+        return evaluate(f, ctx, env)
+    if isinstance(f, Not):
+        return not _eval_tc(f.body, ctx, env)
+    if isinstance(f, And):
+        return all(_eval_tc(p, ctx, env) for p in f.parts)
+    if isinstance(f, Or):
+        return any(_eval_tc(p, ctx, env) for p in f.parts)
+    if isinstance(f, Implies):
+        return (not _eval_tc(f.antecedent, ctx, env)) or _eval_tc(f.consequent, ctx, env)
+    if isinstance(f, Iff):
+        return _eval_tc(f.left, ctx, env) == _eval_tc(f.right, ctx, env)
+    if isinstance(f, (Exists, Forall)):
+        import itertools
+
+        domain = sorted(ctx.domain, key=repr)
+        results = []
+        for combo in itertools.product(domain, repeat=len(f.variables)):
+            env2 = dict(env)
+            env2.update(zip(f.variables, combo))
+            results.append(_eval_tc(f.body, ctx, env2))
+            if isinstance(f, Exists) and results[-1]:
+                return True
+            if isinstance(f, Forall) and not results[-1]:
+                return False
+        return isinstance(f, Forall)
+    raise TypeError(f"cannot evaluate {f!r}")
+
+
+# ---------------------------------------------------------------------------
+# fragment membership
+# ---------------------------------------------------------------------------
+
+def _children(f: Formula) -> tuple[Formula, ...]:
+    if isinstance(f, TC):
+        return (f.body,)
+    if isinstance(f, Not):
+        return (f.body,)
+    if isinstance(f, (And, Or)):
+        return f.parts
+    if isinstance(f, Implies):
+        return (f.antecedent, f.consequent)
+    if isinstance(f, Iff):
+        return (f.left, f.right)
+    if isinstance(f, (Exists, Forall)):
+        return (f.body,)
+    return ()
+
+
+def is_witness_bounded(f: Formula, witnesses: frozenset[str] = frozenset()) -> bool:
+    """FO^W membership (Definition A.1).
+
+    Every quantifier must have the guarded shape ``∃x (x ∈ W ∧ φ)`` or
+    ``∀x (x ∈ W → φ)`` where ``x ∈ W`` abbreviates a disjunction of
+    equalities of ``x`` with witness terms (constants or free
+    variables).  A quantifier over several variables must guard each.
+    """
+    if isinstance(f, (Exists, Forall)):
+        if len(f.variables) != 1:
+            return False  # one variable per witness guard, as in A.1
+        var = f.variables[0]
+        body = f.body
+        if isinstance(f, Exists):
+            if not isinstance(body, And):
+                return False
+            guard = next(
+                (p for p in body.parts if _is_membership_guard(p, var)), None
+            )
+            rest: tuple[Formula, ...] = tuple(
+                p for p in body.parts if p is not guard
+            )
+        else:
+            if not isinstance(body, Implies):
+                return False
+            guard = (
+                body.antecedent
+                if _is_membership_guard(body.antecedent, var)
+                else None
+            )
+            rest = (body.consequent,)
+        if guard is None:
+            return False
+        return all(is_witness_bounded(r) for r in rest)
+    if isinstance(f, TC):
+        return False
+    return all(is_witness_bounded(c) for c in _children(f))
+
+
+def _is_membership_guard(guard: Formula, var: str) -> bool:
+    """``x ∈ W``: a disjunction (or single) of equalities ``x = w``."""
+    disjuncts = guard.parts if isinstance(guard, Or) else (guard,)
+    for d in disjuncts:
+        if not isinstance(d, Eq):
+            return False
+        terms = (d.left, d.right)
+        if not any(isinstance(t, Var) and t.name == var for t in terms):
+            return False
+    return True
+
+
+def is_fow_pos_tc(f: Formula, positive: bool = True) -> bool:
+    """FO^W + posTC membership: witness-bounded with every TC occurrence
+    under an even number of negations."""
+    if isinstance(f, TC):
+        return positive and is_fow_pos_tc(f.body, positive)
+    if isinstance(f, Not):
+        return is_fow_pos_tc(f.body, not positive)
+    if isinstance(f, Implies):
+        return is_fow_pos_tc(f.antecedent, not positive) and is_fow_pos_tc(
+            f.consequent, positive
+        )
+    if isinstance(f, Iff):
+        # both polarities on both sides
+        return all(
+            is_fow_pos_tc(side, pol)
+            for side in (f.left, f.right)
+            for pol in (True, False)
+        )
+    if isinstance(f, (Exists, Forall)):
+        stripped = _strip_tc(f)
+        return is_witness_bounded(stripped) and all(
+            is_fow_pos_tc(c, positive) for c in _children(f)
+        )
+    return all(is_fow_pos_tc(c, positive) for c in _children(f))
+
+
+def _strip_tc(f: Formula) -> Formula:
+    """Replace TC nodes by TRUE for the witness-bounded shape check."""
+    from repro.fol.formulas import TRUE
+
+    if isinstance(f, TC):
+        return TRUE
+    if isinstance(f, Not):
+        return Not(_strip_tc(f.body))
+    if isinstance(f, And):
+        return And(tuple(_strip_tc(p) for p in f.parts))
+    if isinstance(f, Or):
+        return Or(tuple(_strip_tc(p) for p in f.parts))
+    if isinstance(f, Implies):
+        return Implies(_strip_tc(f.antecedent), _strip_tc(f.consequent))
+    if isinstance(f, Iff):
+        return Iff(_strip_tc(f.left), _strip_tc(f.right))
+    if isinstance(f, (Exists, Forall)):
+        return type(f)(f.variables, _strip_tc(f.body))
+    return f
+
+
+def is_existential_tc(f: Formula, positive: bool = True) -> bool:
+    """E+TC membership: no universal quantifier (and no existential under
+    negation) after pushing negations; TC bodies count too."""
+    if isinstance(f, Forall):
+        return not positive and is_existential_tc(f.body, positive)
+    if isinstance(f, Exists):
+        return positive and is_existential_tc(f.body, positive)
+    if isinstance(f, Not):
+        return is_existential_tc(f.body, not positive)
+    if isinstance(f, Implies):
+        return is_existential_tc(f.antecedent, not positive) and is_existential_tc(
+            f.consequent, positive
+        )
+    if isinstance(f, TC):
+        return is_existential_tc(f.body, positive)
+    return all(is_existential_tc(c, positive) for c in _children(f))
+
+
+# ---------------------------------------------------------------------------
+# bounded finite satisfiability
+# ---------------------------------------------------------------------------
+
+def finite_satisfiable(
+    f: Formula,
+    schema,
+    max_size: int,
+    constants: dict[str, Value] | None = None,
+) -> "tuple[bool, object]":
+    """Search for a finite model of ``f`` with at most ``max_size``
+    elements.
+
+    Enumerates databases over canonical domains of size 1..max_size (up
+    to isomorphism) and evaluates with :func:`evaluate_tc`.  Returns
+    ``(True, model)`` or ``(False, None)``.  Complete only up to the
+    bound — E+TC satisfiability is decidable but this is the bounded
+    operational form used by the library (DESIGN.md, substitution 1).
+    """
+    from repro.schema.enumerate import enumerate_databases
+
+    for size in range(1, max_size + 1):
+        for db in enumerate_databases(
+            schema, size, constants=constants, up_to_iso=True
+        ):
+            ctx = EvalContext(database=db)
+            if evaluate_tc(f, ctx):
+                return True, db
+    return False, None

@@ -1,0 +1,79 @@
+"""Terms of the first-order language.
+
+Four kinds of terms appear in the paper's rule formulas:
+
+- :class:`Var` — a first-order variable, quantified or free;
+- :class:`Lit` — a literal data value denoting itself (``"login"``,
+  ``"laptop"``, numbers, ...);
+- :class:`DbConst` — a database constant symbol, interpreted by the fixed
+  database (e.g. ``min`` and ``i0`` in the paper's constructions);
+- :class:`InputConst` — an input constant (``name``, ``password``, ...)
+  whose interpretation the *user provides during the run* (paper §2) —
+  reading one before it is provided is error condition (i) of
+  Definition 2.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+Value = Hashable
+
+
+class Term:
+    """Base class for terms.  Terms are immutable and hashable."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A first-order variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Lit(Term):
+    """A literal value denoting itself."""
+
+    value: Value
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class DbConst(Term):
+    """A database constant symbol, interpreted by the database."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"#{self.name}"
+
+
+@dataclass(frozen=True)
+class InputConst(Term):
+    """An input constant, interpreted by the user during the run."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+def variables_in(terms: tuple[Term, ...]) -> frozenset[str]:
+    """Names of the variables occurring in a tuple of terms."""
+    return frozenset(t.name for t in terms if isinstance(t, Var))
+
+
+def input_constants_in(terms: tuple[Term, ...]) -> frozenset[str]:
+    """Names of the input constants occurring in a tuple of terms."""
+    return frozenset(t.name for t in terms if isinstance(t, InputConst))

@@ -1,0 +1,304 @@
+"""Formula transformations.
+
+- :func:`substitute` — capture-avoiding substitution of terms for free
+  variables;
+- :func:`nnf` — negation normal form (negations pushed to atoms,
+  ``→``/``↔`` eliminated);
+- :func:`simplify` — constant folding (true/false absorption, trivial
+  equalities, flattening of nested conjunctions/disjunctions);
+- :func:`ground` — expand quantifiers over an explicit finite domain
+  (used by the reference evaluator in tests and by the LTL-FO grounding
+  step of the verifier);
+- :func:`rename_relations` — uniform renaming of relation symbols (used
+  by the Lemma A.5 and Lemma A.10 service transformations);
+- :func:`formula_size` — node count, the size measure in the paper's
+  complexity statements.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.fol.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    FALSE,
+    TRUE,
+)
+from repro.fol.terms import Lit, Term, Var
+
+Value = Hashable
+
+
+def substitute(f: Formula, mapping: Mapping[str, Term | Value]) -> Formula:
+    """Substitute terms for free variables.
+
+    Values that are not :class:`Term` are wrapped as literals, so
+    ``substitute(f, {"x": "laptop"})`` replaces ``x`` by ``Lit("laptop")``.
+    Bound variables shadow the substitution (no capture is possible since
+    replacement terms never contain variables unless the caller passes a
+    :class:`Var`; in that case the caller must avoid clashes).
+    """
+    subst: dict[str, Term] = {
+        name: (value if isinstance(value, Term) else Lit(value))
+        for name, value in mapping.items()
+    }
+    return _subst(f, subst)
+
+
+def _subst_term(t: Term, subst: Mapping[str, Term]) -> Term:
+    if isinstance(t, Var) and t.name in subst:
+        return subst[t.name]
+    return t
+
+
+def _subst(f: Formula, subst: Mapping[str, Term]) -> Formula:
+    if isinstance(f, Atom):
+        return Atom(f.relation, tuple(_subst_term(t, subst) for t in f.terms))
+    if isinstance(f, Eq):
+        return Eq(_subst_term(f.left, subst), _subst_term(f.right, subst))
+    if isinstance(f, (Top, Bottom)):
+        return f
+    if isinstance(f, Not):
+        return Not(_subst(f.body, subst))
+    if isinstance(f, And):
+        return And(tuple(_subst(p, subst) for p in f.parts))
+    if isinstance(f, Or):
+        return Or(tuple(_subst(p, subst) for p in f.parts))
+    if isinstance(f, Implies):
+        return Implies(_subst(f.antecedent, subst), _subst(f.consequent, subst))
+    if isinstance(f, Iff):
+        return Iff(_subst(f.left, subst), _subst(f.right, subst))
+    if isinstance(f, (Exists, Forall)):
+        inner = {k: v for k, v in subst.items() if k not in f.variables}
+        cls = Exists if isinstance(f, Exists) else Forall
+        return cls(f.variables, _subst(f.body, inner))
+    raise TypeError(f"cannot substitute in {f!r}")
+
+
+def nnf(f: Formula) -> Formula:
+    """Negation normal form: ``→``/``↔`` eliminated, ``¬`` only on atoms."""
+    return _nnf(f, positive=True)
+
+
+def _nnf(f: Formula, positive: bool) -> Formula:
+    if isinstance(f, (Atom, Eq)):
+        return f if positive else Not(f)
+    if isinstance(f, Top):
+        return TRUE if positive else FALSE
+    if isinstance(f, Bottom):
+        return FALSE if positive else TRUE
+    if isinstance(f, Not):
+        return _nnf(f.body, not positive)
+    if isinstance(f, And):
+        parts = tuple(_nnf(p, positive) for p in f.parts)
+        return And(parts) if positive else Or(parts)
+    if isinstance(f, Or):
+        parts = tuple(_nnf(p, positive) for p in f.parts)
+        return Or(parts) if positive else And(parts)
+    if isinstance(f, Implies):
+        if positive:
+            return Or(_nnf(f.antecedent, False), _nnf(f.consequent, True))
+        return And(_nnf(f.antecedent, True), _nnf(f.consequent, False))
+    if isinstance(f, Iff):
+        # a <-> b  ==  (a ∧ b) ∨ (¬a ∧ ¬b);  ¬(a <-> b) == (a ∧ ¬b) ∨ (¬a ∧ b)
+        a, b = f.left, f.right
+        if positive:
+            return Or(
+                And(_nnf(a, True), _nnf(b, True)),
+                And(_nnf(a, False), _nnf(b, False)),
+            )
+        return Or(
+            And(_nnf(a, True), _nnf(b, False)),
+            And(_nnf(a, False), _nnf(b, True)),
+        )
+    if isinstance(f, Exists):
+        if positive:
+            return Exists(f.variables, _nnf(f.body, True))
+        return Forall(f.variables, _nnf(f.body, False))
+    if isinstance(f, Forall):
+        if positive:
+            return Forall(f.variables, _nnf(f.body, True))
+        return Exists(f.variables, _nnf(f.body, False))
+    raise TypeError(f"cannot normalise {f!r}")
+
+
+def simplify(f: Formula) -> Formula:
+    """Constant folding and flattening.
+
+    Sound but deliberately shallow: no satisfiability reasoning, just the
+    rewrites that keep generated formulas (grounding, Lemma A.5 products)
+    readable and small.
+    """
+    if isinstance(f, (Atom, Top, Bottom)):
+        return f
+    if isinstance(f, Eq):
+        if isinstance(f.left, Lit) and isinstance(f.right, Lit):
+            return TRUE if f.left.value == f.right.value else FALSE
+        if f.left == f.right:
+            return TRUE
+        return f
+    if isinstance(f, Not):
+        body = simplify(f.body)
+        if isinstance(body, Top):
+            return FALSE
+        if isinstance(body, Bottom):
+            return TRUE
+        if isinstance(body, Not):
+            return body.body
+        return Not(body)
+    if isinstance(f, And):
+        parts: list[Formula] = []
+        for p in f.parts:
+            q = simplify(p)
+            if isinstance(q, Bottom):
+                return FALSE
+            if isinstance(q, Top):
+                continue
+            if isinstance(q, And):
+                parts.extend(q.parts)
+            elif q not in parts:
+                parts.append(q)
+        if not parts:
+            return TRUE
+        if len(parts) == 1:
+            return parts[0]
+        return And(tuple(parts))
+    if isinstance(f, Or):
+        parts = []
+        for p in f.parts:
+            q = simplify(p)
+            if isinstance(q, Top):
+                return TRUE
+            if isinstance(q, Bottom):
+                continue
+            if isinstance(q, Or):
+                parts.extend(q.parts)
+            elif q not in parts:
+                parts.append(q)
+        if not parts:
+            return FALSE
+        if len(parts) == 1:
+            return parts[0]
+        return Or(tuple(parts))
+    if isinstance(f, Implies):
+        ante = simplify(f.antecedent)
+        cons = simplify(f.consequent)
+        if isinstance(ante, Bottom) or isinstance(cons, Top):
+            return TRUE
+        if isinstance(ante, Top):
+            return cons
+        if isinstance(cons, Bottom):
+            return simplify(Not(ante))
+        return Implies(ante, cons)
+    if isinstance(f, Iff):
+        left = simplify(f.left)
+        right = simplify(f.right)
+        if left == right:
+            return TRUE
+        if isinstance(left, Top):
+            return right
+        if isinstance(right, Top):
+            return left
+        if isinstance(left, Bottom):
+            return simplify(Not(right))
+        if isinstance(right, Bottom):
+            return simplify(Not(left))
+        return Iff(left, right)
+    if isinstance(f, (Exists, Forall)):
+        body = simplify(f.body)
+        if isinstance(body, (Top, Bottom)):
+            return body
+        cls = Exists if isinstance(f, Exists) else Forall
+        return cls(f.variables, body)
+    raise TypeError(f"cannot simplify {f!r}")
+
+
+def ground(f: Formula, domain: Iterable[Value]) -> Formula:
+    """Expand quantifiers over an explicit finite domain.
+
+    ``∃x.φ`` becomes the disjunction of ``φ[x := d]`` for every ``d`` in
+    the domain, and dually for ``∀``.  The result is quantifier-free and
+    equivalent over structures whose active domain is contained in
+    ``domain``.
+    """
+    dom = sorted(set(domain), key=repr)
+    return simplify(_ground(f, dom))
+
+
+def _ground(f: Formula, dom: list[Value]) -> Formula:
+    if isinstance(f, (Atom, Eq, Top, Bottom)):
+        return f
+    if isinstance(f, Not):
+        return Not(_ground(f.body, dom))
+    if isinstance(f, And):
+        return And(tuple(_ground(p, dom) for p in f.parts))
+    if isinstance(f, Or):
+        return Or(tuple(_ground(p, dom) for p in f.parts))
+    if isinstance(f, Implies):
+        return Implies(_ground(f.antecedent, dom), _ground(f.consequent, dom))
+    if isinstance(f, Iff):
+        return Iff(_ground(f.left, dom), _ground(f.right, dom))
+    if isinstance(f, (Exists, Forall)):
+        var, rest = f.variables[0], f.variables[1:]
+        cls = Exists if isinstance(f, Exists) else Forall
+        inner: Formula = cls(rest, f.body) if rest else f.body
+        branches = tuple(
+            _ground(substitute(inner, {var: Lit(d)}), dom) for d in dom
+        )
+        return Or(branches) if isinstance(f, Exists) else And(branches)
+    raise TypeError(f"cannot ground {f!r}")
+
+
+def rename_relations(f: Formula, mapping: Mapping[str, str]) -> Formula:
+    """Uniformly rename relation symbols in a formula."""
+    if isinstance(f, Atom):
+        return Atom(mapping.get(f.relation, f.relation), f.terms)
+    if isinstance(f, (Eq, Top, Bottom)):
+        return f
+    if isinstance(f, Not):
+        return Not(rename_relations(f.body, mapping))
+    if isinstance(f, And):
+        return And(tuple(rename_relations(p, mapping) for p in f.parts))
+    if isinstance(f, Or):
+        return Or(tuple(rename_relations(p, mapping) for p in f.parts))
+    if isinstance(f, Implies):
+        return Implies(
+            rename_relations(f.antecedent, mapping),
+            rename_relations(f.consequent, mapping),
+        )
+    if isinstance(f, Iff):
+        return Iff(
+            rename_relations(f.left, mapping), rename_relations(f.right, mapping)
+        )
+    if isinstance(f, (Exists, Forall)):
+        cls = Exists if isinstance(f, Exists) else Forall
+        return cls(f.variables, rename_relations(f.body, mapping))
+    raise TypeError(f"cannot rename in {f!r}")
+
+
+def formula_size(f: Formula) -> int:
+    """Number of AST nodes (the complexity-theoretic size measure)."""
+    if isinstance(f, (Atom, Eq, Top, Bottom)):
+        return 1
+    if isinstance(f, Not):
+        return 1 + formula_size(f.body)
+    if isinstance(f, (And, Or)):
+        return 1 + sum(formula_size(p) for p in f.parts)
+    if isinstance(f, Implies):
+        return 1 + formula_size(f.antecedent) + formula_size(f.consequent)
+    if isinstance(f, Iff):
+        return 1 + formula_size(f.left) + formula_size(f.right)
+    if isinstance(f, (Exists, Forall)):
+        return 1 + formula_size(f.body)
+    raise TypeError(f"cannot size {f!r}")

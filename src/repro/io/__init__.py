@@ -1,0 +1,28 @@
+"""Interchange: JSON (de)serialization and pretty printing.
+
+Services, databases and LTL-FO properties round-trip through a plain
+JSON structure (formulas as text in the :mod:`repro.fol.parser` syntax),
+and specifications render in the paper's "Page HP / Inputs / Rules / End
+Page" layout for review.
+"""
+
+from repro.io.json_format import (
+    service_to_dict,
+    service_from_dict,
+    save_service,
+    load_service,
+    database_to_dict,
+    database_from_dict,
+)
+from repro.io.pretty import service_to_text, page_to_text
+
+__all__ = [
+    "service_to_dict",
+    "service_from_dict",
+    "save_service",
+    "load_service",
+    "database_to_dict",
+    "database_from_dict",
+    "service_to_text",
+    "page_to_text",
+]

@@ -1,0 +1,187 @@
+"""JSON serialization of services and databases.
+
+Formulas are stored as text in the :mod:`repro.fol.parser` syntax; the
+printers in :mod:`repro.fol.formulas` emit exactly that syntax, so
+``parse(str(formula)) == formula`` and serialization round-trips (the
+property tests check this).  Domain values must be JSON-representable
+(strings/numbers) — the whole library uses strings in practice.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from repro.fol.parser import parse_formula
+from repro.schema.database import Database
+from repro.schema.schema import RelationalSchema, ServiceSchema
+from repro.schema.symbols import RelationKind, RelationSymbol
+from repro.service.page import WebPageSchema
+from repro.service.rules import ActionRule, InputRule, StateRule, TargetRule
+from repro.service.webservice import WebService
+
+_KINDS = {
+    "database": RelationKind.DATABASE,
+    "state": RelationKind.STATE,
+    "input": RelationKind.INPUT,
+    "action": RelationKind.ACTION,
+}
+
+
+def _schema_to_dict(schema: RelationalSchema) -> dict:
+    return {
+        "relations": [[r.name, r.arity] for r in sorted(schema.relations)],
+        "constants": sorted(schema.constants),
+    }
+
+
+def _schema_from_dict(data: dict, kind: RelationKind) -> RelationalSchema:
+    relations = [
+        RelationSymbol(name, arity, kind) for name, arity in data.get("relations", [])
+    ]
+    return RelationalSchema(relations, data.get("constants", []))
+
+
+def service_to_dict(service: WebService) -> dict:
+    """Serialize a Web service to a JSON-ready dict."""
+    schema = service.schema
+    return {
+        "format": "repro.webservice/1",
+        "name": service.name,
+        "home": service.home,
+        "error_page": service.error_page,
+        "schema": {
+            "database": _schema_to_dict(schema.database),
+            "state": _schema_to_dict(schema.state),
+            "input": _schema_to_dict(schema.input),
+            "action": _schema_to_dict(schema.action),
+        },
+        "pages": [_page_to_dict(page) for page in service.pages.values()],
+    }
+
+
+def _page_to_dict(page: WebPageSchema) -> dict:
+    return {
+        "name": page.name,
+        "inputs": list(page.inputs),
+        "input_constants": list(page.input_constants),
+        "actions": list(page.actions),
+        "targets": list(page.targets),
+        "input_rules": [
+            {"input": r.input, "variables": list(r.variables),
+             "formula": str(r.formula)}
+            for r in page.input_rules
+        ],
+        "state_rules": [
+            {"state": r.state, "insert": r.insert,
+             "variables": list(r.variables), "formula": str(r.formula)}
+            for r in page.state_rules
+        ],
+        "action_rules": [
+            {"action": r.action, "variables": list(r.variables),
+             "formula": str(r.formula)}
+            for r in page.action_rules
+        ],
+        "target_rules": [
+            {"target": r.target, "formula": str(r.formula)}
+            for r in page.target_rules
+        ],
+    }
+
+
+def service_from_dict(data: dict) -> WebService:
+    """Rebuild a Web service from :func:`service_to_dict` output."""
+    if data.get("format") != "repro.webservice/1":
+        raise ValueError(
+            f"unsupported or missing format tag: {data.get('format')!r}"
+        )
+    schema = ServiceSchema(
+        database=_schema_from_dict(data["schema"]["database"], RelationKind.DATABASE),
+        state=_schema_from_dict(data["schema"]["state"], RelationKind.STATE),
+        input=_schema_from_dict(data["schema"]["input"], RelationKind.INPUT),
+        action=_schema_from_dict(data["schema"]["action"], RelationKind.ACTION),
+    )
+
+    def parse(text: str):
+        # @/# sigils in the serialized text disambiguate constants, so
+        # no constant sets need to be passed.
+        return parse_formula(text)
+
+    pages = []
+    for pd in data["pages"]:
+        pages.append(
+            WebPageSchema(
+                name=pd["name"],
+                inputs=pd.get("inputs", ()),
+                input_constants=pd.get("input_constants", ()),
+                actions=pd.get("actions", ()),
+                targets=pd.get("targets", ()),
+                input_rules=[
+                    InputRule(r["input"], tuple(r["variables"]), parse(r["formula"]))
+                    for r in pd.get("input_rules", [])
+                ],
+                state_rules=[
+                    StateRule(
+                        r["state"], tuple(r["variables"]), parse(r["formula"]),
+                        insert=r.get("insert", True),
+                    )
+                    for r in pd.get("state_rules", [])
+                ],
+                action_rules=[
+                    ActionRule(r["action"], tuple(r["variables"]), parse(r["formula"]))
+                    for r in pd.get("action_rules", [])
+                ],
+                target_rules=[
+                    TargetRule(r["target"], parse(r["formula"]))
+                    for r in pd.get("target_rules", [])
+                ],
+            )
+        )
+    return WebService(
+        schema,
+        pages,
+        home=data["home"],
+        error_page=data.get("error_page", "ERROR"),
+        name=data.get("name", "web-service"),
+    )
+
+
+def save_service(service: WebService, path: str | Path) -> None:
+    """Write a service specification to a JSON file."""
+    Path(path).write_text(
+        json.dumps(service_to_dict(service), indent=2, ensure_ascii=False)
+    )
+
+
+def load_service(path: str | Path) -> WebService:
+    """Read a service specification from a JSON file."""
+    return service_from_dict(json.loads(Path(path).read_text()))
+
+
+def database_to_dict(database: Database) -> dict:
+    """Serialize a database (facts, constants, domain)."""
+    return {
+        "format": "repro.database/1",
+        "facts": {
+            sym.name: [list(t) for t in sorted(rel, key=repr)]
+            for sym, rel in database.instance
+        },
+        "constants": dict(database.constants),
+        "domain": sorted(database.domain, key=repr),
+    }
+
+
+def database_from_dict(data: dict, schema: RelationalSchema) -> Database:
+    """Rebuild a database against a given database schema."""
+    if data.get("format") != "repro.database/1":
+        raise ValueError(
+            f"unsupported or missing format tag: {data.get('format')!r}"
+        )
+    facts = {
+        name: [tuple(t) for t in rows] for name, rows in data.get("facts", {}).items()
+    }
+    return Database(
+        schema,
+        facts,
+        data.get("constants", {}),
+        extra_domain=data.get("domain", ()),
+    )

@@ -1,0 +1,97 @@
+"""Render specifications in the paper's page-listing layout.
+
+Mirrors the presentation of Example 2.2::
+
+    Page HP
+      Inputs: name, password, button(x)
+      Input Rules:
+        Options_button(x) <- x = "login" | ...
+      State Rules:
+        error(m) <- ...
+      Target Rules:
+        CP <- user(name, password) & button("login")
+    End Page HP
+"""
+
+from __future__ import annotations
+
+from repro.service.page import WebPageSchema
+from repro.service.webservice import WebService
+
+
+def page_to_text(service: WebService, page: WebPageSchema) -> str:
+    """Render one page schema."""
+    lines = [f"Page {page.name}"]
+    input_bits = list(page.input_constants)
+    for name in page.inputs:
+        sym = service.schema.input[name]
+        if sym.arity == 0:
+            input_bits.append(name)
+        else:
+            args = ", ".join(f"x{i+1}" for i in range(sym.arity))
+            input_bits.append(f"{name}({args})")
+    if input_bits:
+        lines.append("  Inputs: " + ", ".join(input_bits))
+    if page.input_rules:
+        lines.append("  Input Rules:")
+        for rule in page.input_rules:
+            head_vars = ", ".join(rule.variables)
+            lines.append(f"    Options_{rule.input}({head_vars}) <- {rule.formula}")
+    if page.state_rules:
+        lines.append("  State Rules:")
+        for srule in page.state_rules:
+            head = (
+                f"{srule.state}({', '.join(srule.variables)})"
+                if srule.variables
+                else srule.state
+            )
+            sign = "" if srule.insert else "not "
+            lines.append(f"    {sign}{head} <- {srule.formula}")
+    if page.action_rules:
+        lines.append("  Action Rules:")
+        for arule in page.action_rules:
+            head = (
+                f"{arule.action}({', '.join(arule.variables)})"
+                if arule.variables
+                else arule.action
+            )
+            lines.append(f"    {head} <- {arule.formula}")
+    if page.target_rules:
+        lines.append("  Target Rules:")
+        for trule in page.target_rules:
+            lines.append(f"    {trule.target} <- {trule.formula}")
+    lines.append(f"End Page {page.name}")
+    return "\n".join(lines)
+
+
+def service_to_text(service: WebService) -> str:
+    """Render the whole specification, schemas first."""
+    schema = service.schema
+    lines = [f"Web service {service.name!r}"]
+    lines.append(
+        "  database schema: "
+        + ", ".join(str(r) for r in schema.database)
+        + (
+            f" ; constants: {', '.join(sorted(schema.database.constants))}"
+            if schema.database.constants
+            else ""
+        )
+    )
+    lines.append("  state schema:    " + ", ".join(str(r) for r in schema.state))
+    lines.append(
+        "  input schema:    "
+        + ", ".join(str(r) for r in schema.input)
+        + (
+            f" ; input constants: {', '.join(sorted(schema.input_constants))}"
+            if schema.input_constants
+            else ""
+        )
+    )
+    if len(schema.action):
+        lines.append("  action schema:   " + ", ".join(str(r) for r in schema.action))
+    lines.append(f"  home page: {service.home}; error page: {service.error_page}")
+    lines.append("")
+    for page in service.pages.values():
+        lines.append(page_to_text(service, page))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,442 @@
+"""LTL → Büchi automata and emptiness on products.
+
+The construction is the classical tableau: automaton states are sets of
+*obligations* (NNF subformulas still to be satisfied), expanded into
+*covers* — consistent choices of literals to check now, obligations to
+pass to the next position, and until-formulas whose fulfilment was
+postponed.  Postponement yields a transition-based generalised Büchi
+acceptance (one set per until), degeneralised into an ordinary Büchi
+automaton with a round-robin counter.
+
+Emptiness of the product with a transition system is decided two ways:
+
+- :func:`find_accepting_lasso` — on-the-fly nested DFS, returning a
+  concrete lasso (the verifier's counterexample);
+- :func:`accepting_product_states` — SCC-based, labelling *every* system
+  state from which an accepting run exists (the CTL* model checker's
+  ``Eψ`` subroutine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Iterator, Sequence
+
+from repro.ltl.syntax import (
+    LAnd,
+    LNot,
+    LOr,
+    LR,
+    LTLAtom,
+    LTLFalse,
+    LTLFormula,
+    LTLTrue,
+    LU,
+    LX,
+    ltl_nnf,
+)
+
+Payload = Hashable
+Literals = frozenset  # of (payload, bool)
+
+
+@dataclass(frozen=True)
+class BuchiTransition:
+    """One transition: enabled when every (atom, value) literal holds."""
+
+    src: int
+    literals: Literals
+    dst: int
+
+
+@dataclass
+class BuchiAutomaton:
+    """A (state-based) Büchi automaton over atom-valuation letters.
+
+    ``transitions_from[q]`` lists the outgoing transitions of state
+    ``q``; a letter (an assignment of truth values to atom payloads)
+    enables a transition when it agrees with all its literals.
+    """
+
+    n_states: int
+    initial: frozenset[int]
+    accepting: frozenset[int]
+    transitions_from: list[list[BuchiTransition]]
+
+    def transitions(self) -> Iterator[BuchiTransition]:
+        for outs in self.transitions_from:
+            yield from outs
+
+    def enabled(self, q: int, label: Callable[[Payload], bool]) -> Iterator[BuchiTransition]:
+        """Transitions from ``q`` compatible with the letter ``label``."""
+        for t in self.transitions_from[q]:
+            if all(label(payload) == value for payload, value in t.literals):
+                yield t
+
+    @property
+    def n_transitions(self) -> int:
+        return sum(len(outs) for outs in self.transitions_from)
+
+
+# ---------------------------------------------------------------------------
+# tableau construction
+# ---------------------------------------------------------------------------
+
+def _until_subformulas(f: LTLFormula) -> list[LU]:
+    """All until subformulas (the generalised acceptance sets)."""
+    seen: list[LU] = []
+
+    def walk(g: LTLFormula) -> None:
+        if isinstance(g, LU) and g not in seen:
+            seen.append(g)
+        if isinstance(g, (LNot, LX)):
+            walk(g.body)
+        elif isinstance(g, (LAnd, LOr, LU, LR)):
+            walk(g.left)
+            walk(g.right)
+
+    walk(f)
+    return seen
+
+
+def _covers(
+    obligations: frozenset[LTLFormula],
+) -> list[tuple[Literals, frozenset[LTLFormula], frozenset[LU]]]:
+    """All covers of an obligation set.
+
+    A cover is ``(literals, nexts, postponed)``: the literals that must
+    hold at the current position, the obligations for the next position,
+    and the untils whose fulfilment this cover postpones.
+    """
+    results: dict[tuple, tuple[Literals, frozenset, frozenset]] = {}
+
+    def expand(
+        todo: tuple[LTLFormula, ...],
+        literals: dict[Payload, bool],
+        nexts: frozenset[LTLFormula],
+        postponed: frozenset[LU],
+    ) -> None:
+        if not todo:
+            lits = frozenset(literals.items())
+            key = (lits, nexts, postponed)
+            results[key] = (lits, nexts, postponed)
+            return
+        f, rest = todo[0], todo[1:]
+        if isinstance(f, LTLTrue):
+            expand(rest, literals, nexts, postponed)
+        elif isinstance(f, LTLFalse):
+            return
+        elif isinstance(f, LTLAtom):
+            if literals.get(f.payload) is False:
+                return
+            expand(rest, {**literals, f.payload: True}, nexts, postponed)
+        elif isinstance(f, LNot):
+            body = f.body
+            if not isinstance(body, LTLAtom):
+                raise ValueError("covers expect NNF input")
+            if literals.get(body.payload) is True:
+                return
+            expand(rest, {**literals, body.payload: False}, nexts, postponed)
+        elif isinstance(f, LAnd):
+            expand((f.left, f.right) + rest, literals, nexts, postponed)
+        elif isinstance(f, LOr):
+            expand((f.left,) + rest, literals, nexts, postponed)
+            expand((f.right,) + rest, literals, nexts, postponed)
+        elif isinstance(f, LX):
+            expand(rest, literals, nexts | {f.body}, postponed)
+        elif isinstance(f, LU):
+            # f = l U r:  r  ∨  (l ∧ X f, postponing f)
+            expand((f.right,) + rest, literals, nexts, postponed)
+            expand((f.left,) + rest, literals, nexts | {f}, postponed | {f})
+        elif isinstance(f, LR):
+            # f = l R r:  (r ∧ l)  ∨  (r ∧ X f)
+            expand((f.right, f.left) + rest, literals, nexts, postponed)
+            expand((f.right,) + rest, literals, nexts | {f}, postponed)
+        else:
+            raise TypeError(f"unknown LTL formula {f!r}")
+
+    expand(tuple(sorted(obligations, key=str)), {}, frozenset(), frozenset())
+    return list(results.values())
+
+
+def ltl_to_buchi(formula: LTLFormula) -> BuchiAutomaton:
+    """Construct a Büchi automaton accepting exactly the models of
+    ``formula`` (over infinite words of atom valuations)."""
+    nnf = ltl_nnf(formula)
+    untils = _until_subformulas(nnf)
+    k = len(untils)
+    until_index = {u: i for i, u in enumerate(untils)}
+
+    # --- transition-based generalised automaton over obligation sets ----
+    tgba_states: dict[frozenset[LTLFormula], int] = {}
+    tgba_transitions: list[list[tuple[Literals, int, frozenset[int]]]] = []
+
+    def state_id(obls: frozenset[LTLFormula]) -> int:
+        if obls not in tgba_states:
+            tgba_states[obls] = len(tgba_states)
+            tgba_transitions.append([])
+        return tgba_states[obls]
+
+    init = state_id(frozenset([nnf]))
+    worklist = [frozenset([nnf])]
+    done: set[frozenset[LTLFormula]] = set()
+    while worklist:
+        obls = worklist.pop()
+        if obls in done:
+            continue
+        done.add(obls)
+        src = state_id(obls)
+        for literals, nexts, postponed in _covers(obls):
+            fulfilled = frozenset(
+                until_index[u] for u in untils if u not in postponed
+            )
+            dst = state_id(nexts)
+            tgba_transitions[src].append((literals, dst, fulfilled))
+            if nexts not in done:
+                worklist.append(nexts)
+
+    n_tgba = len(tgba_states)
+
+    # --- degeneralisation (round-robin counter over the k untils) -------
+    if k == 0:
+        transitions_from: list[list[BuchiTransition]] = [[] for _ in range(n_tgba)]
+        for src in range(n_tgba):
+            for literals, dst, _acc in tgba_transitions[src]:
+                transitions_from[src].append(BuchiTransition(src, literals, dst))
+        return BuchiAutomaton(
+            n_states=n_tgba,
+            initial=frozenset([init]),
+            accepting=frozenset(range(n_tgba)),
+            transitions_from=transitions_from,
+        )
+
+    def ba_id(q: int, level: int) -> int:
+        return q * (k + 1) + level
+
+    n_ba = n_tgba * (k + 1)
+    transitions_from = [[] for _ in range(n_ba)]
+    for q in range(n_tgba):
+        for level in range(k + 1):
+            src = ba_id(q, level)
+            base = 0 if level == k else level
+            for literals, dst_q, fulfilled in tgba_transitions[q]:
+                j = base
+                while j < k and j in fulfilled:
+                    j += 1
+                transitions_from[src].append(
+                    BuchiTransition(src, literals, ba_id(dst_q, j))
+                )
+    accepting = frozenset(ba_id(q, k) for q in range(n_tgba))
+    return BuchiAutomaton(
+        n_states=n_ba,
+        initial=frozenset([ba_id(init, 0)]),
+        accepting=accepting,
+        transitions_from=transitions_from,
+    )
+
+
+# ---------------------------------------------------------------------------
+# product emptiness
+# ---------------------------------------------------------------------------
+
+SystemState = Hashable
+LabelFn = Callable[[SystemState, Payload], bool]
+SuccFn = Callable[[SystemState], Iterable[SystemState]]
+
+
+@dataclass
+class Lasso:
+    """An accepting product lasso projected onto the system states."""
+
+    states: list[SystemState]
+    loop_index: int
+
+
+def find_accepting_lasso(
+    ba: BuchiAutomaton,
+    initial_states: Iterable[SystemState],
+    successors: SuccFn,
+    label: LabelFn,
+) -> Lasso | None:
+    """Nested DFS for an accepting lasso in the on-the-fly product.
+
+    The product pairs a system state ``s`` (whose label is the letter
+    being read) with a Büchi state ``q`` (the automaton state *before*
+    reading that letter).  Returns the lasso projected to system states,
+    or None when the product language is empty.
+    """
+    init_product = [
+        (s, q) for s in initial_states for q in sorted(ba.initial)
+    ]
+
+    def product_successors(node: tuple[SystemState, int]) -> Iterator[tuple[SystemState, int]]:
+        s, q = node
+        letter = lambda payload: label(s, payload)
+        for t in ba.enabled(q, letter):
+            for s2 in successors(s):
+                yield (s2, t.dst)
+
+    # --- outer (blue) DFS, iterative, post-order seeding of red DFS -----
+    blue: set[tuple[SystemState, int]] = set()
+    red: set[tuple[SystemState, int]] = set()
+    parent: dict[tuple[SystemState, int], tuple[SystemState, int] | None] = {}
+
+    for start in init_product:
+        if start in blue:
+            continue
+        parent.setdefault(start, None)
+        stack: list[tuple[tuple[SystemState, int], Iterator]] = [
+            (start, product_successors(start))
+        ]
+        blue.add(start)
+        path_set = {start}
+        path: list[tuple[SystemState, int]] = [start]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in blue:
+                    blue.add(nxt)
+                    parent[nxt] = node
+                    stack.append((nxt, product_successors(nxt)))
+                    path.append(nxt)
+                    path_set.add(nxt)
+                    advanced = True
+                    break
+            if advanced:
+                continue
+            # post-order: if accepting, launch inner (red) DFS for a cycle
+            stack.pop()
+            path.pop()
+            path_set.discard(node)
+            if node[1] in ba.accepting and node not in red:
+                cycle_hit = _red_dfs(node, product_successors, red, path_set | {node})
+                if cycle_hit is not None:
+                    return _build_lasso(node, parent, product_successors, cycle_hit)
+    return None
+
+
+def _red_dfs(
+    seed: tuple[SystemState, int],
+    product_successors,
+    red: set,
+    on_stack: set,
+) -> tuple[SystemState, int] | None:
+    """Inner DFS: search a path from ``seed`` back to ``seed`` (or to a
+    node on the blue stack, which also closes an accepting cycle)."""
+    stack = [seed]
+    local: set = set()
+    while stack:
+        node = stack.pop()
+        for nxt in product_successors(node):
+            if nxt == seed or nxt in on_stack:
+                return node
+            if nxt not in red and nxt not in local:
+                local.add(nxt)
+                stack.append(nxt)
+    red.update(local)
+    red.add(seed)
+    return None
+
+
+def _build_lasso(
+    accepting_node,
+    parent,
+    product_successors,
+    _cycle_hint,
+) -> Lasso:
+    """Reconstruct a lasso through ``accepting_node``.
+
+    The stem comes from the blue-DFS parent pointers; the cycle is found
+    by a BFS from the accepting node back to itself (guaranteed to exist
+    once the red DFS succeeded).
+    """
+    # stem: initial -> accepting_node
+    stem = [accepting_node]
+    while parent.get(stem[0]) is not None:
+        stem.insert(0, parent[stem[0]])
+
+    # cycle: accepting_node -> accepting_node, BFS over the product
+    from collections import deque
+
+    start = accepting_node
+    back: dict = {}
+    queue = deque([start])
+    seen = {start}
+    found = False
+    while queue and not found:
+        node = queue.popleft()
+        for nxt in product_successors(node):
+            if nxt == start:
+                back[start] = node
+                found = True
+                break
+            if nxt not in seen:
+                seen.add(nxt)
+                back[nxt] = node
+                queue.append(nxt)
+    if not found:  # pragma: no cover - red DFS guarantees a cycle
+        raise RuntimeError("accepting cycle vanished during reconstruction")
+
+    cycle = [start]
+    node = back[start]
+    while node != start:
+        cycle.insert(1, node)
+        node = back[node]
+
+    full = stem + cycle[1:] + [start]
+    states = [s for s, _q in full[:-1]]
+    return Lasso(states=states, loop_index=len(stem) - 1)
+
+
+def accepting_product_states(
+    ba: BuchiAutomaton,
+    system_states: Sequence[SystemState],
+    successors: SuccFn,
+    label: LabelFn,
+) -> set[SystemState]:
+    """System states from which some path satisfies the automaton.
+
+    Builds the full product over the given (finite) system state set,
+    finds the cycles through accepting Büchi states, and returns every
+    system state ``s`` such that some initial Büchi state paired with
+    ``s`` can reach such a cycle.  This is the ``Eψ`` subroutine of the
+    CTL* model checker.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    nodes = [(s, q) for s in system_states for q in range(ba.n_states)]
+    graph.add_nodes_from(nodes)
+    for s in system_states:
+        letter = lambda payload, _s=s: label(_s, payload)
+        for q in range(ba.n_states):
+            for t in ba.enabled(q, letter):
+                for s2 in successors(s):
+                    graph.add_edge((s, q), (s2, t.dst))
+
+    # nodes on an accepting cycle
+    seeds: set = set()
+    for scc in nx.strongly_connected_components(graph):
+        has_cycle = len(scc) > 1 or any(
+            graph.has_edge(n, n) for n in scc
+        )
+        if has_cycle and any(q in ba.accepting for _s, q in scc):
+            seeds |= scc
+
+    # backward reachability to the seeds
+    reach = set(seeds)
+    reversed_graph = graph.reverse(copy=False)
+    frontier = list(seeds)
+    while frontier:
+        node = frontier.pop()
+        for pred in reversed_graph.successors(node):
+            if pred not in reach:
+                reach.add(pred)
+                frontier.append(pred)
+
+    return {
+        s
+        for s in system_states
+        if any((s, q) in reach for q in ba.initial)
+    }

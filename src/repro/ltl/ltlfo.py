@@ -1,0 +1,252 @@
+"""LTL-FO sentences (Definition 3.1).
+
+An LTL-FO sentence is the universal closure ``∀x φ(x)`` of an LTL
+formula whose atoms are FO formulas over the service vocabulary
+``D ∪ S ∪ I ∪ Prev_I ∪ A ∪ W`` (page symbols act as propositions).
+Quantifiers cannot be applied across temporal operators — only the
+outermost universal closure is allowed — which this representation makes
+structural: the temporal skeleton is propositional, its atom payloads
+are FO formulas, and the closure variables are listed on the sentence.
+
+Combinators mirror the paper's operators and accept FO formulas (or
+text) directly:
+
+>>> prop = LTLFOSentence(
+...     ("pid", "price"),
+...     B(theta, Not(And(conf, ship))),   # theta B ¬(conf ∧ ship)
+... )
+
+Satisfaction of an FO component at step ``i`` of a run follows §3: the
+component is *false* (not an error) when it mentions an input constant
+not yet provided; otherwise it is evaluated on the step's structure,
+with the current page's symbol true and all other page symbols false.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+from repro.fol.analysis import (
+    check_input_bounded,
+    free_variables,
+    input_constants_of,
+    literals_of,
+)
+from repro.fol.evaluation import evaluate
+from repro.fol.formulas import Formula
+from repro.ltl.lasso import eval_on_lasso
+from repro.ltl.syntax import (
+    LAnd,
+    LB,
+    LF,
+    LG,
+    LNot,
+    LOr,
+    LTLAtom,
+    LTLFormula,
+    LU,
+    LX,
+    ltl_atoms,
+    ltl_map_atoms,
+)
+from repro.schema.schema import ServiceSchema
+
+Value = Hashable
+
+
+def _coerce(f: "Formula | LTLFormula") -> LTLFormula:
+    """Wrap an FO formula as an LTL atom; pass LTL formulas through."""
+    if isinstance(f, LTLFormula):
+        return f
+    if isinstance(f, Formula):
+        return LTLAtom(f)
+    raise TypeError(f"expected an FO or LTL formula, got {f!r}")
+
+
+def X(f: "Formula | LTLFormula") -> LTLFormula:
+    """Next."""
+    return LX(_coerce(f))
+
+
+def U(left: "Formula | LTLFormula", right: "Formula | LTLFormula") -> LTLFormula:
+    """Until."""
+    return LU(_coerce(left), _coerce(right))
+
+
+def G(f: "Formula | LTLFormula") -> LTLFormula:
+    """Always (``G φ ≡ false B φ``)."""
+    return LG(_coerce(f))
+
+
+def F(f: "Formula | LTLFormula") -> LTLFormula:
+    """Eventually (``F φ ≡ true U φ``)."""
+    return LF(_coerce(f))
+
+
+def B(left: "Formula | LTLFormula", right: "Formula | LTLFormula") -> LTLFormula:
+    """Before (§3): ``φ B ψ ≡ ¬(¬φ U ¬ψ)``."""
+    return LB(_coerce(left), _coerce(right))
+
+
+# Readable aliases.
+Next, Until, Always, Eventually, Before = X, U, G, F, B
+
+
+@dataclass(frozen=True)
+class LTLFOSentence:
+    """``∀ variables . skeleton`` with FO formulas as atom payloads."""
+
+    variables: tuple[str, ...]
+    skeleton: LTLFormula
+    name: str = ""
+
+    def __init__(
+        self,
+        variables: Iterable[str] | str,
+        skeleton: "LTLFormula | Formula",
+        name: str = "",
+    ) -> None:
+        names = (variables,) if isinstance(variables, str) else tuple(variables)
+        object.__setattr__(self, "variables", names)
+        object.__setattr__(self, "skeleton", _coerce(skeleton))
+        object.__setattr__(self, "name", name)
+        stray = self.fo_free_variables() - set(names)
+        if stray:
+            raise ValueError(
+                f"FO components use variables {sorted(stray)} missing from "
+                f"the universal closure {list(names)}"
+            )
+
+    # -- structural queries --------------------------------------------------
+
+    def fo_components(self) -> Iterator[Formula]:
+        """The FO formulas appearing as atoms of the skeleton."""
+        seen: set[Formula] = set()
+        for a in ltl_atoms(self.skeleton):
+            payload = a.payload
+            if isinstance(payload, Formula) and payload not in seen:
+                seen.add(payload)
+                yield payload
+
+    def fo_free_variables(self) -> set[str]:
+        """Union of the free variables of the FO components."""
+        out: set[str] = set()
+        for comp in self.fo_components():
+            out |= free_variables(comp)
+        return out
+
+    def literals(self) -> frozenset:
+        """Literal constants mentioned by the FO components."""
+        out: set = set()
+        for comp in self.fo_components():
+            out |= literals_of(comp)
+        return frozenset(out)
+
+    def instantiate(self, valuation: dict[str, Value]) -> LTLFormula:
+        """Ground the closure variables, leaving FO sentences as atoms."""
+        from repro.fol.transforms import substitute
+
+        def ground_atom(a: LTLAtom) -> LTLFormula:
+            if isinstance(a.payload, Formula):
+                return LTLAtom(substitute(a.payload, valuation))
+            return a
+
+        return ltl_map_atoms(self.skeleton, ground_atom)
+
+    def __str__(self) -> str:
+        if self.variables:
+            return f"∀{','.join(self.variables)}. {self.skeleton}"
+        return str(self.skeleton)
+
+
+def ltlfo_free_variables(sentence: LTLFOSentence) -> set[str]:
+    """Free variables of the FO components (should equal the closure)."""
+    return sentence.fo_free_variables()
+
+
+def check_ltlfo_input_bounded(
+    sentence: LTLFOSentence,
+    schema: ServiceSchema,
+    page_names: Iterable[str] = (),
+):
+    """Check that every FO component is input-bounded (§3).
+
+    Returns the merged :class:`~repro.fol.analysis.InputBoundednessReport`.
+    """
+    from repro.fol.analysis import InputBoundednessReport
+
+    report = InputBoundednessReport.success()
+    for comp in sentence.fo_components():
+        report = report.merge(check_input_bounded(comp, schema, page_names))
+    return report
+
+
+def fo_component_holds(
+    formula: Formula,
+    eval_context,
+    gamma: frozenset[str],
+) -> bool:
+    """§3 satisfaction of one FO component at one step.
+
+    False (not an error) when the component mentions an input constant
+    outside ``gamma``; otherwise plain evaluation in the given context.
+    """
+    if not input_constants_of(formula) <= gamma:
+        return False
+    return evaluate(formula, eval_context)
+
+
+def run_satisfies(
+    sentence: LTLFOSentence,
+    run,
+    service,
+    ctx,
+) -> bool:
+    """Reference semantics: does a lasso run satisfy the sentence?
+
+    ``run`` must be a :class:`~repro.service.runs.Run` with a
+    ``loop_index`` (infinite runs are represented as lassos).  The
+    universal closure ranges over the active domain of the run plus the
+    database domain and the run's constant values, matching §3 (and
+    erring on the side of a *larger* domain, which only strengthens the
+    property).
+    """
+    import itertools
+
+    from repro.schema.instances import union_active_domain
+
+    if run.loop_index is None:
+        raise ValueError("run_satisfies needs a lasso (set loop_index)")
+
+    domain: set[Value] = set(ctx.database.domain)
+    domain |= set(run.sigma.values())
+    domain |= set(sentence.literals())
+    for snap in run.snapshots:
+        domain |= union_active_domain(snap.state, snap.inputs, snap.prev, snap.actions)
+
+    length = len(run.snapshots)
+    contexts = []
+    gammas = []
+    for snap in run.snapshots:
+        gamma = snap.provided_here(service)
+        gammas.append(gamma)
+        ectx = ctx.make_eval_context(
+            snap.state, snap.inputs, snap.prev, snap.actions,
+            gamma=gamma, page=snap.page,
+        )
+        contexts.append(ectx)
+
+    def check_one(valuation: dict[str, Value]) -> bool:
+        grounded = sentence.instantiate(valuation)
+
+        def atom_eval(pos: int, payload) -> bool:
+            return fo_component_holds(payload, contexts[pos], gammas[pos])
+
+        return eval_on_lasso(grounded, atom_eval, length, run.loop_index)
+
+    names = sentence.variables
+    for combo in itertools.product(sorted(domain, key=repr), repeat=len(names)):
+        if not check_one(dict(zip(names, combo))):
+            return False
+    return True

@@ -1,0 +1,185 @@
+"""Text syntax for LTL-FO sentences.
+
+Extends the FO syntax of :mod:`repro.fol.parser` with the temporal
+layer of Definition 3.1::
+
+    parse_ltlfo('forall pid, price :'
+                ' (UPP & pay(price) & pick(pid, price))'
+                ' B !(conf(name, price) & ship(name, pid))',
+                input_constants={"name"})
+
+Grammar (on top of the FO grammar)::
+
+    sentence := [ 'forall' IDENT (',' IDENT)* ':' ] ltl       # closure
+    ltl      := until ( '->' ltl )?                            # implication
+    until    := disj ( ('U' | 'B') disj )*                     # left assoc
+    disj     := conj ( '|' conj )*
+    conj     := unary ( '&' unary )*
+    unary    := ('G' | 'F' | 'X') unary | '!' unary
+              | '(' ltl ')' | <FO formula piece>
+
+The closure uses ``:`` (the FO quantifier uses ``.``), so FO-level
+``forall`` inside components is unambiguous.  ``G F X U B`` are
+always temporal operators in this syntax (rename any relation that
+clashes, or construct the sentence programmatically).
+Maximal temporal-free subtrees become FO payload atoms, so boolean
+connectives work at both levels with one syntax.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.fol.formulas import And as FAnd
+from repro.fol.formulas import Formula
+from repro.fol.formulas import Not as FNot
+from repro.fol.formulas import Or as FOr
+from repro.fol.parser import FormulaSyntaxError, _Parser
+from repro.ltl.ltlfo import LTLFOSentence
+from repro.ltl.syntax import (
+    LAnd,
+    LB,
+    LF,
+    LG,
+    LNot,
+    LOr,
+    LTLAtom,
+    LTLFormula,
+    LU,
+    LX,
+)
+
+_TEMPORAL_UNARY = {"G": LG, "F": LF, "X": LX}
+_TEMPORAL_BINARY = {"U": LU, "B": LB}
+
+Node = "Formula | LTLFormula"
+
+
+def _as_ltl(node: Node) -> LTLFormula:
+    if isinstance(node, Formula):
+        return LTLAtom(node)
+    return node
+
+
+def _combine(op: str, left: Node, right: Node) -> Node:
+    """Boolean combination, staying at the FO level when possible.
+
+    FO conjunction/disjunction chains are flattened so text parsed here
+    equals the same text parsed by the n-ary FO parser.
+    """
+    if isinstance(left, Formula) and isinstance(right, Formula):
+        if op == "&":
+            parts = left.parts if isinstance(left, FAnd) else (left,)
+            return FAnd(parts + ((right,) if not isinstance(right, FAnd) else right.parts))
+        if op == "|":
+            parts = left.parts if isinstance(left, FOr) else (left,)
+            return FOr(parts + ((right,) if not isinstance(right, FOr) else right.parts))
+        if op == "->":
+            return FOr(FNot(left), right)
+    l, r = _as_ltl(left), _as_ltl(right)
+    if op == "&":
+        return LAnd(l, r)
+    if op == "|":
+        return LOr(l, r)
+    if op == "->":
+        return LOr(LNot(l), r)
+    raise AssertionError(op)
+
+
+class _LTLParser(_Parser):
+    """Recursive-descent parser over the shared token stream."""
+
+    def parse_sentence(self) -> tuple[tuple[str, ...], LTLFormula]:
+        variables: tuple[str, ...] = ()
+        # closure prefix:  forall x, y :
+        save = self.pos
+        if self.accept("kw", "forall"):
+            names: list[str] = []
+            while self.peek()[0] == "ident":
+                names.append(self.next()[1])  # type: ignore[arg-type]
+                self.accept("op", ",")
+            if names and self.accept("op", ":"):
+                variables = tuple(names)
+            else:
+                self.pos = save  # it was an FO-level forall
+        body = self.ltl()
+        if self.peek()[0] != "eof":
+            raise FormulaSyntaxError(
+                f"trailing tokens after sentence in {self.text!r}: "
+                f"{self.peek()[1]!r}"
+            )
+        return variables, _as_ltl(body)
+
+    # -- precedence chain -------------------------------------------------
+
+    def ltl(self) -> Node:
+        left = self.until()
+        if self.accept("op", "->"):
+            right = self.ltl()
+            return _combine("->", left, right)
+        return left
+
+    def until(self) -> Node:
+        left = self.disj()
+        while True:
+            kind, value = self.peek()
+            if kind == "ident" and value in _TEMPORAL_BINARY:
+                self.next()
+                right = self.disj()
+                left = _TEMPORAL_BINARY[value](_as_ltl(left), _as_ltl(right))
+                continue
+            break
+        return left
+
+    def disj(self) -> Node:
+        left = self.conj()
+        while self.accept("op", "|"):
+            left = _combine("|", left, self.conj())
+        return left
+
+    def conj(self) -> Node:
+        left = self.t_unary()
+        while self.accept("op", "&"):
+            left = _combine("&", left, self.t_unary())
+        return left
+
+    def t_unary(self) -> Node:
+        kind, value = self.peek()
+        if kind == "ident" and value in _TEMPORAL_UNARY:
+            # G / F / X are always temporal here (rename any relation
+            # that clashes, or build the sentence programmatically)
+            self.next()
+            return _TEMPORAL_UNARY[value](_as_ltl(self.t_unary()))
+        if self.accept("op", "!"):
+            body = self.t_unary()
+            if isinstance(body, Formula):
+                return FNot(body)
+            return LNot(body)
+        if kind == "op" and value == "(":
+            self.next()
+            inner = self.ltl()
+            self.expect("op", ")")
+            return inner
+        # anything else: one FO unary (quantifiers, atoms, comparisons)
+        return self.unary()
+
+
+def parse_ltl_skeleton(
+    text: str,
+    input_constants: Iterable[str] = (),
+    db_constants: Iterable[str] = (),
+) -> tuple[tuple[str, ...], LTLFormula]:
+    """Parse to (closure variables, LTL skeleton with FO payloads)."""
+    parser = _LTLParser(text, frozenset(input_constants), frozenset(db_constants))
+    return parser.parse_sentence()
+
+
+def parse_ltlfo(
+    text: str,
+    input_constants: Iterable[str] = (),
+    db_constants: Iterable[str] = (),
+    name: str = "",
+) -> LTLFOSentence:
+    """Parse an LTL-FO sentence; see the module docstring for syntax."""
+    variables, skeleton = parse_ltl_skeleton(text, input_constants, db_constants)
+    return LTLFOSentence(variables, skeleton, name=name or text)

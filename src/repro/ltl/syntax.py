@@ -1,0 +1,218 @@
+"""Propositional LTL over arbitrary atom payloads.
+
+The paper's LTL-FO (Definition 3.1) closes FO under boolean connectives
+and the temporal operators ``X`` and ``U``; ``B`` (before), ``G`` and
+``F`` are derived (§3): ``φ B ψ ≡ ¬(¬φ U ¬ψ)``, ``G φ ≡ false B φ``,
+``F φ ≡ true U φ``.
+
+This module provides the propositional skeleton: atoms carry an opaque
+hashable *payload* (an FO sentence in LTL-FO, a plain string in the
+propositional benchmarks).  ``R`` (release) is included as the NNF dual
+of ``U`` for the Büchi construction; note ``φ B ψ ≡ φ R ¬ψ``... no —
+``¬(¬φ U ¬ψ) = φ R ψ`` in the standard convention, so ``B`` as defined
+by the paper *is* release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+
+class LTLFormula:
+    """Base class of propositional LTL formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "LTLFormula") -> "LTLFormula":
+        return LAnd(self, other)
+
+    def __or__(self, other: "LTLFormula") -> "LTLFormula":
+        return LOr(self, other)
+
+    def __invert__(self) -> "LTLFormula":
+        return LNot(self)
+
+
+@dataclass(frozen=True)
+class LTLAtom(LTLFormula):
+    """An atomic proposition with an opaque payload."""
+
+    payload: Hashable
+
+    def __str__(self) -> str:
+        return str(self.payload)
+
+
+@dataclass(frozen=True)
+class LTLTrue(LTLFormula):
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class LTLFalse(LTLFormula):
+    def __str__(self) -> str:
+        return "false"
+
+
+LTL_TRUE = LTLTrue()
+LTL_FALSE = LTLFalse()
+
+
+@dataclass(frozen=True)
+class LNot(LTLFormula):
+    body: LTLFormula
+
+    def __str__(self) -> str:
+        return f"¬({self.body})"
+
+
+@dataclass(frozen=True)
+class LAnd(LTLFormula):
+    left: LTLFormula
+    right: LTLFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class LOr(LTLFormula):
+    left: LTLFormula
+    right: LTLFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class LX(LTLFormula):
+    """Next."""
+
+    body: LTLFormula
+
+    def __str__(self) -> str:
+        return f"X({self.body})"
+
+
+@dataclass(frozen=True)
+class LU(LTLFormula):
+    """Until: ``left U right``."""
+
+    left: LTLFormula
+    right: LTLFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} U {self.right})"
+
+
+@dataclass(frozen=True)
+class LR(LTLFormula):
+    """Release, the NNF dual of until: ``left R right``."""
+
+    left: LTLFormula
+    right: LTLFormula
+
+    def __str__(self) -> str:
+        return f"({self.left} R {self.right})"
+
+
+def LImplies(left: LTLFormula, right: LTLFormula) -> LTLFormula:
+    """``left → right``."""
+    return LOr(LNot(left), right)
+
+
+def LF(body: LTLFormula) -> LTLFormula:
+    """Eventually: ``F φ ≡ true U φ``."""
+    return LU(LTL_TRUE, body)
+
+
+def LG(body: LTLFormula) -> LTLFormula:
+    """Always: ``G φ ≡ false R φ`` (equivalently ``false B φ``)."""
+    return LR(LTL_FALSE, body)
+
+
+def LB(left: LTLFormula, right: LTLFormula) -> LTLFormula:
+    """Before (§3): ``φ B ψ ≡ ¬(¬φ U ¬ψ)``, i.e. ``φ R ψ``... careful —
+
+    expanding the paper's definition: ``¬(¬φ U ¬ψ) = φ R ψ`` with the
+    standard release, which requires ψ to hold up to and including the
+    first position where φ holds (or forever).  We return the release
+    form directly so NNF stays small.
+    """
+    return LR(left, right)
+
+
+def ltl_nnf(f: LTLFormula) -> LTLFormula:
+    """Negation normal form: negations pushed to atoms, U/R duals used."""
+    return _nnf(f, positive=True)
+
+
+def _nnf(f: LTLFormula, positive: bool) -> LTLFormula:
+    if isinstance(f, LTLAtom):
+        return f if positive else LNot(f)
+    if isinstance(f, LTLTrue):
+        return LTL_TRUE if positive else LTL_FALSE
+    if isinstance(f, LTLFalse):
+        return LTL_FALSE if positive else LTL_TRUE
+    if isinstance(f, LNot):
+        return _nnf(f.body, not positive)
+    if isinstance(f, LAnd):
+        l, r = _nnf(f.left, positive), _nnf(f.right, positive)
+        return LAnd(l, r) if positive else LOr(l, r)
+    if isinstance(f, LOr):
+        l, r = _nnf(f.left, positive), _nnf(f.right, positive)
+        return LOr(l, r) if positive else LAnd(l, r)
+    if isinstance(f, LX):
+        return LX(_nnf(f.body, positive))
+    if isinstance(f, LU):
+        l, r = _nnf(f.left, positive), _nnf(f.right, positive)
+        return LU(l, r) if positive else LR(l, r)
+    if isinstance(f, LR):
+        l, r = _nnf(f.left, positive), _nnf(f.right, positive)
+        return LR(l, r) if positive else LU(l, r)
+    raise TypeError(f"unknown LTL formula {f!r}")
+
+
+def ltl_atoms(f: LTLFormula) -> Iterator[LTLAtom]:
+    """All atoms of a formula (with repetition removed by the caller)."""
+    if isinstance(f, LTLAtom):
+        yield f
+    elif isinstance(f, (LNot, LX)):
+        yield from ltl_atoms(f.body)
+    elif isinstance(f, (LAnd, LOr, LU, LR)):
+        yield from ltl_atoms(f.left)
+        yield from ltl_atoms(f.right)
+
+
+def ltl_size(f: LTLFormula) -> int:
+    """Node count of the formula."""
+    if isinstance(f, (LTLAtom, LTLTrue, LTLFalse)):
+        return 1
+    if isinstance(f, (LNot, LX)):
+        return 1 + ltl_size(f.body)
+    if isinstance(f, (LAnd, LOr, LU, LR)):
+        return 1 + ltl_size(f.left) + ltl_size(f.right)
+    raise TypeError(f"unknown LTL formula {f!r}")
+
+
+def ltl_map_atoms(f: LTLFormula, fn) -> LTLFormula:
+    """Replace each atom ``a`` by ``fn(a)`` (an LTL formula)."""
+    if isinstance(f, LTLAtom):
+        return fn(f)
+    if isinstance(f, (LTLTrue, LTLFalse)):
+        return f
+    if isinstance(f, LNot):
+        return LNot(ltl_map_atoms(f.body, fn))
+    if isinstance(f, LX):
+        return LX(ltl_map_atoms(f.body, fn))
+    if isinstance(f, LAnd):
+        return LAnd(ltl_map_atoms(f.left, fn), ltl_map_atoms(f.right, fn))
+    if isinstance(f, LOr):
+        return LOr(ltl_map_atoms(f.left, fn), ltl_map_atoms(f.right, fn))
+    if isinstance(f, LU):
+        return LU(ltl_map_atoms(f.left, fn), ltl_map_atoms(f.right, fn))
+    if isinstance(f, LR):
+        return LR(ltl_map_atoms(f.left, fn), ltl_map_atoms(f.right, fn))
+    raise TypeError(f"unknown LTL formula {f!r}")

@@ -1,0 +1,60 @@
+"""Executable forms of the paper's undecidability reductions.
+
+Each module implements one boundary-of-decidability construction,
+together with the source problem it reduces from.  They serve three
+purposes in the library: they document exactly where verification
+becomes impossible, they stress-test the verifier (the encodings are
+adversarial specifications), and they are the workload generators for
+the hardness benchmarks.
+
+- :mod:`repro.reductions.qbf` — QBF → error-freeness (Lemma A.6, the
+  PSPACE lower bound of Theorem 3.5);
+- :mod:`repro.reductions.turing` — Turing machine halting → verification
+  with non-ground input options (Theorem 3.7);
+- :mod:`repro.reductions.dependencies` — FD+IND implication →
+  verification with state projections (Theorem 3.8);
+- :mod:`repro.reductions.fovalidity` — ∃*∀* FO validity → CTL-FO
+  verification (Theorem 4.2).
+"""
+
+from repro.reductions.qbf import (
+    QBF,
+    QVar,
+    QNot,
+    QAnd,
+    QOr,
+    QExists,
+    QForall,
+    qbf_evaluate,
+    random_qbf,
+    qbf_to_service,
+)
+from repro.reductions.turing import (
+    TuringMachine,
+    simulate_tm,
+    tm_to_service,
+    halting_sentence,
+    BUSY_BEAVER_3,
+    LOOPER,
+)
+from repro.reductions.dependencies import (
+    FunctionalDependency,
+    InclusionDependency,
+    fd_closure,
+    fd_implies,
+    dependencies_to_service,
+)
+from repro.reductions.fovalidity import (
+    exists_forall_validity,
+    validity_to_service,
+)
+
+__all__ = [
+    "QBF", "QVar", "QNot", "QAnd", "QOr", "QExists", "QForall",
+    "qbf_evaluate", "random_qbf", "qbf_to_service",
+    "TuringMachine", "simulate_tm", "tm_to_service", "halting_sentence",
+    "BUSY_BEAVER_3", "LOOPER",
+    "FunctionalDependency", "InclusionDependency",
+    "fd_closure", "fd_implies", "dependencies_to_service",
+    "exists_forall_validity", "validity_to_service",
+]

@@ -1,0 +1,291 @@
+"""FD + IND implication → verification with state projections (Theorem 3.8).
+
+The implication problem for functional and inclusion dependencies is
+undecidable (Chandra & Vardi).  The theorem's reduction builds a
+*simple*, input-bounded Web service **with state projections** — state
+rules of the shape ``S(x) ← ∃y S'(x, y)``, the one relaxation this class
+allows — and an input-bounded LTL-FO sentence φ such that ``W ⊨ φ`` iff
+``Σ ⊨ f``:
+
+- the user populates a scratch relation ``S`` tuple by tuple (options
+  come from the cross product of the unary database relation ``R``);
+- toggling the propositional input ``done`` freezes ``S``;
+- projection rules then compute, for each dependency in Σ, whether the
+  frozen ``S`` violates it, raising the state proposition ``viol``;
+- a per-tuple state relation records violations of the candidate ``f``;
+- φ says: every run either never finishes, or finishes with some Σ
+  violation, or satisfies ``f``.
+
+The module also ships ground truth for the FD-only fragment
+(:func:`fd_closure` / :func:`fd_implies`, Armstrong's axioms via
+attribute-set closure), which the tests compare the verifier against on
+small database bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.fol.formulas import And, Atom, Eq, Exists, Formula, Not
+from repro.fol.terms import Var
+from repro.ltl.ltlfo import F, G, LTLFOSentence
+from repro.ltl.syntax import LAnd, LOr
+from repro.service.builder import ServiceBuilder
+from repro.service.webservice import WebService
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """``X → A`` over a single relation of arity ``arity`` (0-indexed
+    column positions)."""
+
+    lhs: tuple[int, ...]
+    rhs: int
+
+    def __str__(self) -> str:
+        left = ",".join(str(i) for i in self.lhs)
+        return f"[{left}] -> {self.rhs}"
+
+
+@dataclass(frozen=True)
+class InclusionDependency:
+    """``S[X] ⊆ S[Y]`` over a single relation (column position lists of
+    equal length)."""
+
+    lhs: tuple[int, ...]
+    rhs: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lhs) != len(self.rhs):
+            raise ValueError("inclusion dependency sides must have equal length")
+
+    def __str__(self) -> str:
+        left = ",".join(str(i) for i in self.lhs)
+        right = ",".join(str(i) for i in self.rhs)
+        return f"S[{left}] ⊆ S[{right}]"
+
+
+def fd_closure(
+    attrs: Iterable[int], fds: Iterable[FunctionalDependency]
+) -> frozenset[int]:
+    """Attribute-set closure under Armstrong's axioms."""
+    closure = set(attrs)
+    changed = True
+    fds = list(fds)
+    while changed:
+        changed = False
+        for fd in fds:
+            if set(fd.lhs) <= closure and fd.rhs not in closure:
+                closure.add(fd.rhs)
+                changed = True
+    return frozenset(closure)
+
+
+def fd_implies(
+    sigma: Iterable[FunctionalDependency], f: FunctionalDependency
+) -> bool:
+    """FD-only implication (decidable): ``Σ ⊨ f``."""
+    return f.rhs in fd_closure(f.lhs, sigma)
+
+
+def violates_fd(relation: Iterable[tuple], fd: FunctionalDependency) -> bool:
+    """Whether a concrete relation violates an FD (test helper)."""
+    seen: dict[tuple, object] = {}
+    for row in relation:
+        key = tuple(row[i] for i in fd.lhs)
+        if key in seen and seen[key] != row[fd.rhs]:
+            return True
+        seen.setdefault(key, row[fd.rhs])
+    return False
+
+
+def violates_ind(relation: Iterable[tuple], ind: InclusionDependency) -> bool:
+    """Whether a concrete relation violates an IND (test helper)."""
+    rows = list(relation)
+    rhs_proj = {tuple(row[i] for i in ind.rhs) for row in rows}
+    return any(tuple(row[i] for i in ind.lhs) not in rhs_proj for row in rows)
+
+
+# ---------------------------------------------------------------------------
+# the Theorem 3.8 encoding
+# ---------------------------------------------------------------------------
+
+def dependencies_to_service(
+    arity: int,
+    sigma: Sequence[FunctionalDependency | InclusionDependency],
+    f: FunctionalDependency,
+    name: str = "dependency-service",
+) -> tuple[WebService, LTLFOSentence]:
+    """Build the Theorem 3.8 instance ``(W, φ)`` with ``W ⊨ φ ⟺ Σ ⊨ f``.
+
+    ``arity`` is the arity of the scratch relation ``S``; dependencies
+    refer to its 0-indexed columns.
+    """
+    b = ServiceBuilder(name)
+    b.database("R", 1)
+    b.input("I", arity)
+    b.input("done", 0)
+    b.state("S", arity)
+    b.state("stop1").state("stop2")
+    b.state("sigma_viol")
+
+    svars = tuple(f"s{i}" for i in range(arity))
+    sterm = tuple(Var(v) for v in svars)
+
+    page = b.page("W", home=True)
+    page.toggle("done")
+    # Options: the cross product of the active domain (via unary R).
+    page.options(
+        "I",
+        And([Atom("R", (Var(v),)) for v in svars]),
+        svars,
+    )
+    # Populate S until the user toggles done.
+    page.insert(
+        "S",
+        And(Atom("I", sterm), Not(Atom("stop1", ()))),
+        svars,
+    )
+    page.insert("stop1", Atom("done", ()))
+    page.insert("stop2", Atom("stop1", ()))
+
+    # Per-dependency violation machinery, evaluated once frozen (stop2).
+    for idx, dep in enumerate(sigma):
+        if isinstance(dep, InclusionDependency):
+            _add_ind_rules(b, page, idx, dep, arity)
+        else:
+            _add_fd_rules(b, page, f"sig{idx}", dep, arity)
+
+    # Violations of the candidate f (recorded per witness triple).
+    _add_fd_rules(b, page, "cand", f, arity)
+
+    service = b.build()
+
+    # φ:  ∀w  [ G ¬done ]  ∨  [ F done ∧ ( F sigma_viol ∨ G ¬cand_viol3(w) ) ]
+    k = len(f.lhs)
+    wvars = tuple([f"w{i}" for i in range(k)] + ["a1", "a2"])
+    cand_atom = Atom("cand_viol3", tuple(Var(v) for v in wvars))
+    sentence = LTLFOSentence(
+        wvars,
+        LOr(
+            G(Not(Atom("done", ()))),
+            LAnd(
+                F(Atom("done", ())),
+                LOr(
+                    F(Atom("sigma_viol", ())),
+                    G(Not(cand_atom)),
+                ),
+            ),
+        ),
+        name=f"Sigma implies {f}",
+    )
+    return service, sentence
+
+
+def _add_fd_rules(
+    b: ServiceBuilder,
+    page,
+    prefix: str,
+    fd: FunctionalDependency,
+    arity: int,
+) -> None:
+    """States ``<prefix>_proj`` (projection of S on X·A), ``<prefix>_viol3``
+    (witnessed violations) and, for Σ members, the ``sigma_viol`` flag."""
+    k = len(fd.lhs)
+    proj = f"{prefix}_proj"
+    viol3 = f"{prefix}_viol3"
+    b.state(proj, k + 1)
+    b.state(viol3, k + 2)
+
+    # Projection of S onto the X columns followed by the A column —
+    # a reordered copy (head variables free) plus the projection rule
+    # S(x) <- exists y S'(x, y) that defines this undecidable class.
+    reorder = f"{prefix}_reorder"
+    b.state(reorder, arity)
+    all_vars = tuple(f"s{i}" for i in range(arity))
+    order = list(fd.lhs) + [fd.rhs] + [
+        i for i in range(arity) if i not in fd.lhs and i != fd.rhs
+    ]
+    head = tuple(all_vars[i] for i in order)
+    page.insert(
+        reorder,
+        Atom("S", tuple(Var(v) for v in all_vars)),
+        head,
+    )
+    proj_vars = head[: k + 1]
+    rest_vars = head[k + 1:]
+    proj_body: Formula = Atom(reorder, tuple(Var(v) for v in head))
+    if rest_vars:
+        proj_body = Exists(rest_vars, proj_body)
+    page.insert(proj, proj_body, proj_vars)
+
+    # viol3(x, a1, a2): two A-values for the same X-tuple.
+    xvars = tuple(f"x{i}" for i in range(k))
+    a1, a2 = Var("a1"), Var("a2")
+    xterm = tuple(Var(v) for v in xvars)
+    page.insert(
+        viol3,
+        And(
+            Atom(proj, xterm + (a1,)),
+            Atom(proj, xterm + (a2,)),
+            Not(Eq(a1, a2)),
+            Atom("stop2", ()),
+        ),
+        xvars + ("a1", "a2"),
+    )
+    if prefix != "cand":
+        page.insert(
+            "sigma_viol",
+            Exists(
+                xvars + ("a1", "a2"),
+                Atom(viol3, xterm + (a1, a2)),
+            ),
+        )
+
+
+def _add_ind_rules(
+    b: ServiceBuilder,
+    page,
+    idx: int,
+    ind: InclusionDependency,
+    arity: int,
+) -> None:
+    """States for one IND of Σ: the two projections and the flag."""
+    k = len(ind.lhs)
+    all_vars = tuple(f"s{i}" for i in range(arity))
+
+    names = {}
+    for side, cols in (("lhs", ind.lhs), ("rhs", ind.rhs)):
+        reorder = f"ind{idx}_{side}_reorder"
+        proj = f"ind{idx}_{side}"
+        names[side] = proj
+        b.state(reorder, arity)
+        b.state(proj, k)
+        order = list(cols) + [i for i in range(arity) if i not in cols]
+        head = tuple(all_vars[i] for i in order)
+        page.insert(
+            reorder, Atom("S", tuple(Var(v) for v in all_vars)), head
+        )
+        body: Formula = Atom(reorder, tuple(Var(v) for v in head))
+        if head[k:]:
+            body = Exists(head[k:], body)
+        page.insert(proj, body, head[:k])
+
+    xvars = tuple(f"x{i}" for i in range(k))
+    xterm = tuple(Var(v) for v in xvars)
+    bad = f"ind{idx}_bad"
+    b.state(bad, k)
+    page.insert(
+        bad,
+        And(
+            Atom(names["lhs"], xterm),
+            Not(Atom(names["rhs"], xterm)),
+            Atom("stop2", ()),
+        ),
+        xvars,
+    )
+    page.insert(
+        "sigma_viol",
+        Exists(xvars, Atom(bad, xterm)),
+    )

@@ -1,0 +1,109 @@
+"""∃*∀* FO validity → CTL-FO verification (Theorem 4.2).
+
+Input-bounded *linear-time* verification is decidable (Theorem 3.5), but
+adding path quantifiers breaks it: path quantification can simulate
+first-order quantification by branching over runs that supply candidate
+values as inputs.  The proof encodes finite validity of sentences in the
+prefix class ∃*∀* (undecidable, Börger-Grädel-Gurevich) into a CTL-FO
+verification question over a *simple* input-bounded service.
+
+This module ships both ends of the reduction for the single-variable
+illustrative case in the paper's proof (one ∃ and one ∀ variable over a
+binary matrix ψ):
+
+- :func:`exists_forall_validity` — finite validity of ``∃x∀y ψ(x, y)``
+  by brute force up to a domain bound (ground truth for tests; note
+  ∃*∀* sentences have the finite-model property *for refutation* —
+  validity overall is what is undecidable);
+- :func:`validity_to_service` — the Theorem 4.2 service: the first two
+  steps of a run let the user input a value for ``x`` and then a value
+  for ``y``; the state proposition ``true_psi`` then records ψ(x, y).
+  The CTL-FO sentence ``EX AX AX true_psi`` holds iff ``∃x∀y ψ`` is
+  finitely valid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence
+
+from repro.fol.analysis import free_variables
+from repro.fol.formulas import And, Atom, Exists, Formula, Not
+from repro.fol.terms import Var
+from repro.service.builder import ServiceBuilder
+from repro.service.webservice import WebService
+
+Value = Hashable
+
+
+def exists_forall_validity(
+    psi: Callable[[Sequence[Value], Value, Value], bool],
+    max_domain: int,
+) -> bool:
+    """Finite validity of ``∃x∀y ψ(x, y)`` over domains up to a bound.
+
+    ``psi(domain, x, y)`` decides the matrix on an abstract domain; the
+    caller encodes any relational structure inside it.  Returns False as
+    soon as some finite structure refutes the sentence.
+    """
+    for n in range(1, max_domain + 1):
+        domain = list(range(n))
+        if not any(
+            all(psi(domain, x, y) for y in domain) for x in domain
+        ):
+            return False
+    return True
+
+
+def validity_to_service(
+    psi: Formula,
+    name: str = "validity-service",
+) -> WebService:
+    """The Theorem 4.2 service for a quantifier-free ψ(x, y) over the
+    unary database relation ``R`` (and equalities).
+
+    Run shape: step 0 picks ``x`` (input ``X``), step 1 re-confirms it
+    and picks ``y`` (input ``Y``), step 2 raises ``true_psi`` when
+    ψ holds of the chosen pair.  The CTL-FO sentence ``EX AX AX
+    true_psi`` (a propositional CTL formula over the abstracted states)
+    then asserts ∃x∀y ψ — which is why its verification cannot be
+    decidable.
+    """
+    free = free_variables(psi)
+    if not free <= {"x", "y"}:
+        raise ValueError(f"psi must use only x and y, found {sorted(free)}")
+
+    b = ServiceBuilder(name)
+    b.database("R", 1)
+    b.input("X", 1).input("Y", 1)
+    b.state("donex").state("true_psi")
+
+    page = b.page("W", home=True)
+    x, y = Var("x"), Var("y")
+    # The proof stores the x-choice in a state relation S_X; reading it
+    # back in the option rule would use a non-ground state atom, so we
+    # carry the choice through prev_X instead (an equivalent mechanism
+    # the model provides for exactly this, and it keeps the service
+    # input-bounded in the strict §3 sense).
+    page.options(
+        "X",
+        (And(Atom("R", (x,)), Not(Atom("donex", ()))))
+        | (And(Atom("donex", ()), Atom("prev_X", (x,)))),
+        ("x",),
+    )
+    page.options(
+        "Y",
+        And(Atom("donex", ()), Atom("R", (y,))),
+        ("y",),
+    )
+    page.insert("donex", Not(Atom("donex", ())))
+    page.insert(
+        "true_psi",
+        Exists(
+            "x",
+            And(
+                Atom("X", (x,)),
+                Exists("y", And(Atom("Y", (y,)), psi)),
+            ),
+        ),
+    )
+    return b.build()

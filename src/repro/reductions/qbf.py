@@ -1,0 +1,230 @@
+"""QBF → error-freeness (Lemma A.6).
+
+The PSPACE lower bound of Theorem 3.5: from a closed quantified boolean
+formula φ, build an input-bounded Web service ``W_φ`` that errs (by
+target-rule ambiguity) iff φ is true.  The construction follows the
+lemma: a unary database relation ``R`` supplies candidate truth values,
+the two unary inputs ``I0``/``I1`` let the user pick a "false" and a
+"true" element, and two target rules share the sentence
+
+    ∃v0 (I0(v0) ∧ ∃v1 (I1(v1) ∧ v0 ≠ v1 ∧ φ'))
+
+where φ' replaces each boolean variable ``x`` by ``x = v1`` and each
+quantifier ``∃x ψ`` by the guarded pair
+``∃x(I0(x) ∧ ψ') ∨ ∃x(I1(x) ∧ ψ')`` (``∀`` dually via negation), which
+keeps the whole sentence input-bounded.
+
+So: ``W_φ`` is error free ⟺ φ is false.  Verified databases need only
+two elements in ``R``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.fol.formulas import (
+    And,
+    Atom,
+    Eq,
+    Exists,
+    Formula,
+    Not,
+    Or,
+)
+from repro.fol.terms import Var
+from repro.service.builder import ServiceBuilder
+from repro.service.webservice import WebService
+
+
+class QBF:
+    """Base class of quantified boolean formulas (prenex not required)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class QVar(QBF):
+    """A boolean variable occurrence."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class QNot(QBF):
+    body: QBF
+
+    def __str__(self) -> str:
+        return f"¬({self.body})"
+
+
+@dataclass(frozen=True)
+class QAnd(QBF):
+    left: QBF
+    right: QBF
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class QOr(QBF):
+    left: QBF
+    right: QBF
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class QExists(QBF):
+    var: str
+    body: QBF
+
+    def __str__(self) -> str:
+        return f"∃{self.var}.({self.body})"
+
+
+@dataclass(frozen=True)
+class QForall(QBF):
+    var: str
+    body: QBF
+
+    def __str__(self) -> str:
+        return f"∀{self.var}.({self.body})"
+
+
+def qbf_evaluate(f: QBF, env: Mapping[str, bool] | None = None) -> bool:
+    """Brute-force evaluation (the ground truth for tests/benchmarks)."""
+    env = dict(env or {})
+    if isinstance(f, QVar):
+        return env[f.name]
+    if isinstance(f, QNot):
+        return not qbf_evaluate(f.body, env)
+    if isinstance(f, QAnd):
+        return qbf_evaluate(f.left, env) and qbf_evaluate(f.right, env)
+    if isinstance(f, QOr):
+        return qbf_evaluate(f.left, env) or qbf_evaluate(f.right, env)
+    if isinstance(f, QExists):
+        return any(
+            qbf_evaluate(f.body, {**env, f.var: v}) for v in (False, True)
+        )
+    if isinstance(f, QForall):
+        return all(
+            qbf_evaluate(f.body, {**env, f.var: v}) for v in (False, True)
+        )
+    raise TypeError(f"unknown QBF node {f!r}")
+
+
+def random_qbf(
+    n_vars: int,
+    n_clauses: int = 4,
+    rng: int | random.Random | None = None,
+    forall_odd: bool = True,
+) -> QBF:
+    """A random closed QBF: alternating prefix over a random 3-CNF-ish
+    matrix.  Seeded for reproducibility."""
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    names = [f"x{i}" for i in range(n_vars)]
+    clauses: list[QBF] = []
+    for _ in range(n_clauses):
+        lits: list[QBF] = []
+        for _ in range(min(3, n_vars)):
+            v = QVar(rand.choice(names))
+            lits.append(QNot(v) if rand.random() < 0.5 else v)
+        clause = lits[0]
+        for lit in lits[1:]:
+            clause = QOr(clause, lit)
+        clauses.append(clause)
+    matrix: QBF = clauses[0]
+    for clause in clauses[1:]:
+        matrix = QAnd(matrix, clause)
+    body = matrix
+    for i, name in reversed(list(enumerate(names))):
+        if forall_odd and i % 2 == 1:
+            body = QForall(name, body)
+        else:
+            body = QExists(name, body)
+    return body
+
+
+# ---------------------------------------------------------------------------
+# the Lemma A.6 encoding
+# ---------------------------------------------------------------------------
+
+_TRUE_VAR = "vtrue"
+_FALSE_VAR = "vfalse"
+
+
+def _translate(f: QBF, positive: bool = True) -> Formula:
+    """φ' of the lemma: boolean vars become equalities with ``vtrue``,
+    quantifiers become guarded input-bounded quantification.
+
+    Negation is pushed inward so that every quantifier ends up
+    existential (guarded by an input atom), keeping the result
+    input-bounded.
+    """
+    if isinstance(f, QVar):
+        eq = Eq(Var(f.name), Var(_TRUE_VAR))
+        return eq if positive else Not(eq)
+    if isinstance(f, QNot):
+        return _translate(f.body, not positive)
+    if isinstance(f, QAnd):
+        parts = (_translate(f.left, positive), _translate(f.right, positive))
+        return And(parts) if positive else Or(parts)
+    if isinstance(f, QOr):
+        parts = (_translate(f.left, positive), _translate(f.right, positive))
+        return Or(parts) if positive else And(parts)
+    if isinstance(f, (QExists, QForall)):
+        is_exists = isinstance(f, QExists) if positive else isinstance(f, QForall)
+        body = _translate(f.body, positive)
+        guarded = Or(
+            Exists(f.var, And(Atom("I0", (Var(f.var),)), body)),
+            Exists(f.var, And(Atom("I1", (Var(f.var),)), body)),
+        )
+        return guarded if is_exists else Not(
+            Or(
+                Exists(f.var, And(Atom("I0", (Var(f.var),)), Not(body))),
+                Exists(f.var, And(Atom("I1", (Var(f.var),)), Not(body))),
+            )
+        )
+    raise TypeError(f"unknown QBF node {f!r}")
+
+
+def qbf_to_service(f: QBF, name: str = "qbf-service") -> WebService:
+    """The Lemma A.6 Web service: errs (ambiguity) iff ``f`` is true.
+
+    Input-bounded by construction; error-freeness checking over a
+    2-element ``R`` decides the QBF, exhibiting the PSPACE-hardness.
+    """
+    phi = _translate(f)
+    trigger = Exists(
+        _FALSE_VAR,
+        And(
+            Atom("I0", (Var(_FALSE_VAR),)),
+            Exists(
+                _TRUE_VAR,
+                And(
+                    Atom("I1", (Var(_TRUE_VAR),)),
+                    Not(Eq(Var(_FALSE_VAR), Var(_TRUE_VAR))),
+                    phi,
+                ),
+            ),
+        ),
+    )
+
+    b = ServiceBuilder(name)
+    b.database("R", 1)
+    b.input("I0", 1).input("I1", 1)
+    w0 = b.page("W0", home=True)
+    w0.options("I0", Atom("R", (Var("x"),)), ("x",))
+    w0.options("I1", Atom("R", (Var("x"),)), ("x",))
+    w0.target("W1", trigger)
+    w0.target("W2", trigger)
+    b.page("W1")
+    b.page("W2")
+    return b.build()

@@ -1,0 +1,424 @@
+"""Turing machine halting → verification (Theorem 3.7).
+
+The theorem: with input options defined by quantifier-free formulas over
+database *and state* relations (i.e. dropping the "state atoms must be
+ground" restriction), verification of a *fixed* input-bounded LTL-FO
+sentence becomes undecidable.  The proof encodes a TM's run:
+
+- an **initialisation phase** uses the unary input ``I`` to pick fresh
+  database elements, chaining them into a tape via the 4-ary state
+  relation ``T(x, y, u, v)`` — cell ``x`` holds symbol ``u``, ``y`` is
+  the next cell, and ``v`` is either a TM state (head here) or ``#``;
+- a **simulation phase** uses inputs ``H`` (right/stay moves) and ``HL``
+  (left moves, which also pick the predecessor cell) to advance the run;
+- the machine halts iff some run makes ``T(x, y, u, h)`` hold for a
+  halting state ``h``, so the fixed sentence
+  ``∀x∀y∀u G ¬T(x, y, u, h)`` is violated iff the TM halts.
+
+The encoded service is deliberately *outside* the decidable class
+(:func:`repro.service.classify.classify` reports the non-ground state
+atoms in its input rules); running the bounded verifier on it acts as a
+semi-decider — it finds halting computations whose tape fits in the
+explored domain, exactly the trade-off the theorem predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.fol.formulas import FALSE, And, Atom, Eq, Exists, Not, Or
+from repro.fol.terms import Lit, Var
+from repro.ltl.ltlfo import G, LTLFOSentence
+from repro.service.builder import ServiceBuilder
+from repro.service.webservice import WebService
+
+#: Marker for "no head here" in the 4th column of T.
+NO_HEAD = "#"
+BLANK = "_"
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """A deterministic, left-bounded, right-infinite-tape TM.
+
+    ``transitions`` maps ``(state, symbol)`` to
+    ``(new_state, new_symbol, move)`` with move in {"L", "R", "S"}.
+    Missing entries mean the machine hangs (loops without halting).
+    """
+
+    states: frozenset[str]
+    alphabet: frozenset[str]
+    transitions: Mapping[tuple[str, str], tuple[str, str, str]]
+    start: str = "q0"
+    halting: frozenset[str] = frozenset({"halt"})
+
+    def __post_init__(self) -> None:
+        for (p, u), (q, u2, move) in self.transitions.items():
+            if move not in ("L", "R", "S"):
+                raise ValueError(f"bad move {move!r} in transition ({p},{u})")
+            if p in self.halting:
+                raise ValueError(f"halting state {p!r} has outgoing transitions")
+
+
+def simulate_tm(
+    tm: TuringMachine, word: str = "", max_steps: int = 10_000
+) -> tuple[bool, int]:
+    """Direct simulation: (halted?, steps used)."""
+    tape: dict[int, str] = {i: c for i, c in enumerate(word)}
+    head = 0
+    state = tm.start
+    for step in range(max_steps):
+        if state in tm.halting:
+            return True, step
+        key = (state, tape.get(head, BLANK))
+        if key not in tm.transitions:
+            return False, step
+        state, symbol, move = tm.transitions[key]
+        tape[head] = symbol
+        if move == "R":
+            head += 1
+        elif move == "L":
+            head = max(0, head - 1)
+    return state in tm.halting, max_steps
+
+
+#: A 3-state machine halting after 5 steps on the empty word.
+BUSY_BEAVER_3 = TuringMachine(
+    states=frozenset({"q0", "q1", "q2", "halt"}),
+    alphabet=frozenset({BLANK, "1"}),
+    transitions={
+        ("q0", BLANK): ("q1", "1", "R"),
+        ("q1", BLANK): ("q2", "1", "R"),
+        ("q2", BLANK): ("halt", "1", "S"),
+    },
+)
+
+#: A machine that never halts (bounces on the first cell).
+LOOPER = TuringMachine(
+    states=frozenset({"q0", "halt"}),
+    alphabet=frozenset({BLANK, "1"}),
+    transitions={
+        ("q0", BLANK): ("q0", "1", "S"),
+        ("q0", "1"): ("q0", BLANK, "S"),
+    },
+)
+
+
+def _lits(*values: str) -> tuple:
+    return tuple(Lit(v) for v in values)
+
+
+def tm_to_service(tm: TuringMachine, name: str = "tm-service") -> WebService:
+    """The Theorem 3.7 encoding of a Turing machine.
+
+    The resulting service is input-bounded *except* for the non-ground
+    state atoms in its input-option rules — the precise relaxation the
+    theorem proves fatal.
+    """
+    b = ServiceBuilder(name)
+    b.database("D", 1)
+    b.db_constant("min")
+    b.state("T", 4).state("Cell", 1).state("Max", 1).state("Head", 1)
+    b.state("initialized").state("simul")
+    b.input("I", 1).input("H", 4).input("HL", 6)
+
+    page = b.page("W", home=True)
+    x, y, u, p = Var("x"), Var("y"), Var("u"), Var("p")
+    w, uw = Var("w"), Var("uw")
+
+    # ---- initialisation phase ------------------------------------------
+    page.options(
+        "I",
+        And(
+            Atom("D", (y,)),
+            Not(Eq(y, _db_min())),
+            Not(Atom("Cell", (y,))),
+            Not(Atom("simul", ())),
+        ),
+        ("y",),
+    )
+    not_init = Not(Atom("initialized", ()))
+    i_y = Atom("I", (y,))
+    # First input: create the head cell  T(min, y, blank, q0).
+    page.insert(
+        "T",
+        Exists(
+            "y",
+            And(
+                i_y,
+                not_init,
+                Eq(Var("a"), _db_min()),
+                Eq(Var("b"), y),
+                Eq(Var("c"), Lit(BLANK)),
+                Eq(Var("d"), Lit(tm.start)),
+            ),
+        ),
+        variables=("a", "b", "c", "d"),
+    )
+    page.insert("Cell", And(Eq(Var("c1"), _db_min()), not_init), ("c1",))
+    page.insert("Head", And(Eq(Var("c1"), _db_min()), not_init), ("c1",))
+    page.insert("initialized", not_init)
+    # Tape extension: new cell y chained after the current Max x.
+    page.insert(
+        "T",
+        Exists(
+            ("y", "x"),
+            And(
+                i_y,
+                Atom("Max", (x,)),
+                Eq(Var("a"), x),
+                Eq(Var("b"), y),
+                Eq(Var("c"), Lit(BLANK)),
+                Eq(Var("d"), Lit(NO_HEAD)),
+                Atom("initialized", ()),
+            ),
+        ),
+        variables=("a", "b", "c", "d"),
+    )
+    page.insert("Cell", Atom("I", (Var("c1"),)), ("c1",))
+    page.delete(
+        "Max",
+        Exists("y", And(i_y, Atom("Max", (Var("m1"),)))),
+        ("m1",),
+    )
+    page.insert("Max", Atom("I", (Var("m1"),)), ("m1",))
+    # Empty input (or exhausted domain) switches to the simulation phase.
+    page.insert("simul", Not(Exists("y", i_y)))
+
+    # ---- simulation phase ------------------------------------------------
+    simul = Atom("simul", ())
+    head_x = Atom("Head", (x,))
+    t_xyup = Atom("T", (x, y, u, p))
+
+    # Right/stay moves use H(x, y, u, p): the head tuple.
+    right_stay = [
+        (key, out)
+        for key, out in tm.transitions.items()
+        if out[2] in ("R", "S")
+    ]
+    left = [(key, out) for key, out in tm.transitions.items() if out[2] == "L"]
+
+    h_options_parts = []
+    for (pstate, symbol), _out in right_stay:
+        h_options_parts.append(
+            And(
+                simul,
+                Atom("Head", (x,)),
+                Atom("T", (x, y, Lit(symbol), Lit(pstate))),
+                Eq(u, Lit(symbol)),
+                Eq(p, Lit(pstate)),
+            )
+        )
+    if h_options_parts:
+        page.options("H", Or(h_options_parts), ("x", "y", "u", "p"))
+    else:
+        page.options("H", FALSE, ("x", "y", "u", "p"))
+
+    hl_options_parts = []
+    for (pstate, symbol), _out in left:
+        hl_options_parts.append(
+            And(
+                simul,
+                Atom("Head", (x,)),
+                Atom("T", (x, y, Lit(symbol), Lit(pstate))),
+                Atom("T", (w, x, uw, Lit(NO_HEAD))),
+                Eq(u, Lit(symbol)),
+                Eq(p, Lit(pstate)),
+            )
+        )
+    if hl_options_parts:
+        page.options("HL", Or(hl_options_parts), ("w", "uw", "x", "y", "u", "p"))
+    else:
+        page.options("HL", FALSE, ("w", "uw", "x", "y", "u", "p"))
+
+    # Per-transition update rules.
+    a4 = tuple(Var(v) for v in ("a", "b", "c", "d"))
+    for (pstate, symbol), (qstate, symbol2, move) in right_stay:
+        h_match = And(
+            simul, Atom("H", (x, y, Lit(symbol), Lit(pstate)))
+        )
+        # overwrite the head cell
+        page.delete(
+            "T",
+            Exists(
+                ("x", "y"),
+                And(
+                    h_match,
+                    Eq(a4[0], x), Eq(a4[1], y),
+                    Eq(a4[2], Lit(symbol)), Eq(a4[3], Lit(pstate)),
+                ),
+            ),
+            ("a", "b", "c", "d"),
+        )
+        if move == "S":
+            page.insert(
+                "T",
+                Exists(
+                    ("x", "y"),
+                    And(
+                        h_match,
+                        Eq(a4[0], x), Eq(a4[1], y),
+                        Eq(a4[2], Lit(symbol2)), Eq(a4[3], Lit(qstate)),
+                    ),
+                ),
+                ("a", "b", "c", "d"),
+            )
+        else:  # move right
+            page.insert(
+                "T",
+                Exists(
+                    ("x", "y"),
+                    And(
+                        h_match,
+                        Eq(a4[0], x), Eq(a4[1], y),
+                        Eq(a4[2], Lit(symbol2)), Eq(a4[3], Lit(NO_HEAD)),
+                    ),
+                ),
+                ("a", "b", "c", "d"),
+            )
+            # hand the head to the next cell
+            page.delete(
+                "T",
+                Exists(
+                    ("x", "y"),
+                    And(
+                        h_match,
+                        Atom("T", (y, a4[1], a4[2], Lit(NO_HEAD))),
+                        Eq(a4[0], y), Eq(a4[3], Lit(NO_HEAD)),
+                    ),
+                ),
+                ("a", "b", "c", "d"),
+            )
+            page.insert(
+                "T",
+                Exists(
+                    ("x", "y"),
+                    And(
+                        h_match,
+                        Atom("T", (y, a4[1], a4[2], Lit(NO_HEAD))),
+                        Eq(a4[0], y), Eq(a4[3], Lit(qstate)),
+                    ),
+                ),
+                ("a", "b", "c", "d"),
+            )
+            page.delete(
+                "Head",
+                Exists("y", And(
+                    simul,
+                    Atom("H", (Var("h1"), y, Lit(symbol), Lit(pstate))),
+                )),
+                ("h1",),
+            )
+            page.insert(
+                "Head",
+                Exists("x", And(
+                    simul,
+                    Atom("H", (x, Var("h1"), Lit(symbol), Lit(pstate))),
+                )),
+                ("h1",),
+            )
+
+    for (pstate, symbol), (qstate, symbol2, _move) in left:
+        hl_match = And(
+            simul,
+            Atom("HL", (w, uw, x, y, Lit(symbol), Lit(pstate))),
+        )
+        page.delete(
+            "T",
+            Exists(
+                ("w", "uw", "x", "y"),
+                And(
+                    hl_match,
+                    Eq(a4[0], x), Eq(a4[1], y),
+                    Eq(a4[2], Lit(symbol)), Eq(a4[3], Lit(pstate)),
+                ),
+            ),
+            ("a", "b", "c", "d"),
+        )
+        page.insert(
+            "T",
+            Exists(
+                ("w", "uw", "x", "y"),
+                And(
+                    hl_match,
+                    Eq(a4[0], x), Eq(a4[1], y),
+                    Eq(a4[2], Lit(symbol2)), Eq(a4[3], Lit(NO_HEAD)),
+                ),
+            ),
+            ("a", "b", "c", "d"),
+        )
+        page.delete(
+            "T",
+            Exists(
+                ("w", "uw", "x", "y"),
+                And(
+                    hl_match,
+                    Eq(a4[0], w), Eq(a4[1], x),
+                    Eq(a4[2], uw), Eq(a4[3], Lit(NO_HEAD)),
+                ),
+            ),
+            ("a", "b", "c", "d"),
+        )
+        page.insert(
+            "T",
+            Exists(
+                ("w", "uw", "x", "y"),
+                And(
+                    hl_match,
+                    Eq(a4[0], w), Eq(a4[1], x),
+                    Eq(a4[2], uw), Eq(a4[3], Lit(qstate)),
+                ),
+            ),
+            ("a", "b", "c", "d"),
+        )
+        page.delete(
+            "Head",
+            Exists(("w", "uw", "y"), And(
+                simul,
+                Atom("HL", (w, uw, Var("h1"), y, Lit(symbol), Lit(pstate))),
+            )),
+            ("h1",),
+        )
+        page.insert(
+            "Head",
+            Exists(("uw", "x", "y"), And(
+                simul,
+                Atom("HL", (Var("h1"), uw, x, y, Lit(symbol), Lit(pstate))),
+            )),
+            ("h1",),
+        )
+
+    return b.build()
+
+
+def _db_min():
+    from repro.fol.terms import DbConst
+
+    return DbConst("min")
+
+
+def halting_sentence(tm: TuringMachine) -> LTLFOSentence:
+    """``∀x∀y∀u G ¬T(x, y, u, h)`` over all halting states ``h``.
+
+    Expressed in the equivalent closure-free form
+    ``G ¬∃x∃y∃u T(x, y, u, h)`` (pushing the universal closure through
+    ``G`` and the negation), which spares the verifier the cubic
+    grounding of the closure variables.  The encoded service satisfies
+    this sentence iff the machine does not halt (on the empty word), so
+    a verification *violation* is a halting certificate.
+    """
+    parts = [
+        Not(
+            Exists(
+                ("x", "y", "u"),
+                Atom("T", (Var("x"), Var("y"), Var("u"), Lit(h))),
+            )
+        )
+        for h in sorted(tm.halting)
+    ]
+    return LTLFOSentence(
+        (),
+        G(And(parts)),
+        name="TM never halts",
+    )

@@ -1,0 +1,50 @@
+"""Relational substrate: symbols, schemas, instances, databases.
+
+This subpackage provides the vocabulary layer of the PODS 2004 model
+(Definition 2.1): relation symbols classified by role (database, state,
+input, action, and the derived ``prev`` vocabulary), relational schemas,
+finite relational instances with an active-domain view, fixed databases,
+plus bounded enumeration and random generation of instances used by the
+verifier and the test suite.
+"""
+
+from repro.schema.symbols import (
+    RelationKind,
+    RelationSymbol,
+    database_relation,
+    state_relation,
+    input_relation,
+    action_relation,
+    prev_symbol,
+)
+from repro.schema.schema import RelationalSchema, ServiceSchema
+from repro.schema.instances import Instance, union_active_domain
+from repro.schema.database import Database
+from repro.schema.enumerate import (
+    enumerate_relations,
+    enumerate_instances,
+    enumerate_databases,
+    canonical_domain,
+)
+from repro.schema.generators import random_instance, random_database
+
+__all__ = [
+    "RelationKind",
+    "RelationSymbol",
+    "database_relation",
+    "state_relation",
+    "input_relation",
+    "action_relation",
+    "prev_symbol",
+    "RelationalSchema",
+    "ServiceSchema",
+    "Instance",
+    "union_active_domain",
+    "Database",
+    "enumerate_relations",
+    "enumerate_instances",
+    "enumerate_databases",
+    "canonical_domain",
+    "random_instance",
+    "random_database",
+]

@@ -1,0 +1,140 @@
+"""Fixed databases.
+
+A :class:`Database` is a relational instance over the database schema
+**D** together with an interpretation of the database constant symbols
+(paper §2: "a mapping associating ... to each constant symbol an element
+of Dom").  The database is fixed throughout each run (Definition 2.1).
+
+The *domain* of a database is its active domain — elements occurring in
+tuples or as constant interpretations — optionally widened with extra
+elements so the verifier can quantify user inputs over values that do not
+yet occur anywhere (genericity cutoff, see ``repro.verifier.linear``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.schema.instances import Instance
+from repro.schema.schema import RelationalSchema
+from repro.schema.symbols import RelationKind, RelationSymbol
+
+Value = Hashable
+
+
+class Database:
+    """A database instance: facts plus constant interpretations.
+
+    Parameters
+    ----------
+    schema:
+        The database schema **D** (used to validate facts and constants).
+    facts:
+        Mapping relation name or symbol -> iterable of tuples (or a bool
+        for propositions).
+    constants:
+        Interpretation of the schema's constant symbols.  Constants not
+        listed are interpreted as themselves (the string is the value),
+        the convention used throughout the demos.
+    extra_domain:
+        Additional domain elements beyond the active domain.
+    """
+
+    __slots__ = ("schema", "instance", "constants", "_domain")
+
+    def __init__(
+        self,
+        schema: RelationalSchema,
+        facts: Mapping[RelationSymbol | str, Iterable[tuple] | bool] | None = None,
+        constants: Mapping[str, Value] | None = None,
+        extra_domain: Iterable[Value] = (),
+    ) -> None:
+        self.schema = schema
+        resolved: dict[RelationSymbol, Iterable[tuple] | bool] = {}
+        for key, tuples in (facts or {}).items():
+            if isinstance(key, str):
+                sym = schema.get(key)
+                if sym is None:
+                    raise ValueError(
+                        f"{key!r} is not a relation of the database schema"
+                    )
+            else:
+                sym = key
+            if sym not in schema.relations:
+                raise ValueError(f"{sym} is not part of the database schema")
+            if sym.kind is not RelationKind.DATABASE:
+                raise ValueError(f"{sym} is not a database relation")
+            resolved[sym] = tuples
+        self.instance = Instance(resolved)
+
+        interp: dict[str, Value] = {name: name for name in schema.constants}
+        for name, value in (constants or {}).items():
+            if name not in schema.constants:
+                raise ValueError(f"{name!r} is not a constant of the database schema")
+            interp[name] = value
+        self.constants: dict[str, Value] = interp
+
+        dom = set(self.instance.active_domain())
+        dom.update(interp.values())
+        dom.update(extra_domain)
+        self._domain: frozenset = frozenset(dom)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def domain(self) -> frozenset:
+        """Active domain plus any extra elements supplied at construction."""
+        return self._domain
+
+    def tuples(self, sym: RelationSymbol | str) -> frozenset:
+        """Facts stored for a database relation."""
+        if isinstance(sym, str):
+            sym = self.schema[sym]
+        return self.instance.tuples(sym)
+
+    def holds(self, sym: RelationSymbol | str, values: tuple = ()) -> bool:
+        """Whether the fact ``sym(values)`` is in the database."""
+        if isinstance(sym, str):
+            sym = self.schema[sym]
+        return self.instance.holds(sym, values)
+
+    def constant(self, name: str) -> Value:
+        """Interpretation of a database constant symbol."""
+        try:
+            return self.constants[name]
+        except KeyError:
+            raise KeyError(f"{name!r} is not a database constant") from None
+
+    def widened(self, extra: Iterable[Value]) -> "Database":
+        """A copy of this database with extra domain elements."""
+        return Database(
+            self.schema,
+            {sym: rel for sym, rel in self.instance},
+            self.constants,
+            extra_domain=set(self._domain) | set(extra),
+        )
+
+    def size(self) -> int:
+        """Number of elements in the domain."""
+        return len(self._domain)
+
+    # -- dunder plumbing ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return (
+            self.schema == other.schema
+            and self.instance == other.instance
+            and self.constants == other.constants
+            and self._domain == other._domain
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.instance, frozenset(self.constants.items()), self._domain))
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(domain={sorted(self._domain, key=repr)}, "
+            f"facts={self.instance!r}, constants={self.constants!r})"
+        )

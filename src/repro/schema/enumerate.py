@@ -1,0 +1,147 @@
+"""Bounded enumeration of relations, instances and databases.
+
+The decidability results of the paper rest on small-model arguments: when
+an input-bounded service violates a property, a violation is already
+witnessed over a small domain (Local Run Lemma for Theorem 3.5, Lemma A.11
+for Theorem 4.4).  The verifier therefore enumerates databases over a
+canonical domain of bounded size.  Because properties of runs are generic
+(invariant under renaming of non-constant elements), databases are only
+needed *up to isomorphism fixing the constants*; :func:`enumerate_databases`
+can prune isomorphic duplicates, which shrinks the search by roughly a
+factor of ``k!`` for ``k`` anonymous elements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.schema.database import Database
+from repro.schema.instances import Instance
+from repro.schema.schema import RelationalSchema
+
+Value = Hashable
+
+
+def canonical_domain(size: int, prefix: str = "d") -> list[str]:
+    """The canonical ``size``-element domain ``[d0, d1, ...]``."""
+    return [f"{prefix}{i}" for i in range(size)]
+
+
+def enumerate_relations(arity: int, domain: Sequence[Value]) -> Iterator[frozenset]:
+    """All relations of the given arity over ``domain``.
+
+    Yields ``2 ** len(domain)**arity`` relations; use only for small
+    domains/arities.  Arity 0 yields the two propositional values.
+    """
+    all_tuples = list(itertools.product(domain, repeat=arity))
+    for bits in itertools.product((False, True), repeat=len(all_tuples)):
+        yield frozenset(t for t, bit in zip(all_tuples, bits) if bit)
+
+
+def enumerate_instances(
+    schema: RelationalSchema, domain: Sequence[Value]
+) -> Iterator[Instance]:
+    """All instances of ``schema`` over ``domain`` (cartesian product)."""
+    symbols = sorted(schema.relations)
+    per_symbol = [list(enumerate_relations(sym.arity, domain)) for sym in symbols]
+    for combo in itertools.product(*per_symbol):
+        yield Instance(dict(zip(symbols, combo)))
+
+
+def _canonical_form(
+    instance: Instance,
+    constants: Mapping[str, Value],
+    anonymous: Sequence[Value],
+) -> tuple:
+    """A canonical key for an instance up to permutations of ``anonymous``.
+
+    Two instances that differ only by a bijective renaming of the
+    anonymous (non-constant) elements map to the same key.  Computed by
+    brute-force minimisation over all permutations, which is fine for the
+    domain sizes (<= 6) the verifier uses.
+    """
+    const_items = tuple(sorted(constants.items()))
+    best: tuple | None = None
+    for perm in itertools.permutations(anonymous):
+        mapping = {a: b for a, b in zip(anonymous, perm)}
+        renamed = instance.renamed(mapping)
+        key = tuple(
+            (sym.name, tuple(sorted(rel, key=repr)))
+            for sym, rel in sorted(renamed, key=lambda kv: kv[0])
+        )
+        if best is None or key < best:
+            best = key
+    return (const_items, best)
+
+
+def enumerate_databases(
+    schema: RelationalSchema,
+    domain_size: int,
+    constants: Mapping[str, Value] | None = None,
+    up_to_iso: bool = True,
+    domain: Sequence[Value] | None = None,
+    fixed_elements: Iterable[Value] = (),
+) -> Iterator[Database]:
+    """All databases of ``schema`` over a canonical domain.
+
+    Parameters
+    ----------
+    schema:
+        Database schema **D**.
+    domain_size:
+        Number of domain elements.  Constant interpretations are placed on
+        the first elements unless ``constants`` pins them explicitly.
+    constants:
+        Optional explicit interpretations for (some) schema constants;
+        remaining constants are interpreted over the canonical domain in
+        every possible way.
+    up_to_iso:
+        Prune databases isomorphic (over non-constant elements) to an
+        earlier one.
+    domain:
+        Explicit domain to use instead of the canonical one.
+    fixed_elements:
+        Domain elements with fixed identity (e.g. the specification's
+        literal constants): iso-pruning never permutes them.
+    """
+    dom = list(domain) if domain is not None else canonical_domain(domain_size)
+    fixed_set = set(fixed_elements)
+    pinned = dict(constants or {})
+    free_constants = sorted(schema.constants - set(pinned))
+
+    const_assignments: Iterable[dict[str, Value]]
+    if free_constants:
+        const_assignments = (
+            {**pinned, **dict(zip(free_constants, values))}
+            for values in itertools.product(dom, repeat=len(free_constants))
+        )
+    else:
+        const_assignments = iter([dict(pinned)])
+
+    for interp in const_assignments:
+        fixed = set(interp.values()) | fixed_set
+        anonymous = [d for d in dom if d not in fixed]
+        seen: set[tuple] = set()
+        for inst in enumerate_instances(schema, dom):
+            if up_to_iso and anonymous:
+                key = _canonical_form(inst, interp, anonymous)
+                if key in seen:
+                    continue
+                seen.add(key)
+            yield Database(
+                schema,
+                {sym: rel for sym, rel in inst},
+                interp,
+                extra_domain=dom,
+            )
+
+
+def count_databases(schema: RelationalSchema, domain_size: int) -> int:
+    """Number of databases over the canonical domain, before iso-pruning.
+
+    Useful for sizing a verification sweep up front.
+    """
+    n_tuples = sum(domain_size**sym.arity for sym in schema.relations)
+    n_consts = len(schema.constants)
+    return (2**n_tuples) * (domain_size**n_consts)

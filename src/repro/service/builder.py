@@ -1,0 +1,261 @@
+"""A fluent builder for Web service specifications.
+
+Specifications written against :class:`~repro.service.webservice.WebService`
+directly are verbose; the builder offers the declaration-then-pages flow
+used by all the demos:
+
+>>> b = ServiceBuilder("shop")
+>>> b.database("user", 2)
+>>> b.input("button", 1)
+>>> b.input_constant("name"); b.input_constant("password")
+>>> b.state("error", 1)
+>>> hp = b.page("HP", home=True)
+>>> hp.request("name", "password")
+>>> hp.options("button", 'x = "login" | x = "register" | x = "clear"', ("x",))
+>>> hp.insert("error", 'not user(name, password) & button("login")',
+...           ("m",))  # doctest: +SKIP
+>>> hp.target("CP", 'user(name, password) & button("login")')
+>>> service = b.build()
+
+Formula arguments may be :class:`~repro.fol.formulas.Formula` objects or
+text parsed with the builder's declared input/database constants in
+scope (so ``name`` in rule text resolves to the input constant).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.fol.analysis import free_variables
+from repro.fol.formulas import Formula
+from repro.fol.parser import parse_formula
+from repro.schema.schema import RelationalSchema, ServiceSchema
+from repro.schema.symbols import (
+    RelationSymbol,
+    action_relation,
+    database_relation,
+    input_relation,
+    state_relation,
+)
+from repro.service.page import WebPageSchema
+from repro.service.rules import ActionRule, InputRule, StateRule, TargetRule
+from repro.service.webservice import ERROR_PAGE, WebService
+
+Value = Hashable
+
+
+class ServiceBuilder:
+    """Collects schema declarations and pages, then builds a service."""
+
+    def __init__(self, name: str = "web-service", error_page: str = ERROR_PAGE) -> None:
+        self.name = name
+        self.error_page = error_page
+        self._database: list[RelationSymbol] = []
+        self._db_constants: list[str] = []
+        self._state: list[RelationSymbol] = []
+        self._input: list[RelationSymbol] = []
+        self._input_constants: list[str] = []
+        self._action: list[RelationSymbol] = []
+        self._pages: list[PageBuilder] = []
+        self._home: str | None = None
+
+    # -- schema declarations -------------------------------------------------
+
+    def database(self, name: str, arity: int) -> "ServiceBuilder":
+        """Declare a database relation."""
+        self._database.append(database_relation(name, arity))
+        return self
+
+    def db_constant(self, *names: str) -> "ServiceBuilder":
+        """Declare database constant symbols."""
+        self._db_constants.extend(names)
+        return self
+
+    def state(self, name: str, arity: int = 0) -> "ServiceBuilder":
+        """Declare a state relation (arity 0 = proposition)."""
+        self._state.append(state_relation(name, arity))
+        return self
+
+    def input(self, name: str, arity: int = 0) -> "ServiceBuilder":
+        """Declare an input relation (arity 0 = propositional input)."""
+        self._input.append(input_relation(name, arity))
+        return self
+
+    def input_constant(self, *names: str) -> "ServiceBuilder":
+        """Declare input constants (user-supplied values)."""
+        self._input_constants.extend(names)
+        return self
+
+    def action(self, name: str, arity: int = 0) -> "ServiceBuilder":
+        """Declare an action relation."""
+        self._action.append(action_relation(name, arity))
+        return self
+
+    # -- formula helper --------------------------------------------------------
+
+    def formula(self, source: Formula | str) -> Formula:
+        """Parse rule text with the declared constants in scope."""
+        if isinstance(source, Formula):
+            return source
+        return parse_formula(
+            source,
+            input_constants=self._input_constants,
+            db_constants=self._db_constants,
+        )
+
+    # -- pages -------------------------------------------------------------
+
+    def page(self, name: str, home: bool = False) -> "PageBuilder":
+        """Open a new page; rules are added through the returned builder."""
+        builder = PageBuilder(self, name)
+        self._pages.append(builder)
+        if home:
+            if self._home is not None:
+                raise ValueError(
+                    f"home page already set to {self._home!r}; cannot also "
+                    f"mark {name!r}"
+                )
+            self._home = name
+        return builder
+
+    def build(self) -> WebService:
+        """Assemble and validate the :class:`WebService`."""
+        if self._home is None:
+            raise ValueError("no home page was marked (use page(name, home=True))")
+        schema = ServiceSchema(
+            database=RelationalSchema(self._database, self._db_constants),
+            state=RelationalSchema(self._state),
+            input=RelationalSchema(self._input, self._input_constants),
+            action=RelationalSchema(self._action),
+        )
+        pages = [p._build() for p in self._pages]
+        return WebService(
+            schema, pages, home=self._home, error_page=self.error_page, name=self.name
+        )
+
+
+class PageBuilder:
+    """Accumulates the inputs, constants and rules of one page."""
+
+    def __init__(self, service: ServiceBuilder, name: str) -> None:
+        self._service = service
+        self.name = name
+        self._inputs: list[str] = []
+        self._constants: list[str] = []
+        self._actions: list[str] = []
+        self._input_rules: list[InputRule] = []
+        self._state_rules: list[StateRule] = []
+        self._action_rules: list[ActionRule] = []
+        self._target_rules: list[TargetRule] = []
+
+    def _vars(
+        self, formula: Formula, variables: Sequence[str] | None, head: str, arity_hint: int | None
+    ) -> tuple[str, ...]:
+        if variables is not None:
+            return tuple(variables)
+        free = free_variables(formula)
+        if len(free) <= 1:
+            return tuple(sorted(free))
+        raise ValueError(
+            f"rule for {head}: pass `variables` explicitly — the body has "
+            f"several free variables {sorted(free)} and their order matters"
+        )
+
+    # -- declarations ----------------------------------------------------------
+
+    def request(self, *constants: str) -> "PageBuilder":
+        """The page asks the user for these input constants."""
+        self._constants.extend(constants)
+        return self
+
+    def toggle(self, *inputs: str) -> "PageBuilder":
+        """Add propositional inputs (free true/false choices, no rule)."""
+        self._inputs.extend(inputs)
+        return self
+
+    # -- rules -------------------------------------------------------------
+
+    def options(
+        self,
+        input_name: str,
+        formula: Formula | str,
+        variables: Sequence[str] | None = None,
+    ) -> "PageBuilder":
+        """Add the input rule ``Options_input(x) ← φ(x)`` and the input."""
+        parsed = self._service.formula(formula)
+        if input_name not in self._inputs:
+            self._inputs.append(input_name)
+        self._input_rules.append(
+            InputRule(input_name, self._vars(parsed, variables, input_name, None), parsed)
+        )
+        return self
+
+    def insert(
+        self,
+        state_name: str,
+        formula: Formula | str,
+        variables: Sequence[str] | None = None,
+    ) -> "PageBuilder":
+        """Add the insertion rule ``S(x) ← φ(x)``."""
+        parsed = self._service.formula(formula)
+        self._state_rules.append(
+            StateRule(
+                state_name, self._vars(parsed, variables, state_name, None), parsed,
+                insert=True,
+            )
+        )
+        return self
+
+    def delete(
+        self,
+        state_name: str,
+        formula: Formula | str,
+        variables: Sequence[str] | None = None,
+    ) -> "PageBuilder":
+        """Add the deletion rule ``¬S(x) ← φ(x)``."""
+        parsed = self._service.formula(formula)
+        self._state_rules.append(
+            StateRule(
+                state_name, self._vars(parsed, variables, state_name, None), parsed,
+                insert=False,
+            )
+        )
+        return self
+
+    def act(
+        self,
+        action_name: str,
+        formula: Formula | str,
+        variables: Sequence[str] | None = None,
+    ) -> "PageBuilder":
+        """Add the action rule ``A(x) ← φ(x)`` and declare the action."""
+        parsed = self._service.formula(formula)
+        if action_name not in self._actions:
+            self._actions.append(action_name)
+        self._action_rules.append(
+            ActionRule(action_name, self._vars(parsed, variables, action_name, None), parsed)
+        )
+        return self
+
+    def target(self, page_name: str, formula: Formula | str) -> "PageBuilder":
+        """Add the target rule ``V ← φ``."""
+        parsed = self._service.formula(formula)
+        self._target_rules.append(TargetRule(page_name, parsed))
+        return self
+
+    def _build(self) -> WebPageSchema:
+        targets: list[str] = []
+        for rule in self._target_rules:
+            if rule.target not in targets:
+                targets.append(rule.target)
+        return WebPageSchema(
+            name=self.name,
+            inputs=tuple(self._inputs),
+            input_constants=tuple(dict.fromkeys(self._constants)),
+            actions=tuple(self._actions),
+            targets=tuple(targets),
+            input_rules=tuple(self._input_rules),
+            state_rules=tuple(self._state_rules),
+            action_rules=tuple(self._action_rules),
+            target_rules=tuple(self._target_rules),
+        )

@@ -1,0 +1,310 @@
+"""Classify a Web service against the paper's decidability map.
+
+The verifier dispatches on the class of the (service, property) pair:
+
+- **input-bounded** (§3): linear-time verification decidable
+  (Theorem 3.5);
+- **propositional input-bounded** (§4): CTL/CTL* verification decidable
+  (Theorem 4.4);
+- **fully propositional**: CTL* verification in PSPACE (Theorem 4.6);
+- **input-driven search** (Definition 4.7): CTL/CTL* verification
+  decidable (Theorem 4.9);
+- anything else: undecidable in general (Theorems 3.7-3.9, 4.2), and
+  :func:`classify` reports *which* restriction fails and why.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.fol.analysis import (
+    atoms_of,
+    check_input_bounded,
+    check_input_rule_formula,
+    free_variables,
+    relation_names,
+)
+from repro.fol.formulas import And, Atom, Eq, Exists, Formula, Not, Or
+from repro.fol.terms import DbConst, Var
+from repro.service.webservice import WebService
+
+
+class ServiceClass(enum.Enum):
+    """Decidable classes of Web services identified by the paper."""
+
+    INPUT_BOUNDED = "input-bounded (Theorem 3.5)"
+    PROPOSITIONAL = "propositional input-bounded (Theorem 4.4)"
+    FULLY_PROPOSITIONAL = "fully propositional (Theorem 4.6)"
+    INPUT_DRIVEN_SEARCH = "input-driven search (Theorem 4.9)"
+    SIMPLE = "simple (Definition A.8)"
+    UNRESTRICTED = "unrestricted (verification undecidable in general)"
+
+
+@dataclass
+class ClassificationReport:
+    """Which decidable classes a service belongs to, with explanations."""
+
+    classes: set[ServiceClass] = field(default_factory=set)
+    reasons: dict[ServiceClass, list[str]] = field(default_factory=dict)
+    has_state_projections: bool = False
+    uses_prev: bool = False
+
+    def is_in(self, cls: ServiceClass) -> bool:
+        return cls in self.classes
+
+    def why_not(self, cls: ServiceClass) -> list[str]:
+        """Why the service is *not* in the given class (empty if it is)."""
+        return self.reasons.get(cls, [])
+
+    def describe(self) -> str:
+        lines = ["service classification:"]
+        for cls in ServiceClass:
+            if cls is ServiceClass.UNRESTRICTED:
+                continue
+            mark = "yes" if cls in self.classes else "no "
+            lines.append(f"  [{mark}] {cls.value}")
+            for reason in self.reasons.get(cls, [])[:4]:
+                lines.append(f"        - {reason}")
+        if self.has_state_projections:
+            lines.append(
+                "  note: uses state projections (undecidable extension, Thm 3.8)"
+            )
+        return "\n".join(lines)
+
+
+def classify(service: WebService) -> ClassificationReport:
+    """Classify ``service`` against every decidable class."""
+    report = ClassificationReport()
+    checks = {
+        ServiceClass.INPUT_BOUNDED: _check_input_bounded_service(service),
+        ServiceClass.PROPOSITIONAL: _check_propositional(service),
+        ServiceClass.FULLY_PROPOSITIONAL: _check_fully_propositional(service),
+        ServiceClass.INPUT_DRIVEN_SEARCH: _check_input_driven_search(service),
+        ServiceClass.SIMPLE: _check_simple(service),
+    }
+    for cls, problems in checks.items():
+        if problems:
+            report.reasons[cls] = problems
+        else:
+            report.classes.add(cls)
+    if not report.classes:
+        report.classes.add(ServiceClass.UNRESTRICTED)
+    report.has_state_projections = _has_state_projections(service)
+    report.uses_prev = _uses_prev(service)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# individual class checks (each returns a list of problems, empty = member)
+# ---------------------------------------------------------------------------
+
+def _check_input_bounded_service(service: WebService) -> list[str]:
+    problems: list[str] = []
+    pages = service.page_names
+    for page, kind, formula in service.all_rule_formulas():
+        where = f"page {page.name}, {kind} rule"
+        if kind == "input":
+            rep = check_input_rule_formula(formula, service.schema)
+        else:
+            rep = check_input_bounded(formula, service.schema, pages)
+        if not rep.ok:
+            problems.extend(f"{where}: {r}" for r in rep.reasons)
+    return problems
+
+
+def _check_propositional(service: WebService) -> list[str]:
+    """Propositional services (§4): input-bounded, propositional states
+    and actions, and no ``Prev_I`` atoms in any rule."""
+    problems = _check_input_bounded_service(service)
+    for sym in service.schema.state.relations:
+        if sym.arity != 0:
+            problems.append(f"state relation {sym} is not propositional")
+    for sym in service.schema.action.relations:
+        if sym.arity != 0:
+            problems.append(f"action relation {sym} is not propositional")
+    if _uses_prev(service):
+        problems.append("rules use prev_I atoms, not allowed for this class")
+    return problems
+
+
+def _check_fully_propositional(service: WebService) -> list[str]:
+    """Fully propositional services (Theorem 4.6): everything is
+    propositional and the database plays no role."""
+    problems = _check_propositional(service)
+    for sym in service.schema.input.relations:
+        if sym.arity != 0:
+            problems.append(f"input relation {sym} is not propositional")
+    if service.schema.input_constants:
+        problems.append(
+            f"service uses input constants "
+            f"{sorted(service.schema.input_constants)}"
+        )
+    db_names = {sym.name for sym in service.schema.database.relations}
+    for page, kind, formula in service.all_rule_formulas():
+        used = relation_names(formula) & db_names
+        if used:
+            problems.append(
+                f"page {page.name}, {kind} rule reads database relations "
+                f"{sorted(used)}"
+            )
+    return problems
+
+
+def _check_simple(service: WebService) -> list[str]:
+    """Simple services (Definition A.8): one page, no input constants."""
+    problems: list[str] = []
+    if len(service.pages) != 1:
+        problems.append(f"service has {len(service.pages)} pages, not 1")
+    if service.schema.input_constants:
+        problems.append(
+            f"input schema has constants {sorted(service.schema.input_constants)}"
+        )
+    return problems
+
+
+def _check_input_driven_search(service: WebService) -> list[str]:
+    """Input-driven-search services (Definition 4.7)."""
+    problems = _check_input_bounded_service(service)
+    schema = service.schema
+
+    inputs = sorted(schema.input.relations)
+    if len(inputs) != 1 or inputs[0].arity != 1:
+        problems.append("input schema must consist of a single unary relation I")
+        return problems
+    input_sym = inputs[0]
+    if schema.input_constants:
+        problems.append("input constants are not allowed")
+
+    not_start = schema.state.get("not_start") or schema.state.get("not-start")
+    if not_start is None or not_start.arity != 0:
+        problems.append("state schema must include the proposition not_start")
+    for sym in schema.state.relations:
+        if sym.arity != 0:
+            problems.append(f"state relation {sym} is not propositional")
+    for sym in schema.action.relations:
+        if sym.arity != 0:
+            problems.append(f"action relation {sym} is not propositional")
+
+    if "i0" not in schema.database.constants:
+        problems.append("database schema must include the constant i0")
+    search_rel = schema.database.get("R_I") or schema.database.get("RI")
+    if search_rel is None or search_rel.arity != 2:
+        problems.append("database schema must include a binary relation R_I")
+
+    if problems:
+        return problems
+
+    for page in service.pages.values():
+        rule = page.input_rule_for(input_sym.name)
+        if rule is None:
+            problems.append(f"page {page.name} lacks the input rule for I")
+            continue
+        if not _matches_ids_input_rule(
+            rule.formula, rule.variables[0], input_sym.name, search_rel.name,
+            not_start.name, service,
+        ):
+            problems.append(
+                f"page {page.name}: input rule does not match the "
+                "input-driven-search shape of Definition 4.7"
+            )
+    # The state rule for not_start must be the toggle not_start <- !not_start.
+    toggled_somewhere = False
+    for page in service.pages.values():
+        ins, _ = page.state_rules_for(not_start.name)
+        if ins is not None and ins.formula == Not(Atom(not_start.name, ())):
+            toggled_somewhere = True
+        elif ins is not None:
+            problems.append(
+                f"page {page.name}: not_start rule must be "
+                "not_start <- !not_start"
+            )
+    if not toggled_somewhere:
+        problems.append("no page sets not_start via not_start <- !not_start")
+    return problems
+
+
+def _matches_ids_input_rule(
+    formula: Formula,
+    head_var: str,
+    input_name: str,
+    search_rel: str,
+    not_start: str,
+    service: WebService,
+) -> bool:
+    """Match ``(¬not_start ∧ y = i0) ∨ (not_start ∧ ∃x(prev_I(x) ∧
+    R_I(x,y)) ∧ φ(y))`` with φ quantifier-free over D ∪ S."""
+    if not isinstance(formula, Or) or len(formula.parts) != 2:
+        return False
+
+    def is_start_branch(f: Formula) -> bool:
+        if not isinstance(f, And) or len(f.parts) != 2:
+            return False
+        has_neg = any(
+            isinstance(p, Not) and p.body == Atom(not_start, ()) for p in f.parts
+        )
+        has_eq = any(
+            isinstance(p, Eq)
+            and isinstance(p.left, Var)
+            and p.left.name == head_var
+            and isinstance(p.right, DbConst)
+            and p.right.name == "i0"
+            for p in f.parts
+        )
+        return has_neg and has_eq
+
+    def is_search_branch(f: Formula) -> bool:
+        if not isinstance(f, And):
+            return False
+        has_state = any(p == Atom(not_start, ()) for p in f.parts)
+        has_step = False
+        for p in f.parts:
+            if isinstance(p, Exists) and len(p.variables) == 1:
+                x = p.variables[0]
+                body = p.body
+                conj = list(body.parts) if isinstance(body, And) else [body]
+                has_prev = any(
+                    isinstance(q, Atom)
+                    and q.relation == f"prev_{input_name}"
+                    and q.terms == (Var(x),)
+                    for q in conj
+                )
+                has_edge = any(
+                    isinstance(q, Atom)
+                    and q.relation == search_rel
+                    and q.terms == (Var(x), Var(head_var))
+                    for q in conj
+                )
+                if has_prev and has_edge:
+                    has_step = True
+        return has_state and has_step
+
+    a, b = formula.parts
+    return (is_start_branch(a) and is_search_branch(b)) or (
+        is_start_branch(b) and is_search_branch(a)
+    )
+
+
+def _has_state_projections(service: WebService) -> bool:
+    """Detect insertion rules of the shape ``S(x) ← ∃y S'(x, y)``
+    (the undecidable extension of Theorem 3.8)."""
+    state_names = {sym.name for sym in service.schema.state.relations}
+    for page in service.pages.values():
+        for rule in page.state_rules:
+            f = rule.formula
+            if (
+                rule.insert
+                and isinstance(f, Exists)
+                and isinstance(f.body, Atom)
+                and f.body.relation in state_names
+            ):
+                return True
+    return False
+
+
+def _uses_prev(service: WebService) -> bool:
+    prev_names = {sym.name for sym in service.schema.prev.relations}
+    for _page, _kind, formula in service.all_rule_formulas():
+        if relation_names(formula) & prev_names:
+            return True
+    return False

@@ -1,0 +1,103 @@
+"""Web page schemas (Definition 2.1).
+
+A Web page schema ``W = <I_W, A_W, T_W, R_W>`` declares the page's input
+relations and constants, its action relations, its target pages, and its
+rule set.  Here the rule set is split by kind for direct access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.service.rules import ActionRule, InputRule, StateRule, TargetRule
+
+
+@dataclass(frozen=True)
+class WebPageSchema:
+    """One Web page of the service.
+
+    Parameters
+    ----------
+    name:
+        The page symbol (also usable as a proposition in properties).
+    inputs:
+        Names of the input *relations* of the page (``I_W ∩ I``).
+    input_constants:
+        Input constants the page requests from the user (``I_W ∩ const(I)``).
+        Requesting a constant already provided earlier in the run triggers
+        error condition (ii) of Definition 2.3.
+    actions:
+        Names of the page's action relations (``A_W``).
+    targets:
+        Names of the possible next pages (``T_W``).
+    input_rules, state_rules, action_rules, target_rules:
+        The page's rule set ``R_W``.
+    """
+
+    name: str
+    inputs: tuple[str, ...] = ()
+    input_constants: tuple[str, ...] = ()
+    actions: tuple[str, ...] = ()
+    targets: tuple[str, ...] = ()
+    input_rules: tuple[InputRule, ...] = ()
+    state_rules: tuple[StateRule, ...] = ()
+    action_rules: tuple[ActionRule, ...] = ()
+    target_rules: tuple[TargetRule, ...] = ()
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Iterable[str] = (),
+        input_constants: Iterable[str] = (),
+        actions: Iterable[str] = (),
+        targets: Iterable[str] = (),
+        input_rules: Iterable[InputRule] = (),
+        state_rules: Iterable[StateRule] = (),
+        action_rules: Iterable[ActionRule] = (),
+        target_rules: Iterable[TargetRule] = (),
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "inputs", tuple(inputs))
+        object.__setattr__(self, "input_constants", tuple(input_constants))
+        object.__setattr__(self, "actions", tuple(actions))
+        object.__setattr__(self, "targets", tuple(targets))
+        object.__setattr__(self, "input_rules", tuple(input_rules))
+        object.__setattr__(self, "state_rules", tuple(state_rules))
+        object.__setattr__(self, "action_rules", tuple(action_rules))
+        object.__setattr__(self, "target_rules", tuple(target_rules))
+
+    def input_rule_for(self, input_name: str) -> InputRule | None:
+        """The options rule for an input relation, if declared."""
+        for rule in self.input_rules:
+            if rule.input == input_name:
+                return rule
+        return None
+
+    def state_rules_for(self, state_name: str) -> tuple[StateRule | None, StateRule | None]:
+        """The (insertion, deletion) rules for a state relation on this page.
+
+        Definition 2.1 allows one, both, or neither.
+        """
+        ins = del_ = None
+        for rule in self.state_rules:
+            if rule.state == state_name:
+                if rule.insert:
+                    ins = rule
+                else:
+                    del_ = rule
+        return ins, del_
+
+    def all_rules(self) -> Iterator[InputRule | StateRule | ActionRule | TargetRule]:
+        """All rules of the page, in declaration order by kind."""
+        yield from self.input_rules
+        yield from self.state_rules
+        yield from self.action_rules
+        yield from self.target_rules
+
+    def updated_states(self) -> frozenset[str]:
+        """Names of state relations this page inserts into or deletes from."""
+        return frozenset(rule.state for rule in self.state_rules)
+
+    def __str__(self) -> str:
+        return f"WebPageSchema({self.name})"

@@ -1,0 +1,114 @@
+"""The four kinds of rules of a Web page schema (Definition 2.1).
+
+- :class:`InputRule` — ``Options_I(x) ← φ(x)``: the options offered to
+  the user for input relation ``I``;
+- :class:`StateRule` — ``S(x) ← φ⁺(x)`` (insertion) or ``¬S(x) ← φ⁻(x)``
+  (deletion);
+- :class:`ActionRule` — ``A(x) ← φ(x)``;
+- :class:`TargetRule` — ``V ← φ``: transition to page ``V`` (φ is an FO
+  *sentence*).
+
+Each rule stores the head relation/page *name* and the body formula; the
+variable tuple of the head is ``variables`` and must list the body's free
+variables in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fol.analysis import free_variables
+from repro.fol.formulas import Formula
+
+
+def _check_head_variables(
+    head: str, variables: tuple[str, ...], formula: Formula
+) -> None:
+    if len(set(variables)) != len(variables):
+        raise ValueError(f"rule for {head}: repeated head variables {variables}")
+    free = free_variables(formula)
+    extra = free - set(variables)
+    if extra:
+        raise ValueError(
+            f"rule for {head}: body has free variables {sorted(extra)} "
+            f"not among head variables {list(variables)}"
+        )
+
+
+@dataclass(frozen=True)
+class InputRule:
+    """``Options_I(x) ← φ(x)`` for an input relation ``I`` of arity > 0.
+
+    Definition 2.1 restricts φ to the vocabulary
+    ``D ∪ S ∪ Prev_I ∪ const(I)``.
+    """
+
+    input: str
+    variables: tuple[str, ...]
+    formula: Formula
+
+    def __post_init__(self) -> None:
+        _check_head_variables(self.input, self.variables, self.formula)
+
+    def __str__(self) -> str:
+        head_vars = ", ".join(self.variables)
+        return f"Options_{self.input}({head_vars}) <- {self.formula}"
+
+
+@dataclass(frozen=True)
+class StateRule:
+    """``S(x) ← φ(x)`` (``insert=True``) or ``¬S(x) ← φ(x)`` (insert=False).
+
+    Conflicting insert/delete for the same tuple is a no-op
+    (Definition 2.3's three-disjunct update formula).
+    """
+
+    state: str
+    variables: tuple[str, ...]
+    formula: Formula
+    insert: bool = True
+
+    def __post_init__(self) -> None:
+        _check_head_variables(self.state, self.variables, self.formula)
+
+    def __str__(self) -> str:
+        head_vars = ", ".join(self.variables)
+        head = f"{self.state}({head_vars})" if self.variables else self.state
+        sign = "" if self.insert else "¬"
+        return f"{sign}{head} <- {self.formula}"
+
+
+@dataclass(frozen=True)
+class ActionRule:
+    """``A(x) ← φ(x)`` — the action tuples produced at the next step."""
+
+    action: str
+    variables: tuple[str, ...]
+    formula: Formula
+
+    def __post_init__(self) -> None:
+        _check_head_variables(self.action, self.variables, self.formula)
+
+    def __str__(self) -> str:
+        head_vars = ", ".join(self.variables)
+        head = f"{self.action}({head_vars})" if self.variables else self.action
+        return f"{head} <- {self.formula}"
+
+
+@dataclass(frozen=True)
+class TargetRule:
+    """``V ← φ``: go to page ``V`` when the sentence φ holds."""
+
+    target: str
+    formula: Formula
+
+    def __post_init__(self) -> None:
+        free = free_variables(self.formula)
+        if free:
+            raise ValueError(
+                f"target rule for {self.target}: formula must be a sentence, "
+                f"has free variables {sorted(free)}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.target} <- {self.formula}"

@@ -1,0 +1,550 @@
+"""Run semantics (Definition 2.3).
+
+A *snapshot* is one element ``<V_i, S_i, I_i, P_i, A_i>`` of a run,
+together with the bookkeeping set ``Γ_{i-1}`` of input constants provided
+before step ``i`` (needed for error condition (ii)).  The transition
+relation between snapshots is exactly the paper's:
+
+1. **error (i)** — some rule formula of the current page reads an input
+   constant not yet provided;
+2. **error (ii)** — the current page requests an input constant already
+   provided earlier in the run;
+3. **error (iii)** — two or more target rules fire simultaneously;
+4. otherwise the next page is the unique firing target, or the current
+   page when no target fires;
+5. the state update uses the three-disjunct formula (insert/delete
+   conflicts are no-ops), actions fire with one step of delay, and
+   ``prev_I`` at the next step holds the current input to ``I``.
+
+Once the error page is reached the run loops there forever.
+
+User nondeterminism is captured by :class:`UserChoice`: at most one tuple
+per input relation among the generated options, a truth value for each
+propositional input, and a value for each input constant the page
+requests (fixed up front by the run's ``sigma`` in verification,
+interactively in :class:`~repro.service.session.Session`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.fol.analysis import literals_of
+from repro.fol.evaluation import (
+    EvalContext,
+    MissingInputConstantError,
+    evaluate,
+    evaluate_query,
+)
+from repro.schema.database import Database
+from repro.schema.instances import Instance
+from repro.schema.symbols import prev_symbol
+from repro.service.page import WebPageSchema
+from repro.service.webservice import WebService
+
+Value = Hashable
+
+
+@dataclass(frozen=True)
+class UserChoice:
+    """One user interaction at a page.
+
+    ``picks`` holds the chosen tuples as (input name, tuple) pairs — at
+    most one per input relation; for a propositional input the pair
+    ``(name, ())`` means *true*.  ``constants`` holds the values provided
+    for the page's newly requested input constants.
+    """
+
+    picks: frozenset = frozenset()
+    constants: tuple = ()
+
+    @staticmethod
+    def of(
+        picks: Mapping[str, tuple] | Iterable[tuple[str, tuple]] = (),
+        constants: Mapping[str, Value] | None = None,
+    ) -> "UserChoice":
+        """Convenience constructor from dicts."""
+        if isinstance(picks, Mapping):
+            pick_set = frozenset(picks.items())
+        else:
+            pick_set = frozenset(picks)
+        consts = tuple(sorted((constants or {}).items()))
+        return UserChoice(pick_set, consts)
+
+    def constants_dict(self) -> dict[str, Value]:
+        return dict(self.constants)
+
+    def __str__(self) -> str:
+        parts = [f"{name}{t}" for name, t in sorted(self.picks)]
+        parts += [f"@{c}={v!r}" for c, v in self.constants]
+        return "{" + ", ".join(parts) + "}" if parts else "{}"
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One step ``<V_i, S_i, I_i, P_i, A_i>`` of a run.
+
+    ``provided_before`` is ``Γ_{i-1}``; ``pending_error`` records that a
+    rule of this page already violated condition (i) while its input
+    options were generated, forcing the next page to be the error page.
+    """
+
+    page: str
+    state: Instance
+    inputs: Instance
+    prev: Instance
+    actions: Instance
+    provided_before: frozenset[str] = frozenset()
+    is_error: bool = False
+    pending_error: bool = False
+
+    def provided_here(self, service: WebService) -> frozenset[str]:
+        """``Γ_i``: constants provided up to and including this step."""
+        if self.is_error:
+            return self.provided_before
+        page = service.page(self.page)
+        return self.provided_before | frozenset(page.input_constants)
+
+    def describe(self, service: WebService | None = None) -> str:
+        """One-line human-readable rendering."""
+        bits = [self.page]
+        if self.is_error:
+            return f"[{self.page}] (error)"
+        for label, inst in (
+            ("state", self.state),
+            ("in", self.inputs),
+            ("prev", self.prev),
+            ("act", self.actions),
+        ):
+            if inst:
+                facts = ", ".join(
+                    f"{sym.name}{tuple(t)}" if sym.arity else sym.name
+                    for sym, rel in inst
+                    for t in sorted(rel, key=repr)
+                )
+                bits.append(f"{label}={{{facts}}}")
+        return "[" + " | ".join(bits) + "]"
+
+
+class RunContext:
+    """Everything fixed for the duration of one run or one exploration.
+
+    Parameters
+    ----------
+    service:
+        The Web service specification.
+    database:
+        The fixed database instance.
+    sigma:
+        Interpretation of the input constants for this run.  In
+        verification this is enumerated up front; constants missing from
+        ``sigma`` behave as never-provided (error condition (i) fires if
+        a page requests them).
+    extra_domain:
+        Extra quantification-domain elements (the verifier's genericity
+        cutoff for values that do not occur in the database).
+    """
+
+    __slots__ = ("service", "database", "sigma", "extra_domain", "_decl_names")
+
+    def __init__(
+        self,
+        service: WebService,
+        database: Database,
+        sigma: Mapping[str, Value] | None = None,
+        extra_domain: Iterable[Value] = (),
+    ) -> None:
+        self.service = service
+        self.database = database
+        self.sigma = dict(sigma or {})
+        # Active-domain semantics: the specification's literal constants
+        # belong to every structure's domain (schemas share constant
+        # symbols, paper §2), so quantifiers must range over them too.
+        spec_literals: set[Value] = set()
+        for _page, _kind, formula in service.all_rule_formulas():
+            spec_literals |= literals_of(formula)
+        self.extra_domain = frozenset(extra_domain) | frozenset(spec_literals)
+        schema = service.schema
+        names = [r.name for r in schema.state.relations]
+        names += [r.name for r in schema.input.relations]
+        names += [r.name for r in schema.prev.relations]
+        names += [r.name for r in schema.action.relations]
+        self._decl_names = tuple(names)
+
+    def make_eval_context(
+        self,
+        state: Instance,
+        inputs: Instance,
+        prev: Instance,
+        actions: Instance = Instance.empty(),
+        gamma: frozenset[str] = frozenset(),
+        page: str | None = None,
+    ) -> EvalContext:
+        """Evaluation context for rule formulas at one step.
+
+        ``gamma`` scopes the input-constant interpretation: constants
+        outside ``gamma`` read as missing (error condition (i)).
+        """
+        scoped = {c: v for c, v in self.sigma.items() if c in gamma}
+        ctx = EvalContext(
+            database=self.database,
+            state=state,
+            inputs=inputs,
+            prev=prev,
+            actions=actions,
+            input_values=scoped,
+            page=page,
+            page_names=self.service.page_names | {self.service.error_page},
+            extra_domain=self.extra_domain,
+        )
+        ctx.declare_empty(self._decl_names)
+        return ctx
+
+
+def error_snapshot(service: WebService) -> Snapshot:
+    """The absorbing error-page snapshot."""
+    return Snapshot(
+        page=service.error_page,
+        state=Instance.empty(),
+        inputs=Instance.empty(),
+        prev=Instance.empty(),
+        actions=Instance.empty(),
+        provided_before=frozenset(),
+        is_error=True,
+    )
+
+
+def page_options(
+    ctx: RunContext,
+    page: WebPageSchema,
+    state: Instance,
+    prev: Instance,
+    gamma: frozenset[str],
+) -> dict[str, frozenset]:
+    """Options for each arity>0 input relation of ``page``.
+
+    Raises :class:`MissingInputConstantError` when an input rule reads a
+    constant outside ``gamma`` (error condition (i)).
+    """
+    ectx = ctx.make_eval_context(state, Instance.empty(), prev, gamma=gamma)
+    options: dict[str, frozenset] = {}
+    for rule in page.input_rules:
+        tuples = evaluate_query(rule.formula, rule.variables, ectx)
+        options[rule.input] = options.get(rule.input, frozenset()) | tuples
+    return options
+
+
+def enumerate_choices(
+    ctx: RunContext,
+    page: WebPageSchema,
+    state: Instance,
+    prev: Instance,
+    gamma: frozenset[str],
+) -> Iterator[UserChoice]:
+    """All user choices possible at ``page`` (Definition 2.3).
+
+    For each arity>0 input relation: nothing, or one tuple among the
+    options.  For each propositional input: true or false.  Values for
+    requested input constants come from the run's ``sigma``; a constant
+    missing from ``sigma`` simply yields no value (and later triggers
+    error (i) if read).
+    """
+    options = page_options(ctx, page, state, prev, gamma)
+    slots: list[list[tuple[str, tuple] | None]] = []
+    for input_name in page.inputs:
+        sym = ctx.service.schema.input[input_name]
+        if sym.arity == 0:
+            slots.append([None, (input_name, ())])
+        else:
+            per: list[tuple[str, tuple] | None] = [None]
+            per.extend(
+                (input_name, t) for t in sorted(options.get(input_name, ()), key=repr)
+            )
+            slots.append(per)
+    provided = {
+        c: ctx.sigma[c]
+        for c in page.input_constants
+        if c in ctx.sigma
+    }
+    consts = tuple(sorted(provided.items()))
+    if not slots:
+        yield UserChoice(frozenset(), consts)
+        return
+    for combo in itertools.product(*slots):
+        picks = frozenset(p for p in combo if p is not None)
+        yield UserChoice(picks, consts)
+
+
+def _inputs_instance(
+    service: WebService, page: WebPageSchema, choice: UserChoice
+) -> Instance:
+    contents: dict = {}
+    for input_name, t in choice.picks:
+        sym = service.schema.input[input_name]
+        contents.setdefault(sym, set()).add(tuple(t))
+    return Instance(contents)
+
+
+def initial_snapshots(ctx: RunContext) -> list[Snapshot]:
+    """All step-0 snapshots: home page, empty state, each possible choice."""
+    service = ctx.service
+    home = service.page(service.home)
+    gamma0 = frozenset(home.input_constants)
+    empty = Instance.empty()
+    try:
+        choices = list(enumerate_choices(ctx, home, empty, empty, gamma0))
+    except MissingInputConstantError:
+        return [
+            Snapshot(
+                page=home.name,
+                state=empty,
+                inputs=empty,
+                prev=empty,
+                actions=empty,
+                provided_before=frozenset(),
+                pending_error=True,
+            )
+        ]
+    return [
+        Snapshot(
+            page=home.name,
+            state=empty,
+            inputs=_inputs_instance(service, home, choice),
+            prev=empty,
+            actions=empty,
+            provided_before=frozenset(),
+        )
+        for choice in choices
+    ]
+
+
+def _updated_state(
+    ctx: RunContext,
+    page: WebPageSchema,
+    ectx: EvalContext,
+    state: Instance,
+) -> Instance:
+    """Apply the three-disjunct state update of Definition 2.3."""
+    new_contents: dict = {sym: rel for sym, rel in state}
+    for state_name in sorted(page.updated_states()):
+        sym = ctx.service.schema.state[state_name]
+        inserted: frozenset = frozenset()
+        deleted: frozenset = frozenset()
+        # Several rules with the same head act as the disjunction of
+        # their bodies (equivalent to Definition 2.1's single rule).
+        for rule in page.state_rules:
+            if rule.state != state_name:
+                continue
+            tuples = evaluate_query(rule.formula, rule.variables, ectx)
+            if rule.insert:
+                inserted |= tuples
+            else:
+                deleted |= tuples
+        old = state.tuples(sym)
+        # tuple kept:    old and not (deleted and not inserted)
+        # tuple added:   inserted and not deleted
+        new_rel = (old - (deleted - inserted)) | (inserted - deleted)
+        if new_rel:
+            new_contents[sym] = new_rel
+        else:
+            new_contents.pop(sym, None)
+    return Instance(new_contents)
+
+
+def _fired_actions(page: WebPageSchema, ectx: EvalContext, ctx: RunContext) -> Instance:
+    contents: dict = {}
+    for rule in page.action_rules:
+        sym = ctx.service.schema.action[rule.action]
+        tuples = evaluate_query(rule.formula, rule.variables, ectx)
+        if tuples:
+            contents[sym] = contents.get(sym, frozenset()) | tuples
+    return Instance(contents)
+
+
+def _next_prev(ctx: RunContext, page: WebPageSchema, inputs: Instance) -> Instance:
+    """``P_{i+1}``: current inputs, relabelled over the prev vocabulary."""
+    contents: dict = {}
+    for input_name in page.inputs:
+        sym = ctx.service.schema.input[input_name]
+        tuples = inputs.tuples(sym)
+        if tuples:
+            contents[prev_symbol(sym)] = tuples
+    return Instance(contents)
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of the deterministic half of a transition.
+
+    When ``error`` is true the next snapshot is the error page;
+    otherwise the next page, state, action and prev instances and the
+    updated constant set ``Γ_i`` are given, and the user's choice at the
+    next page remains to be made.
+    """
+
+    error: bool
+    next_page: str = ""
+    next_state: Instance = Instance.empty()
+    next_actions: Instance = Instance.empty()
+    next_prev: Instance = Instance.empty()
+    gamma: frozenset[str] = frozenset()
+
+
+def deterministic_step(ctx: RunContext, snapshot: Snapshot) -> StepResult:
+    """The part of Definition 2.3 that does not depend on the next choice.
+
+    Evaluates the current page's state, action and target rules, checks
+    error conditions (i), (ii) and (iii), and computes the next page,
+    state, actions and ``prev`` instances.
+    """
+    service = ctx.service
+    page = service.page(snapshot.page)
+
+    # Error condition (ii): the page re-requests a provided constant.
+    if set(page.input_constants) & snapshot.provided_before:
+        return StepResult(error=True)
+
+    gamma = snapshot.provided_here(service)
+    ectx = ctx.make_eval_context(
+        snapshot.state, snapshot.inputs, snapshot.prev, gamma=gamma
+    )
+
+    try:
+        fired = [
+            rule.target
+            for rule in page.target_rules
+            if evaluate(rule.formula, ectx)
+        ]
+        # Error condition (iii): ambiguous next page.
+        if len(set(fired)) > 1:
+            return StepResult(error=True)
+        next_page_name = fired[0] if fired else page.name
+
+        next_state = _updated_state(ctx, page, ectx, snapshot.state)
+        next_actions = _fired_actions(page, ectx, ctx)
+    except MissingInputConstantError:
+        # Error condition (i): a rule read an unprovided constant.
+        return StepResult(error=True)
+
+    next_prev = _next_prev(ctx, page, snapshot.inputs)
+    return StepResult(
+        error=False,
+        next_page=next_page_name,
+        next_state=next_state,
+        next_actions=next_actions,
+        next_prev=next_prev,
+        gamma=gamma,
+    )
+
+
+def successors(ctx: RunContext, snapshot: Snapshot) -> list[Snapshot]:
+    """All possible next snapshots of ``snapshot`` (Definition 2.3)."""
+    service = ctx.service
+    if snapshot.is_error:
+        return [snapshot]
+    if snapshot.pending_error:
+        return [error_snapshot(service)]
+
+    step = deterministic_step(ctx, snapshot)
+    if step.error:
+        return [error_snapshot(service)]
+    next_page_name = step.next_page
+    next_state = step.next_state
+    next_actions = step.next_actions
+    next_prev = step.next_prev
+    gamma = step.gamma
+    next_page = service.page(next_page_name)
+    gamma_next = gamma | frozenset(next_page.input_constants)
+
+    try:
+        choices = list(
+            enumerate_choices(ctx, next_page, next_state, next_prev, gamma_next)
+        )
+    except MissingInputConstantError:
+        # Condition (i) against the next page's input rules: the next
+        # snapshot exists but its own successor is forced to the error page.
+        return [
+            Snapshot(
+                page=next_page_name,
+                state=next_state,
+                inputs=Instance.empty(),
+                prev=next_prev,
+                actions=next_actions,
+                provided_before=gamma,
+                pending_error=True,
+            )
+        ]
+
+    return [
+        Snapshot(
+            page=next_page_name,
+            state=next_state,
+            inputs=_inputs_instance(service, next_page, choice),
+            prev=next_prev,
+            actions=next_actions,
+            provided_before=gamma,
+        )
+        for choice in choices
+    ]
+
+
+@dataclass
+class Run:
+    """A finite prefix of a run, optionally closed into a lasso.
+
+    ``loop_index`` of ``k`` means the run continues forever by repeating
+    ``snapshots[k:]`` (every infinite run produced by the verifier is
+    ultimately periodic).
+    """
+
+    database: Database
+    sigma: dict[str, Value]
+    snapshots: list[Snapshot]
+    loop_index: int | None = None
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def snapshot_at(self, i: int) -> Snapshot:
+        """The i-th snapshot, unrolling the lasso when present."""
+        if i < len(self.snapshots):
+            return self.snapshots[i]
+        if self.loop_index is None:
+            raise IndexError(i)
+        period = len(self.snapshots) - self.loop_index
+        return self.snapshots[self.loop_index + (i - self.loop_index) % period]
+
+    def describe(self, service: WebService | None = None, limit: int = 30) -> str:
+        """Multi-line rendering of the run for reports."""
+        lines = []
+        if self.sigma:
+            lines.append(
+                "input constants: "
+                + ", ".join(f"@{c}={v!r}" for c, v in sorted(self.sigma.items()))
+            )
+        for i, snap in enumerate(self.snapshots[:limit]):
+            marker = " <- loop" if self.loop_index == i else ""
+            lines.append(f"  {i:3d}: {snap.describe(service)}{marker}")
+        if len(self.snapshots) > limit:
+            lines.append(f"  ... ({len(self.snapshots) - limit} more)")
+        return "\n".join(lines)
+
+
+def random_run(
+    ctx: RunContext,
+    steps: int,
+    rng: int | random.Random | None = None,
+) -> Run:
+    """Simulate one run with uniformly random user choices."""
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    starts = initial_snapshots(ctx)
+    snapshot = rand.choice(starts)
+    trace = [snapshot]
+    for _ in range(steps - 1):
+        nexts = successors(ctx, snapshot)
+        snapshot = rand.choice(nexts)
+        trace.append(snapshot)
+    return Run(ctx.database, dict(ctx.sigma), trace)

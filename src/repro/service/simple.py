@@ -1,0 +1,229 @@
+"""The Lemma A.10 reduction: error-free services to *simple* services.
+
+A simple Web service (Definition A.8) has a single page and no input
+constants — the shape of Spielmann's ASM transducers, which the paper's
+Theorem 3.5 upper bound is proved against.  Lemma A.10 shows every
+error-free input-bounded service reduces to a simple one:
+
+- each page symbol becomes a propositional *state* (``__page_W``),
+  maintained by the translated target rules;
+- every rule is guarded by its page's proposition;
+- the input constants move into the database schema (error-freeness
+  guarantees each is provided exactly once, so its value may as well be
+  fixed up front as a database constant);
+- the single page loops on itself (``W0' ← true``).
+
+Timing: the simple service needs one warm-up step to raise the home
+proposition (states start empty), so a property φ of the original
+corresponds to ``X φ`` of the translation —
+:func:`transform_sentence` applies the shift.  The test suite checks
+that verification verdicts agree across the reduction.
+"""
+
+from __future__ import annotations
+
+from repro.fol.formulas import And, Atom, Formula, Not, TRUE
+from repro.fol.terms import DbConst, InputConst, Term
+from repro.fol.transforms import simplify
+from repro.ltl.ltlfo import LTLFOSentence
+from repro.ltl.syntax import LX, ltl_map_atoms, LTLAtom
+from repro.schema.schema import RelationalSchema, ServiceSchema
+from repro.schema.symbols import state_relation
+from repro.service.page import WebPageSchema
+from repro.service.rules import ActionRule, InputRule, StateRule, TargetRule
+from repro.service.webservice import WebService
+
+#: Name prefix for the page propositions of the translation.
+PAGE_PROP_PREFIX = "__page_"
+SIMPLE_PAGE = "W0"
+
+
+def _page_prop(name: str) -> str:
+    return PAGE_PROP_PREFIX + name
+
+
+def _constants_to_db(f: Formula) -> Formula:
+    """Rewrite input constants as database constants (same names)."""
+
+    def fix_term(t: Term) -> Term:
+        if isinstance(t, InputConst):
+            return DbConst(t.name)
+        return t
+
+    from repro.fol.formulas import (
+        And as FAnd, Bottom, Eq, Exists, Forall, Iff, Implies, Not as FNot,
+        Or as FOr, Top,
+    )
+
+    def walk(g: Formula) -> Formula:
+        if isinstance(g, Atom):
+            return Atom(g.relation, tuple(fix_term(t) for t in g.terms))
+        if isinstance(g, Eq):
+            return Eq(fix_term(g.left), fix_term(g.right))
+        if isinstance(g, (Top, Bottom)):
+            return g
+        if isinstance(g, FNot):
+            return FNot(walk(g.body))
+        if isinstance(g, FAnd):
+            return FAnd(tuple(walk(p) for p in g.parts))
+        if isinstance(g, FOr):
+            return FOr(tuple(walk(p) for p in g.parts))
+        if isinstance(g, Implies):
+            return Implies(walk(g.antecedent), walk(g.consequent))
+        if isinstance(g, Iff):
+            return Iff(walk(g.left), walk(g.right))
+        if isinstance(g, (Exists, Forall)):
+            cls = type(g)
+            return cls(g.variables, walk(g.body))
+        raise TypeError(f"cannot rewrite {g!r}")
+
+    return walk(f)
+
+
+def to_simple_service(service: WebService) -> WebService:
+    """Apply the Lemma A.10 construction.
+
+    The result has one page, no input constants (they become database
+    constants, to be interpreted by each verified database), and page
+    propositions as states.  Intended for *error-free* services — for
+    services that can err, the translation has no error page to reach,
+    so verdicts may differ exactly on the erring runs.
+    """
+    schema = service.schema
+    page_props = {name: _page_prop(name) for name in sorted(service.page_names)}
+
+    new_state = RelationalSchema(
+        list(schema.state.relations)
+        + [state_relation(p) for p in page_props.values()],
+        schema.state.constants,
+    )
+    new_database = RelationalSchema(
+        schema.database.relations,
+        set(schema.database.constants) | set(schema.input_constants),
+    )
+    new_input = RelationalSchema(schema.input.relations)  # constants dropped
+    new_schema = ServiceSchema(
+        database=new_database,
+        state=new_state,
+        input=new_input,
+        action=schema.action,
+    )
+
+    input_rules: dict[str, list[Formula]] = {}
+    state_rules: list[StateRule] = []
+    action_rules: list[ActionRule] = []
+    declared_inputs: list[str] = []
+    declared_actions: list[str] = []
+
+    for page in service.pages.values():
+        here = Atom(page_props[page.name], ())
+        for irule in page.input_rules:
+            if irule.input not in declared_inputs:
+                declared_inputs.append(irule.input)
+            guarded = And(_constants_to_db(irule.formula), here)
+            input_rules.setdefault(irule.input, []).append(guarded)
+        for input_name in page.inputs:
+            if input_name not in declared_inputs:
+                declared_inputs.append(input_name)
+        for srule in page.state_rules:
+            state_rules.append(
+                StateRule(
+                    srule.state,
+                    srule.variables,
+                    simplify(And(_constants_to_db(srule.formula), here)),
+                    insert=srule.insert,
+                )
+            )
+        for arule in page.action_rules:
+            if arule.action not in declared_actions:
+                declared_actions.append(arule.action)
+            action_rules.append(
+                ActionRule(
+                    arule.action,
+                    arule.variables,
+                    simplify(And(_constants_to_db(arule.formula), here)),
+                )
+            )
+        # Page transitions become page-proposition updates.
+        for trule in page.target_rules:
+            fire = simplify(And(_constants_to_db(trule.formula), here))
+            state_rules.append(
+                StateRule(page_props[trule.target], (), fire, insert=True)
+            )
+            if trule.target != page.name:
+                state_rules.append(
+                    StateRule(page_props[page.name], (), fire, insert=False)
+                )
+
+    # Warm-up: raise the home proposition on the first step.
+    nowhere = And([Not(Atom(p, ())) for p in page_props.values()])
+    state_rules.insert(
+        0,
+        StateRule(page_props[service.home], (), simplify(nowhere), insert=True),
+    )
+
+    from repro.fol.formulas import Or
+
+    single_page = WebPageSchema(
+        name=SIMPLE_PAGE,
+        inputs=tuple(declared_inputs),
+        actions=tuple(declared_actions),
+        targets=(SIMPLE_PAGE,),
+        input_rules=tuple(
+            InputRule(
+                name,
+                next(
+                    r.variables
+                    for p in service.pages.values()
+                    for r in p.input_rules
+                    if r.input == name
+                ),
+                simplify(Or(bodies)),
+            )
+            for name, bodies in input_rules.items()
+        ),
+        state_rules=tuple(state_rules),
+        action_rules=tuple(action_rules),
+        target_rules=(TargetRule(SIMPLE_PAGE, TRUE),),
+    )
+
+    return WebService(
+        new_schema,
+        [single_page],
+        home=SIMPLE_PAGE,
+        error_page=service.error_page,
+        name=f"{service.name}+simple",
+    )
+
+
+def transform_sentence(
+    sentence: LTLFOSentence, service: WebService
+) -> LTLFOSentence:
+    """Translate a property across the reduction.
+
+    Page propositions become the corresponding state propositions,
+    input constants become database constants, and the whole skeleton
+    shifts one step (``X φ``) past the warm-up.
+    """
+    page_names = service.page_names
+
+    def fix_atom(a: LTLAtom):
+        payload = a.payload
+        if not isinstance(payload, Formula):
+            return a
+        renamed = _rename_pages(_constants_to_db(payload), page_names)
+        return LTLAtom(renamed)
+
+    skeleton = ltl_map_atoms(sentence.skeleton, fix_atom)
+    return LTLFOSentence(
+        sentence.variables,
+        LX(skeleton),
+        name=f"X[{sentence.name or sentence}]",
+    )
+
+
+def _rename_pages(f: Formula, page_names: frozenset[str]) -> Formula:
+    from repro.fol.transforms import rename_relations
+
+    mapping = {name: _page_prop(name) for name in page_names}
+    return rename_relations(f, mapping)

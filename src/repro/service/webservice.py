@@ -1,0 +1,284 @@
+"""The :class:`WebService` specification (Definition 2.1).
+
+A Web service is ``<D, S, I, A, W, W0, W⊥>``: the four relational
+schemas, a finite set of Web page schemas, a designated home page, and an
+error page not in ``W``.  Construction validates the specification
+structurally — undeclared relations, arity mismatches, rules over the
+wrong vocabulary, or missing input rules raise
+:class:`SpecificationError` listing every problem found.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.fol.analysis import (
+    atoms_of,
+    db_constants_of,
+    free_variables,
+    input_constants_of,
+)
+from repro.fol.formulas import Formula
+from repro.schema.schema import ServiceSchema
+from repro.schema.symbols import RelationKind, unprev_name
+from repro.service.page import WebPageSchema
+
+#: Default name of the error page ``W⊥`` (not a member of ``W``).
+ERROR_PAGE = "ERROR"
+
+
+class SpecificationError(Exception):
+    """A structurally invalid Web service specification.
+
+    Carries the full list of problems so an author can fix them in one
+    round trip.
+    """
+
+    def __init__(self, problems: list[str]) -> None:
+        self.problems = problems
+        summary = "\n  - ".join(problems)
+        super().__init__(f"invalid Web service specification:\n  - {summary}")
+
+
+class WebService:
+    """A data-driven Web service specification.
+
+    Parameters
+    ----------
+    schema:
+        The four-part :class:`~repro.schema.schema.ServiceSchema`.
+    pages:
+        The Web page schemas (``W``).
+    home:
+        Name of the home page ``W0``.
+    error_page:
+        Name of the error page ``W⊥``; must not be a member of ``pages``.
+    name:
+        Optional human-readable name, used in reports.
+    """
+
+    def __init__(
+        self,
+        schema: ServiceSchema,
+        pages: Iterable[WebPageSchema],
+        home: str,
+        error_page: str = ERROR_PAGE,
+        name: str = "web-service",
+    ) -> None:
+        self.schema = schema
+        self.pages: dict[str, WebPageSchema] = {}
+        for page in pages:
+            if page.name in self.pages:
+                raise SpecificationError([f"duplicate page name {page.name!r}"])
+            self.pages[page.name] = page
+        self.home = home
+        self.error_page = error_page
+        self.name = name
+        problems = list(self._validate())
+        if problems:
+            raise SpecificationError(problems)
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def page_names(self) -> frozenset[str]:
+        """Names of all pages in ``W`` (the error page is not included)."""
+        return frozenset(self.pages)
+
+    def page(self, name: str) -> WebPageSchema:
+        """The page schema called ``name``."""
+        try:
+            return self.pages[name]
+        except KeyError:
+            raise KeyError(f"no page named {name!r}") from None
+
+    def __iter__(self) -> Iterator[WebPageSchema]:
+        return iter(self.pages.values())
+
+    def input_symbols_of(self, page: WebPageSchema):
+        """Input relation symbols (arity >= 0) of a page."""
+        return [self.schema.input[name] for name in page.inputs]
+
+    def literal_constants(self) -> frozenset:
+        """Literal values mentioned anywhere in the specification.
+
+        Active-domain semantics treats these as constants of the schema
+        (schemas may share constant symbols, §2); the verifier includes
+        them in every enumerated database domain.
+        """
+        from repro.fol.analysis import literals_of
+
+        out: set = set()
+        for _page, _kind, formula in self.all_rule_formulas():
+            out |= literals_of(formula)
+        return frozenset(out)
+
+    def all_rule_formulas(self) -> Iterator[tuple[WebPageSchema, str, Formula]]:
+        """All (page, rule-kind, formula) triples of the specification."""
+        for page in self.pages.values():
+            for rule in page.input_rules:
+                yield page, "input", rule.formula
+            for rule in page.state_rules:
+                yield page, "state", rule.formula
+            for rule in page.action_rules:
+                yield page, "action", rule.formula
+            for rule in page.target_rules:
+                yield page, "target", rule.formula
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate(self) -> Iterator[str]:
+        if self.home not in self.pages:
+            yield f"home page {self.home!r} is not among the declared pages"
+        if self.error_page in self.pages:
+            yield f"error page {self.error_page!r} must not be a member of W"
+
+        for page in self.pages.values():
+            yield from self._validate_page(page)
+
+    def _validate_page(self, page: WebPageSchema) -> Iterator[str]:
+        where = f"page {page.name}"
+        input_rel_names = set()
+        for input_name in page.inputs:
+            sym = self.schema.input.get(input_name)
+            if sym is None:
+                yield f"{where}: input {input_name!r} is not in the input schema"
+                continue
+            input_rel_names.add(input_name)
+            if sym.arity > 0 and page.input_rule_for(input_name) is None:
+                yield (
+                    f"{where}: input relation {input_name!r} has arity "
+                    f"{sym.arity} > 0 but no input rule"
+                )
+        for const in page.input_constants:
+            if const not in self.schema.input_constants:
+                yield (
+                    f"{where}: input constant {const!r} is not declared in the "
+                    "input schema"
+                )
+        for action_name in page.actions:
+            if self.schema.action.get(action_name) is None:
+                yield f"{where}: action {action_name!r} is not in the action schema"
+        for target in page.targets:
+            if target not in self.pages:
+                yield f"{where}: target {target!r} is not a declared page"
+
+        declared_targets = set(page.targets)
+        for rule in page.target_rules:
+            if rule.target not in declared_targets:
+                yield (
+                    f"{where}: target rule for {rule.target!r} but "
+                    f"{rule.target!r} is not among the page's targets"
+                )
+            yield from self._check_formula(
+                rule.formula, page, f"{where}, target rule {rule.target}",
+                allow_page_inputs=True,
+            )
+
+        for rule in page.input_rules:
+            sym = self.schema.input.get(rule.input)
+            if sym is None:
+                yield f"{where}: input rule for undeclared input {rule.input!r}"
+            else:
+                if rule.input not in input_rel_names:
+                    yield (
+                        f"{where}: input rule for {rule.input!r}, which is not "
+                        "among the page's inputs"
+                    )
+                if len(rule.variables) != sym.arity:
+                    yield (
+                        f"{where}: input rule for {rule.input!r} has "
+                        f"{len(rule.variables)} head variables, arity is {sym.arity}"
+                    )
+            yield from self._check_formula(
+                rule.formula, page, f"{where}, input rule {rule.input}",
+                allow_page_inputs=False,
+            )
+
+        for srule in page.state_rules:
+            sym = self.schema.state.get(srule.state)
+            if sym is None:
+                yield f"{where}: state rule for undeclared state {srule.state!r}"
+            elif len(srule.variables) != sym.arity:
+                yield (
+                    f"{where}: state rule for {srule.state!r} has "
+                    f"{len(srule.variables)} head variables, arity is {sym.arity}"
+                )
+            yield from self._check_formula(
+                srule.formula, page, f"{where}, state rule {srule.state}",
+                allow_page_inputs=True,
+            )
+
+        for arule in page.action_rules:
+            sym = self.schema.action.get(arule.action)
+            if sym is None:
+                yield f"{where}: action rule for undeclared action {arule.action!r}"
+            else:
+                if arule.action not in page.actions:
+                    yield (
+                        f"{where}: action rule for {arule.action!r}, which is "
+                        "not among the page's actions"
+                    )
+                if len(arule.variables) != sym.arity:
+                    yield (
+                        f"{where}: action rule for {arule.action!r} has "
+                        f"{len(arule.variables)} head variables, arity is {sym.arity}"
+                    )
+            yield from self._check_formula(
+                arule.formula, page, f"{where}, action rule {arule.action}",
+                allow_page_inputs=True,
+            )
+
+    def _check_formula(
+        self,
+        formula: Formula,
+        page: WebPageSchema,
+        where: str,
+        allow_page_inputs: bool,
+    ) -> Iterator[str]:
+        """Check vocabulary and arities of a rule body (Definition 2.1).
+
+        Input rules may use ``D ∪ S ∪ Prev_I ∪ const(I)``; state, action
+        and target rules may additionally use the page's own inputs
+        ``I_W``.
+        """
+        page_inputs = set(page.inputs)
+        for a in atoms_of(formula):
+            sym = self.schema.resolve(a.relation)
+            if sym is None:
+                yield f"{where}: unknown relation {a.relation!r}"
+                continue
+            if len(a.terms) != sym.arity:
+                yield (
+                    f"{where}: atom {a} has {len(a.terms)} arguments, "
+                    f"{a.relation} has arity {sym.arity}"
+                )
+            if sym.kind is RelationKind.ACTION:
+                yield f"{where}: rule bodies may not read action relation {a.relation!r}"
+            elif sym.kind is RelationKind.INPUT:
+                if not allow_page_inputs:
+                    yield (
+                        f"{where}: input rules may not read current inputs "
+                        f"({a.relation!r})"
+                    )
+                elif a.relation not in page_inputs:
+                    yield (
+                        f"{where}: atom over input {a.relation!r}, which is not "
+                        f"an input of page {page.name}"
+                    )
+            elif sym.kind is RelationKind.PREV:
+                base = unprev_name(sym)
+                if self.schema.input.get(base) is None:
+                    yield f"{where}: prev atom {a.relation!r} over unknown input"
+        for const in input_constants_of(formula):
+            if const not in self.schema.input_constants:
+                yield f"{where}: unknown input constant @{const}"
+        for const in db_constants_of(formula):
+            if const not in self.schema.database.constants:
+                yield f"{where}: unknown database constant #{const}"
+
+    def __repr__(self) -> str:
+        return (
+            f"WebService({self.name!r}, pages={sorted(self.pages)}, "
+            f"home={self.home!r})"
+        )

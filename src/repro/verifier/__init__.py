@@ -1,0 +1,61 @@
+"""The verifier — decision procedures for the paper's theorems.
+
+- :mod:`repro.verifier.linear` — input-bounded LTL-FO verification
+  (Theorem 3.5) by small-model database enumeration + Büchi products;
+- :mod:`repro.verifier.errors` — error-freeness (Theorem 3.5(i)), both
+  by direct error-page reachability and via the Lemma A.5 reduction;
+- :mod:`repro.verifier.branching` — CTL/CTL* for propositional services
+  (Theorem 4.4, Corollary 4.5) and fully propositional services
+  (Theorem 4.6);
+- :mod:`repro.verifier.search` — Web services with input-driven search
+  (Theorem 4.9);
+- :mod:`repro.verifier.statics` — the front door :func:`verify`, which
+  classifies the (service, property) pair against the paper's
+  decidability map and dispatches or refuses with the relevant theorem;
+- :mod:`repro.verifier.results` — verdicts and counterexamples.
+"""
+
+from repro.verifier.results import (
+    Verdict,
+    VerificationResult,
+    UndecidableInstanceError,
+    VerificationBudgetExceeded,
+)
+from repro.verifier.linear import (
+    verify_ltlfo,
+    default_domain_size,
+    enumerate_sigmas,
+    explore_configuration_graph,
+)
+from repro.verifier.errors import (
+    verify_error_free,
+    error_page_reachable,
+    errorfree_reduction,
+)
+from repro.verifier.branching import (
+    build_snapshot_kripke,
+    verify_ctl,
+    verify_fully_propositional,
+)
+from repro.verifier.search import verify_input_driven_search
+from repro.verifier.statics import verify, decidability_report
+
+__all__ = [
+    "Verdict",
+    "VerificationResult",
+    "UndecidableInstanceError",
+    "VerificationBudgetExceeded",
+    "verify_ltlfo",
+    "default_domain_size",
+    "enumerate_sigmas",
+    "explore_configuration_graph",
+    "verify_error_free",
+    "error_page_reachable",
+    "errorfree_reduction",
+    "build_snapshot_kripke",
+    "verify_ctl",
+    "verify_fully_propositional",
+    "verify_input_driven_search",
+    "verify",
+    "decidability_report",
+]

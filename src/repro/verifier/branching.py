@@ -1,0 +1,295 @@
+"""Branching-time verification (Theorems 4.4, 4.6; Corollary 4.5).
+
+``W ⊨ φ`` for a CTL(*) formula means: for **every** database ``D``, the
+tree of runs ``T_{W,D}`` satisfies φ (Definition in Appendix A.2).  CTL(*)
+is bisimulation-invariant, so the tree can be replaced by the finite
+Kripke structure of reachable configurations (the paper's Lemma A.12);
+Lemma A.11 bounds the databases that need to be checked.  The procedure
+here therefore is: enumerate small databases, build the configuration
+Kripke structure for each, and model check.
+
+Unlike the linear-time case, user-supplied input constants *branch
+inside one structure*: two continuations of the same run may provide
+different values.  The Kripke states are therefore (snapshot, sigma)
+pairs, with sigma growing as pages request constants.
+
+Propositional labels on a configuration follow §4: the current page
+symbol; every true propositional state/action/input symbol; and a ground
+pair ``(name, tuple)`` for every chosen input tuple and every state or
+action tuple, so properties like ``button("login")`` from Example 4.3
+are expressible as ``CAtom(("button", ("login",)))``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable
+
+from repro.ctl.kripke import KripkeStructure
+from repro.ctl.modelcheck import satisfying_states
+from repro.ctl.syntax import StateFormula, ctl_size, is_ctl
+from repro.fol.evaluation import MissingInputConstantError
+from repro.schema.database import Database
+from repro.service.classify import ServiceClass, classify
+from repro.service.runs import (
+    RunContext,
+    Snapshot,
+    UserChoice,
+    _inputs_instance,
+    deterministic_step,
+    enumerate_choices,
+    error_snapshot,
+)
+from repro.service.webservice import WebService
+from repro.verifier.linear import _candidate_databases
+from repro.verifier.results import (
+    UndecidableInstanceError,
+    Verdict,
+    VerificationBudgetExceeded,
+    VerificationResult,
+)
+
+Value = Hashable
+SigmaItems = tuple  # sorted tuple of (constant, value) pairs
+KripkeState = tuple  # (Snapshot, SigmaItems)
+
+DEFAULT_KRIPKE_BUDGET = 100_000
+
+#: The run-tree root (the empty prefix of Appendix A.2): CTL(*) sentences
+#: are evaluated here, one step above the first configurations.
+ROOT_STATE = ("__ROOT__",)
+
+
+def build_snapshot_kripke(
+    service: WebService,
+    database: Database,
+    extra_domain: Iterable[Value] = (),
+    max_states: int = DEFAULT_KRIPKE_BUDGET,
+) -> KripkeStructure:
+    """The configuration Kripke structure of one database (Lemma A.12)."""
+    contexts: dict[SigmaItems, RunContext] = {}
+
+    def ctx_for(sig: SigmaItems) -> RunContext:
+        ctx = contexts.get(sig)
+        if ctx is None:
+            ctx = RunContext(
+                service, database, sigma=dict(sig), extra_domain=extra_domain
+            )
+            contexts[sig] = ctx
+        return ctx
+
+    n_constants = len(service.schema.input_constants)
+    fresh = [f"$new{i}" for i in range(n_constants)]
+    candidates = sorted(database.domain, key=repr) + fresh
+
+    def constant_assignments(
+        sig: SigmaItems, page_constants: Iterable[str]
+    ) -> list[SigmaItems]:
+        have = dict(sig)
+        new = [c for c in page_constants if c not in have]
+        if not new:
+            return [sig]
+        out = []
+        for combo in itertools.product(candidates, repeat=len(new)):
+            merged = dict(have)
+            merged.update(zip(new, combo))
+            out.append(tuple(sorted(merged.items())))
+        return out
+
+    def entries_for(
+        page_name: str,
+        state,
+        prev,
+        actions,
+        provided_before: frozenset[str],
+        gamma: frozenset[str],
+        sig: SigmaItems,
+    ) -> list[KripkeState]:
+        page = service.page(page_name)
+        out: list[KripkeState] = []
+        for sig2 in constant_assignments(sig, page.input_constants):
+            ctx2 = ctx_for(sig2)
+            try:
+                choices = list(
+                    enumerate_choices(ctx2, page, state, prev, gamma)
+                )
+            except MissingInputConstantError:
+                out.append(
+                    (
+                        Snapshot(
+                            page=page_name, state=state,
+                            inputs=_inputs_instance(service, page, UserChoice()),
+                            prev=prev, actions=actions,
+                            provided_before=provided_before,
+                            pending_error=True,
+                        ),
+                        sig2,
+                    )
+                )
+                continue
+            for choice in choices:
+                out.append(
+                    (
+                        Snapshot(
+                            page=page_name, state=state,
+                            inputs=_inputs_instance(service, page, choice),
+                            prev=prev, actions=actions,
+                            provided_before=provided_before,
+                        ),
+                        sig2,
+                    )
+                )
+        return out
+
+    def branch_successors(node: KripkeState) -> list[KripkeState]:
+        snap, sig = node
+        if snap.is_error:
+            return [node]
+        if snap.pending_error:
+            return [(error_snapshot(service), sig)]
+        ctx = ctx_for(sig)
+        step = deterministic_step(ctx, snap)
+        if step.error:
+            return [(error_snapshot(service), sig)]
+        next_page = service.page(step.next_page)
+        gamma_next = step.gamma | frozenset(next_page.input_constants)
+        return entries_for(
+            step.next_page, step.next_state, step.next_prev, step.next_actions,
+            provided_before=step.gamma, gamma=gamma_next, sig=sig,
+        )
+
+    from repro.schema.instances import Instance
+
+    home = service.page(service.home)
+    empty = Instance.empty()
+    initial = entries_for(
+        service.home, empty, empty, empty,
+        provided_before=frozenset(),
+        gamma=frozenset(home.input_constants),
+        sig=(),
+    )
+
+    states: list[KripkeState] = []
+    edges: dict[KripkeState, list[KripkeState]] = {}
+    seen: set[KripkeState] = set(initial)
+    frontier = list(initial)
+    states.extend(initial)
+    while frontier:
+        node = frontier.pop()
+        nexts = branch_successors(node)
+        edges[node] = nexts
+        for nxt in nexts:
+            if nxt not in seen:
+                if len(seen) >= max_states:
+                    raise VerificationBudgetExceeded(
+                        f"Kripke structure exceeds {max_states} states"
+                    )
+                seen.add(nxt)
+                states.append(nxt)
+                frontier.append(nxt)
+
+    labels = {node: _labels(service, node) for node in states}
+    # The run tree of Appendix A.2 is rooted at the *empty prefix*; CTL(*)
+    # sentences are evaluated there (the Theorem 4.2 proof's EX steps to
+    # the first configuration).  Model the root explicitly.
+    states.insert(0, ROOT_STATE)
+    edges[ROOT_STATE] = list(initial)
+    labels[ROOT_STATE] = frozenset()
+    return KripkeStructure(states, [ROOT_STATE], edges, labels)
+
+
+def _labels(service: WebService, node: KripkeState) -> frozenset:
+    """§4 propositional labelling of one configuration."""
+    snap, _sig = node
+    out: set = {snap.page}
+    if snap.is_error:
+        return frozenset(out)
+    for inst in (snap.state, snap.inputs, snap.actions):
+        for sym, rel in inst:
+            out.add(sym.name)
+            for t in rel:
+                if t:
+                    out.add((sym.name, t))
+    return frozenset(out)
+
+
+def verify_ctl(
+    service: WebService,
+    formula: StateFormula,
+    databases: Iterable[Database] | None = None,
+    domain_size: int | None = None,
+    check_restrictions: bool = True,
+    max_states: int = DEFAULT_KRIPKE_BUDGET,
+) -> VerificationResult:
+    """Decide ``W ⊨ φ`` for propositional input-bounded services
+    (Theorem 4.4; Corollary 4.5 is the fixed-parameter special case)."""
+    if check_restrictions:
+        report = classify(service)
+        if not report.is_in(ServiceClass.PROPOSITIONAL):
+            raise UndecidableInstanceError(
+                report.why_not(ServiceClass.PROPOSITIONAL),
+                "Theorem 4.2 (input-bounded CTL-FO is undecidable in general)",
+            )
+
+    dbs, used_size = _candidate_databases(
+        service, None, databases, domain_size, up_to_iso=True
+    )
+    fragment = "CTL" if is_ctl(formula) else "CTL*"
+    stats: dict = {
+        "databases_checked": 0,
+        "kripke_states": 0,
+        "formula_size": ctl_size(formula),
+        "domain_size": used_size,
+    }
+    for db in dbs:
+        stats["databases_checked"] += 1
+        kripke = build_snapshot_kripke(service, db, max_states=max_states)
+        stats["kripke_states"] = max(stats["kripke_states"], kripke.n_states)
+        sat = satisfying_states(kripke, formula)
+        bad = [s for s in kripke.initial if s not in sat]
+        if bad:
+            return VerificationResult(
+                verdict=Verdict.VIOLATED,
+                property_name=str(formula),
+                method=f"propositional {fragment} (Theorem 4.4)",
+                counterexample_database=db,
+                stats={**stats, "violating_initial_states": len(bad)},
+            )
+    return VerificationResult(
+        verdict=Verdict.HOLDS,
+        property_name=str(formula),
+        method=f"propositional {fragment} (Theorem 4.4)",
+        stats=stats,
+    )
+
+
+def verify_fully_propositional(
+    service: WebService,
+    formula: StateFormula,
+    check_restrictions: bool = True,
+) -> VerificationResult:
+    """Decide ``W ⊨ φ`` for fully propositional services (Theorem 4.6).
+
+    The database plays no role, so a single Kripke structure suffices;
+    only its reachable part is ever constructed (the paper's PSPACE
+    algorithm avoids even that via on-the-fly search — reachable-only
+    construction is the practical middle ground).
+    """
+    if check_restrictions:
+        report = classify(service)
+        if not report.is_in(ServiceClass.FULLY_PROPOSITIONAL):
+            raise UndecidableInstanceError(
+                report.why_not(ServiceClass.FULLY_PROPOSITIONAL),
+                "Theorem 4.6 requires a fully propositional service",
+            )
+    empty_db = Database(service.schema.database)
+    kripke = build_snapshot_kripke(service, empty_db)
+    sat = satisfying_states(kripke, formula)
+    fragment = "CTL" if is_ctl(formula) else "CTL*"
+    ok = kripke.initial <= sat
+    return VerificationResult(
+        verdict=Verdict.HOLDS if ok else Verdict.VIOLATED,
+        property_name=str(formula),
+        method=f"fully propositional {fragment} (Theorem 4.6)",
+        stats={"kripke_states": kripke.n_states, "formula_size": ctl_size(formula)},
+    )

@@ -1,0 +1,300 @@
+"""Error-freeness checking (Theorem 3.5(i), Lemma A.5).
+
+A Web service is *error free* when no run reaches the error page
+(Definition 2.3's conditions (i)-(iii)).  Two procedures are provided:
+
+- :func:`error_page_reachable` / :func:`verify_error_free` with
+  ``method="direct"`` — breadth-first reachability of the error page in
+  the configuration graph, per enumerated (database, sigma) pair.  This
+  is the fast path and yields a shortest error trace.
+- ``method="reduction"`` — the paper's Lemma A.5: transform the service
+  into an error-free service ``W'`` with a trap page reached exactly
+  when the original would err, then check the input-bounded LTL-FO
+  sentence ``G ¬trap`` with the Theorem 3.5 verifier.  Slower, but it is
+  the construction the theorem uses; the test suite checks both methods
+  agree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable
+
+from repro.fol.analysis import input_constants_of
+from repro.fol.formulas import And, Atom, Formula, Not, Or, TRUE
+from repro.fol.transforms import simplify
+from repro.ltl.ltlfo import G, LTLFOSentence
+from repro.schema.database import Database
+from repro.schema.schema import RelationalSchema, ServiceSchema
+from repro.schema.symbols import state_relation
+from repro.service.page import WebPageSchema
+from repro.service.rules import StateRule, TargetRule
+from repro.service.runs import (
+    Run,
+    RunContext,
+    Snapshot,
+    initial_snapshots,
+    successors,
+)
+from repro.service.webservice import WebService
+from repro.verifier.linear import (
+    DEFAULT_SNAPSHOT_BUDGET,
+    _candidate_databases,
+    enumerate_sigmas,
+    verify_ltlfo,
+)
+from repro.verifier.results import (
+    Verdict,
+    VerificationBudgetExceeded,
+    VerificationResult,
+)
+
+Value = Hashable
+
+#: Name of the trap page introduced by the Lemma A.5 reduction.
+TRAP_PAGE = "__TRAP__"
+_PROVIDED_PREFIX = "__provided_"
+
+
+def error_page_reachable(
+    ctx: RunContext,
+    max_snapshots: int = DEFAULT_SNAPSHOT_BUDGET,
+) -> Run | None:
+    """Shortest run reaching the error page for one (database, sigma).
+
+    Returns the error trace as a lasso (looping on the error page), or
+    None when the error page is unreachable.
+    """
+    parent: dict[Snapshot, Snapshot | None] = {}
+    queue: deque[Snapshot] = deque()
+    for snap in initial_snapshots(ctx):
+        parent.setdefault(snap, None)
+        queue.append(snap)
+
+    while queue:
+        snap = queue.popleft()
+        if snap.is_error:
+            trace = [snap]
+            while parent[trace[0]] is not None:
+                trace.insert(0, parent[trace[0]])
+            return Run(
+                ctx.database, dict(ctx.sigma), trace, loop_index=len(trace) - 1
+            )
+        for nxt in successors(ctx, snap):
+            if nxt not in parent:
+                if len(parent) >= max_snapshots:
+                    raise VerificationBudgetExceeded(
+                        f"more than {max_snapshots} reachable snapshots"
+                    )
+                parent[nxt] = snap
+                queue.append(nxt)
+    return None
+
+
+def verify_error_free(
+    service: WebService,
+    databases: Iterable[Database] | None = None,
+    domain_size: int | None = None,
+    method: str = "direct",
+    max_snapshots: int = DEFAULT_SNAPSHOT_BUDGET,
+    sigmas: Iterable[dict] | None = None,
+) -> VerificationResult:
+    """Decide error-freeness over the small-model database space.
+
+    ``sigmas`` restricts the input-constant interpretations checked
+    (session scoping, Remark 3.6); the default enumerates generically.
+    """
+    if method == "reduction":
+        transformed, sentence = errorfree_reduction(service)
+        result = verify_ltlfo(
+            transformed,
+            sentence,
+            databases=databases,
+            domain_size=domain_size,
+            check_restrictions=False,
+            max_snapshots=max_snapshots,
+            sigmas=sigmas,
+        )
+        result.method = "error-freeness via Lemma A.5 reduction + Theorem 3.5"
+        result.property_name = f"error-free({service.name})"
+        return result
+    if method != "direct":
+        raise ValueError(f"unknown method {method!r}; use 'direct' or 'reduction'")
+
+    dbs, used_size = _candidate_databases(
+        service, None, databases, domain_size, up_to_iso=True
+    )
+    stats: dict = {
+        "databases_checked": 0,
+        "sigmas_checked": 0,
+        "domain_size": used_size,
+    }
+    for db in dbs:
+        stats["databases_checked"] += 1
+        sigma_pool = (
+            [dict(s) for s in sigmas]
+            if sigmas is not None
+            else enumerate_sigmas(service, db)
+        )
+        for sigma in sigma_pool:
+            stats["sigmas_checked"] += 1
+            ctx = RunContext(service, db, sigma=sigma)
+            trace = error_page_reachable(ctx, max_snapshots=max_snapshots)
+            if trace is not None:
+                return VerificationResult(
+                    verdict=Verdict.VIOLATED,
+                    property_name=f"error-free({service.name})",
+                    method="error-page reachability (direct)",
+                    counterexample=trace,
+                    counterexample_database=db,
+                    stats=stats,
+                )
+    return VerificationResult(
+        verdict=Verdict.HOLDS,
+        property_name=f"error-free({service.name})",
+        method="error-page reachability (direct)",
+        stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lemma A.5 reduction
+# ---------------------------------------------------------------------------
+
+def errorfree_reduction(service: WebService) -> tuple[WebService, LTLFOSentence]:
+    """The Lemma A.5 transformation.
+
+    Builds an error-free service ``W'`` containing a fresh trap page that
+    is reached exactly when the original service would reach its error
+    page, plus the input-bounded LTL-FO sentence ``G ¬trap``.  The
+    construction:
+
+    - a propositional state ``__provided_c`` records each input constant
+      ``c`` once provided;
+    - every target rule ``V ← φ`` becomes ``V ← φ ∧ ¬χ ∧ ¬ψ`` where χ
+      collects the other target rules (ambiguity, condition (iii)) and ψ
+      the constant-protocol violations (conditions (i) and (ii));
+    - the trap page is targeted by ``trap ← ξ ∨ ψ`` with ξ the pairwise
+      ambiguity disjunction, and loops on itself.
+    """
+    schema = service.schema
+    constants = sorted(schema.input_constants)
+    provided = {c: _PROVIDED_PREFIX + c for c in constants}
+
+    new_state = RelationalSchema(
+        list(schema.state.relations)
+        + [state_relation(p) for p in provided.values()],
+        schema.state.constants,
+    )
+    new_schema = ServiceSchema(
+        database=schema.database,
+        state=new_state,
+        input=schema.input,
+        action=schema.action,
+    )
+
+    def needs(page: WebPageSchema) -> frozenset[str]:
+        """Input constants read by any rule formula of the page."""
+        out: set[str] = set()
+        for rule in page.all_rules():
+            out |= input_constants_of(rule.formula)
+        return frozenset(out)
+
+    new_pages: list[WebPageSchema] = []
+    for page in service.pages.values():
+        own = frozenset(page.input_constants)
+        target_formulas = {rule.target: rule.formula for rule in page.target_rules}
+
+        # ψ — constant-protocol violations triggered from this page.
+        psi_parts: list[Formula] = []
+        for target, phi in target_formulas.items():
+            tpage = service.page(target)
+            t_reads = needs(tpage)
+            t_requests = frozenset(tpage.input_constants)
+            for c in sorted(t_reads - t_requests - own):
+                # condition (i): the next page reads c, which is neither
+                # provided already, being provided now, nor requested there.
+                psi_parts.append(And(phi, Not(Atom(provided[c]))))
+            for c in sorted(t_requests):
+                # condition (ii): the next page re-requests c.
+                if c in own:
+                    psi_parts.append(phi)
+                else:
+                    psi_parts.append(And(phi, Atom(provided[c])))
+        if own:
+            # Staying on a constant-requesting page re-requests (ii).
+            no_target = And([Not(phi) for phi in target_formulas.values()])
+            psi_parts.append(no_target)
+
+        # ξ — ambiguity among the original target rules (condition (iii)).
+        xi_parts: list[Formula] = []
+        targets = sorted(target_formulas)
+        for i, v1 in enumerate(targets):
+            for v2 in targets[i + 1:]:
+                xi_parts.append(And(target_formulas[v1], target_formulas[v2]))
+
+        trap_trigger = simplify(Or(xi_parts + psi_parts))
+
+        new_target_rules: list[TargetRule] = []
+        for target, phi in target_formulas.items():
+            others = [f for v, f in target_formulas.items() if v != target]
+            guard = And([phi] + [Not(f) for f in others] + [Not(trap_trigger)])
+            new_target_rules.append(TargetRule(target, simplify(guard)))
+        new_target_rules.append(TargetRule(TRAP_PAGE, trap_trigger))
+
+        new_state_rules = list(page.state_rules)
+        for c in sorted(own):
+            new_state_rules.append(StateRule(provided[c], (), TRUE, insert=True))
+
+        new_pages.append(
+            WebPageSchema(
+                name=page.name,
+                inputs=page.inputs,
+                input_constants=page.input_constants,
+                actions=page.actions,
+                targets=tuple(
+                    dict.fromkeys(list(page.targets) + [TRAP_PAGE])
+                ),
+                input_rules=page.input_rules,
+                state_rules=tuple(new_state_rules),
+                action_rules=page.action_rules,
+                target_rules=tuple(new_target_rules),
+            )
+        )
+
+    trap = WebPageSchema(
+        name=TRAP_PAGE,
+        targets=(TRAP_PAGE,),
+        target_rules=(TargetRule(TRAP_PAGE, TRUE),),
+    )
+    new_pages.append(trap)
+
+    # Home-page special case (Lemma A.5): if the home page itself reads
+    # constants it does not request, the original errs immediately — the
+    # transformed home page then just falls through to the trap.
+    home = service.page(service.home)
+    home_bad = needs(home) - frozenset(home.input_constants)
+    if home_bad:
+        new_pages = [p for p in new_pages if p.name != service.home] + []
+        new_pages.insert(
+            0,
+            WebPageSchema(
+                name=service.home,
+                targets=(TRAP_PAGE,),
+                target_rules=(TargetRule(TRAP_PAGE, TRUE),),
+            ),
+        )
+
+    transformed = WebService(
+        new_schema,
+        new_pages,
+        home=service.home,
+        error_page=service.error_page,
+        name=f"{service.name}+errorfree",
+    )
+    sentence = LTLFOSentence(
+        (),
+        G(Not(Atom(TRAP_PAGE))),
+        name=f"G ¬{TRAP_PAGE}",
+    )
+    return transformed, sentence

@@ -1,0 +1,368 @@
+"""Input-bounded LTL-FO verification (Theorem 3.5).
+
+The paper's decidability proof reduces verification to finite
+satisfiability of E+TC formulas through two lemmas: violations are
+witnessed by *periodic* runs (Periodic Run Lemma) over *small* local
+descriptions (Local Run Lemma) whose constants are the database constants
+plus witnesses for the existential variables of the negated property.
+This module is the operational form of that argument — the strategy the
+authors' later WAVE verifier also used:
+
+1. enumerate databases over a domain consisting of the specification's
+   and property's literal constants plus ``domain_size`` anonymous
+   elements (up to isomorphism fixing the constants);
+2. enumerate interpretations of the input constants over that domain
+   plus fresh values (users may type values not in the database);
+3. for each valuation of the universal closure, compile the negated
+   property to a Büchi automaton and search the (finite) configuration
+   graph for an accepting lasso.
+
+A lasso found is a genuine counterexample (it is re-checked against the
+reference lasso semantics before being reported).  "HOLDS" means no
+violation exists over the explored bound; with the default bound derived
+from the small-model lemmas this is the paper's decision procedure, and
+larger bounds trade time for extra assurance.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Hashable, Iterable, Iterator, Mapping
+
+from repro.fol.evaluation import EvalContext
+from repro.ltl.buchi import find_accepting_lasso, ltl_to_buchi
+from repro.ltl.ltlfo import (
+    LTLFOSentence,
+    check_ltlfo_input_bounded,
+    fo_component_holds,
+)
+from repro.ltl.syntax import LNot
+from repro.schema.database import Database
+from repro.schema.enumerate import canonical_domain, enumerate_databases
+from repro.service.classify import ServiceClass, classify
+from repro.service.runs import (
+    Run,
+    RunContext,
+    Snapshot,
+    initial_snapshots,
+    successors,
+)
+from repro.service.webservice import WebService
+from repro.verifier.results import (
+    UndecidableInstanceError,
+    Verdict,
+    VerificationBudgetExceeded,
+    VerificationResult,
+)
+
+Value = Hashable
+
+#: Default cap on the number of anonymous database elements.
+DEFAULT_DOMAIN_CAP = 3
+
+#: Default cap on explored snapshots per (database, sigma) pair.
+DEFAULT_SNAPSHOT_BUDGET = 200_000
+
+
+def default_domain_size(
+    service: WebService,
+    sentence: LTLFOSentence | None = None,
+    cap: int = DEFAULT_DOMAIN_CAP,
+) -> int:
+    """Anonymous-domain size heuristic from the small-model argument.
+
+    The Local Run Lemma's constant set consists of the database constants
+    and one witness per existentially quantified variable of the negated
+    property (= the universal-closure variables); one extra element
+    separates "everything else".
+    """
+    n_vars = len(sentence.variables) if sentence is not None else 0
+    n_consts = len(service.schema.database.constants)
+    return max(1, min(cap, n_consts + n_vars + 1))
+
+
+def enumerate_sigmas(
+    service: WebService,
+    database: Database,
+    fresh_prefix: str = "$new",
+) -> Iterator[dict[str, Value]]:
+    """All interpretations of the input constants, up to genericity.
+
+    Each constant may take any database-domain value or a fresh value;
+    fresh values are shared left-to-right so that every equality type
+    among fresh values is produced exactly once.
+    """
+    constants = sorted(service.schema.input_constants)
+    if not constants:
+        yield {}
+        return
+    base = sorted(database.domain, key=repr)
+    fresh = [f"{fresh_prefix}{i}" for i in range(len(constants))]
+    candidate_lists = [base + fresh[: i + 1] for i in range(len(constants))]
+    seen: set[tuple] = set()
+    for combo in itertools.product(*candidate_lists):
+        # Normalise fresh-value patterns: renaming fresh values yields
+        # the same generic run, so skip duplicates up to that renaming.
+        norm: dict[Value, str] = {}
+        key = []
+        for v in combo:
+            if isinstance(v, str) and v.startswith(fresh_prefix):
+                norm.setdefault(v, f"{fresh_prefix}{len(norm)}")
+                key.append(norm[v])
+            else:
+                key.append(v)
+        key_t = tuple(key)
+        if key_t in seen:
+            continue
+        seen.add(key_t)
+        yield dict(zip(constants, key_t))
+
+
+def explore_configuration_graph(
+    ctx: RunContext,
+    max_snapshots: int = DEFAULT_SNAPSHOT_BUDGET,
+) -> tuple[list[Snapshot], dict[Snapshot, list[Snapshot]]]:
+    """BFS the reachable snapshot graph of one (database, sigma) pair."""
+    edges: dict[Snapshot, list[Snapshot]] = {}
+    order: list[Snapshot] = []
+    frontier = list(initial_snapshots(ctx))
+    seen = set(frontier)
+    order.extend(frontier)
+    while frontier:
+        snap = frontier.pop()
+        nexts = successors(ctx, snap)
+        edges[snap] = nexts
+        for nxt in nexts:
+            if nxt not in seen:
+                if len(seen) >= max_snapshots:
+                    raise VerificationBudgetExceeded(
+                        f"more than {max_snapshots} reachable snapshots"
+                    )
+                seen.add(nxt)
+                order.append(nxt)
+                frontier.append(nxt)
+    return order, edges
+
+
+class _SnapshotLabeller:
+    """Evaluate FO components on snapshots, with per-snapshot context cache."""
+
+    def __init__(self, ctx: RunContext, extra_domain: frozenset) -> None:
+        self.ctx = ctx
+        self.extra_domain = extra_domain
+        self._cache: dict[Snapshot, tuple[EvalContext, frozenset[str]]] = {}
+
+    def _context(self, snap: Snapshot) -> tuple[EvalContext, frozenset[str]]:
+        entry = self._cache.get(snap)
+        if entry is None:
+            gamma = snap.provided_here(self.ctx.service)
+            ectx = self.ctx.make_eval_context(
+                snap.state, snap.inputs, snap.prev, snap.actions,
+                gamma=gamma, page=snap.page,
+            )
+            entry = (ectx, gamma)
+            self._cache[snap] = entry
+        return entry
+
+    def __call__(self, snap: Snapshot, payload) -> bool:
+        ectx, gamma = self._context(snap)
+        return fo_component_holds(payload, ectx, gamma)
+
+
+def _candidate_databases(
+    service: WebService,
+    sentence: LTLFOSentence | None,
+    databases: Iterable[Database] | None,
+    domain_size: int | None,
+    up_to_iso: bool,
+) -> tuple[Iterable[Database], int | None]:
+    if databases is not None:
+        return list(databases), None
+    size = domain_size
+    if size is None:
+        size = default_domain_size(service, sentence)
+    literals = set(service.literal_constants())
+    if sentence is not None:
+        literals |= set(sentence.literals())
+    dom = sorted(literals, key=repr) + canonical_domain(size)
+    dbs = enumerate_databases(
+        service.schema.database,
+        len(dom),
+        up_to_iso=up_to_iso,
+        domain=dom,
+        fixed_elements=literals,
+    )
+    return dbs, size
+
+
+def verify_ltlfo(
+    service: WebService,
+    sentence: LTLFOSentence,
+    databases: Iterable[Database] | None = None,
+    domain_size: int | None = None,
+    check_restrictions: bool = True,
+    up_to_iso: bool = True,
+    max_snapshots: int = DEFAULT_SNAPSHOT_BUDGET,
+    confirm_counterexamples: bool = True,
+    on_database: Callable[[Database], None] | None = None,
+    sigmas: Iterable[Mapping[str, Value]] | None = None,
+) -> VerificationResult:
+    """Decide ``service ⊨ sentence`` for input-bounded instances.
+
+    Parameters
+    ----------
+    service, sentence:
+        The instance.  With ``check_restrictions`` (default) both must be
+        input-bounded (§3) — otherwise the problem is undecidable
+        (Theorems 3.7-3.9) and :class:`UndecidableInstanceError` is
+        raised; pass ``check_restrictions=False`` to run the bounded
+        search anyway (sound for violations, no completeness claim).
+    databases:
+        Explicit databases to verify against; default enumerates all
+        databases over the derived small-model domain, up to isomorphism.
+    domain_size:
+        Number of anonymous domain elements for the default enumeration.
+    max_snapshots:
+        Budget per (database, sigma) pair.
+    sigmas:
+        Explicit input-constant interpretations to verify against,
+        instead of the exhaustive generic enumeration.  Restricting the
+        sigmas verifies a sub-space of runs — the paper's Remark 3.6
+        "session" scoping (e.g. the runs of one known user).
+    confirm_counterexamples:
+        Re-check any counterexample against the reference lasso
+        semantics before reporting it (cheap; catches verifier bugs).
+    """
+    if check_restrictions:
+        _require_input_bounded(service, sentence)
+
+    dbs, used_size = _candidate_databases(
+        service, sentence, databases, domain_size, up_to_iso
+    )
+    stats: dict = {
+        "databases_checked": 0,
+        "sigmas_checked": 0,
+        "valuations_checked": 0,
+        "snapshots_explored": 0,
+        "buchi_states": 0,
+        "domain_size": used_size,
+    }
+    sentence_literals = frozenset(sentence.literals())
+
+    for db in dbs:
+        stats["databases_checked"] += 1
+        if on_database is not None:
+            on_database(db)
+        sigma_pool = (
+            [dict(s) for s in sigmas]
+            if sigmas is not None
+            else enumerate_sigmas(service, db)
+        )
+        for sigma in sigma_pool:
+            stats["sigmas_checked"] += 1
+            ctx = RunContext(
+                service, db, sigma=sigma, extra_domain=sentence_literals
+            )
+            label = _SnapshotLabeller(ctx, sentence_literals)
+
+            succ_cache: dict[Snapshot, list[Snapshot]] = {}
+            explored = 0
+
+            def succ(snap: Snapshot) -> list[Snapshot]:
+                nonlocal explored
+                out = succ_cache.get(snap)
+                if out is None:
+                    out = successors(ctx, snap)
+                    succ_cache[snap] = out
+                    explored += 1
+                    if explored > max_snapshots:
+                        raise VerificationBudgetExceeded(
+                            f"more than {max_snapshots} snapshots explored"
+                        )
+                return out
+
+            starts = initial_snapshots(ctx)
+            valuation_domain = sorted(
+                set(db.domain) | set(sigma.values()) | set(ctx.extra_domain),
+                key=repr,
+            )
+            names = sentence.variables
+            for combo in itertools.product(valuation_domain, repeat=len(names)):
+                stats["valuations_checked"] += 1
+                valuation = dict(zip(names, combo))
+                grounded = sentence.instantiate(valuation)
+                ba = ltl_to_buchi(LNot(grounded))
+                stats["buchi_states"] = max(stats["buchi_states"], ba.n_states)
+                lasso = find_accepting_lasso(ba, starts, succ, label)
+                if lasso is not None:
+                    run = Run(
+                        db, dict(sigma), list(lasso.states), lasso.loop_index
+                    )
+                    stats["snapshots_explored"] += explored
+                    if confirm_counterexamples:
+                        ok = not _violation_confirmed_holds(
+                            sentence, run, service, ctx, valuation
+                        )
+                        stats["counterexample_confirmed"] = ok
+                    return VerificationResult(
+                        verdict=Verdict.VIOLATED,
+                        property_name=sentence.name or str(sentence),
+                        method="input-bounded LTL-FO (Theorem 3.5)",
+                        counterexample=run,
+                        counterexample_database=db,
+                        stats=stats,
+                    )
+            stats["snapshots_explored"] += explored
+
+    return VerificationResult(
+        verdict=Verdict.HOLDS,
+        property_name=sentence.name or str(sentence),
+        method="input-bounded LTL-FO (Theorem 3.5)",
+        stats=stats,
+    )
+
+
+def _violation_confirmed_holds(
+    sentence: LTLFOSentence,
+    run: Run,
+    service: WebService,
+    ctx: RunContext,
+    valuation: Mapping[str, Value],
+) -> bool:
+    """True when the reference semantics *fails* to confirm the violation.
+
+    The Büchi pipeline found a lasso for the negated grounded property;
+    the reference lasso evaluator must agree that the grounded property
+    is false on it.
+    """
+    from repro.ltl.lasso import eval_on_lasso
+
+    grounded = sentence.instantiate(dict(valuation))
+    label = _SnapshotLabeller(ctx, frozenset(sentence.literals()))
+
+    def atom_eval(pos: int, payload) -> bool:
+        return label(run.snapshots[pos], payload)
+
+    value = eval_on_lasso(grounded, atom_eval, len(run.snapshots), run.loop_index)
+    if value:
+        raise AssertionError(
+            "internal error: counterexample not confirmed by the reference "
+            "semantics — please report this as a verifier bug"
+        )
+    return False
+
+
+def _require_input_bounded(service: WebService, sentence: LTLFOSentence) -> None:
+    report = classify(service)
+    if not report.is_in(ServiceClass.INPUT_BOUNDED):
+        citation = "Theorem 3.7/3.8"
+        if report.has_state_projections:
+            citation = "Theorem 3.8"
+        raise UndecidableInstanceError(
+            report.why_not(ServiceClass.INPUT_BOUNDED), citation
+        )
+    prop_report = check_ltlfo_input_bounded(
+        sentence, service.schema, service.page_names
+    )
+    if not prop_report.ok:
+        raise UndecidableInstanceError(prop_report.reasons, "§3 (input-bounded LTL-FO)")

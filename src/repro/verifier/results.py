@@ -1,0 +1,90 @@
+"""Verification verdicts, counterexamples and refusals."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.service.runs import Run
+
+
+class Verdict(enum.Enum):
+    """Outcome of a verification task."""
+
+    HOLDS = "holds"
+    VIOLATED = "violated"
+
+    def __bool__(self) -> bool:
+        return self is Verdict.HOLDS
+
+
+class UndecidableInstanceError(Exception):
+    """The (service, property) pair falls outside every decidable class.
+
+    Carries the reasons (which syntactic restriction fails) and the
+    theorem that proves undecidability for the failing extension, so the
+    refusal is actionable.
+    """
+
+    def __init__(self, reasons: list[str], citation: str) -> None:
+        self.reasons = reasons
+        self.citation = citation
+        summary = "\n  - ".join(reasons[:8])
+        super().__init__(
+            f"verification undecidable for this instance ({citation}):\n"
+            f"  - {summary}"
+        )
+
+
+class VerificationBudgetExceeded(Exception):
+    """The exploration exceeded the configured state/database budget."""
+
+
+@dataclass
+class VerificationResult:
+    """The result of one verification task.
+
+    ``verdict`` says whether the property holds over the explored space;
+    ``counterexample`` (when violated) is a concrete lasso run together
+    with its database and input-constant values.  ``stats`` records the
+    work done (databases tried, snapshots explored, Büchi sizes, ...)
+    for the benchmark harness.
+    """
+
+    verdict: Verdict
+    property_name: str = ""
+    method: str = ""
+    counterexample: Run | None = None
+    counterexample_database: Any = None
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def holds(self) -> bool:
+        return self.verdict is Verdict.HOLDS
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def describe(self, service=None) -> str:
+        """Multi-line report suitable for printing."""
+        lines = [
+            f"property : {self.property_name or '(unnamed)'}",
+            f"method   : {self.method}",
+            f"verdict  : {self.verdict.value.upper()}",
+        ]
+        interesting = (
+            "databases_checked", "sigmas_checked", "valuations_checked",
+            "snapshots_explored", "buchi_states", "kripke_states",
+        )
+        shown = {k: v for k, v in self.stats.items() if k in interesting}
+        if shown:
+            lines.append(
+                "stats    : " + ", ".join(f"{k}={v}" for k, v in sorted(shown.items()))
+            )
+        if self.counterexample is not None:
+            lines.append("counterexample run:")
+            lines.append(self.counterexample.describe())
+            if self.counterexample_database is not None:
+                lines.append(f"database: {self.counterexample_database!r}")
+        return "\n".join(lines)

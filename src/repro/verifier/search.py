@@ -1,0 +1,89 @@
+"""Verification of Web services with input-driven search (Theorem 4.9).
+
+Definition 4.7 services model staged refinement search: a single unary
+input whose next options are the ``R_I``-successors of the previous
+input, filtered by a quantifier-free condition over the database and the
+propositional states.  The paper decides CTL(*) properties by reducing
+to CTL(*) satisfiability; operationally, the input type abstraction in
+that proof means small search graphs suffice, so this module enumerates
+databases (search graph + unary type relations + ``i0``) over a bounded
+domain and model checks each configuration Kripke structure — the same
+small-model schema as the rest of the verifier, specialised with the
+IDS shape check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ctl.syntax import StateFormula, ctl_size, is_ctl
+from repro.schema.database import Database
+from repro.service.classify import ServiceClass, classify
+from repro.service.webservice import WebService
+from repro.verifier.branching import (
+    DEFAULT_KRIPKE_BUDGET,
+    build_snapshot_kripke,
+)
+from repro.verifier.linear import _candidate_databases
+from repro.verifier.results import (
+    UndecidableInstanceError,
+    Verdict,
+    VerificationResult,
+)
+
+
+def verify_input_driven_search(
+    service: WebService,
+    formula: StateFormula,
+    databases: Iterable[Database] | None = None,
+    domain_size: int | None = None,
+    check_restrictions: bool = True,
+    max_states: int = DEFAULT_KRIPKE_BUDGET,
+) -> VerificationResult:
+    """Decide ``W ⊨ φ`` for input-driven-search services (Theorem 4.9).
+
+    ``databases`` would normally be the concrete search graphs of
+    interest (e.g. the Figure 1 hierarchy); the default enumeration over
+    ``domain_size`` anonymous nodes is exhaustive but grows quickly with
+    the number of unary relations.
+    """
+    if check_restrictions:
+        report = classify(service)
+        if not report.is_in(ServiceClass.INPUT_DRIVEN_SEARCH):
+            raise UndecidableInstanceError(
+                report.why_not(ServiceClass.INPUT_DRIVEN_SEARCH),
+                "Theorem 4.9 requires the input-driven-search shape "
+                "(Definition 4.7)",
+            )
+
+    dbs, used_size = _candidate_databases(
+        service, None, databases, domain_size, up_to_iso=True
+    )
+    fragment = "CTL" if is_ctl(formula) else "CTL*"
+    stats: dict = {
+        "databases_checked": 0,
+        "kripke_states": 0,
+        "formula_size": ctl_size(formula),
+        "domain_size": used_size,
+    }
+    from repro.ctl.modelcheck import satisfying_states
+
+    for db in dbs:
+        stats["databases_checked"] += 1
+        kripke = build_snapshot_kripke(service, db, max_states=max_states)
+        stats["kripke_states"] = max(stats["kripke_states"], kripke.n_states)
+        sat = satisfying_states(kripke, formula)
+        if not kripke.initial <= sat:
+            return VerificationResult(
+                verdict=Verdict.VIOLATED,
+                property_name=str(formula),
+                method=f"input-driven search {fragment} (Theorem 4.9)",
+                counterexample_database=db,
+                stats=stats,
+            )
+    return VerificationResult(
+        verdict=Verdict.HOLDS,
+        property_name=str(formula),
+        method=f"input-driven search {fragment} (Theorem 4.9)",
+        stats=stats,
+    )

@@ -1,0 +1,116 @@
+"""The verifier's front door.
+
+:func:`verify` takes a Web service and a property — an
+:class:`~repro.ltl.ltlfo.LTLFOSentence` or a CTL(*)
+:class:`~repro.ctl.syntax.StateFormula` — classifies the pair against
+the paper's decidability map, and dispatches to the right decision
+procedure.  Instances outside every decidable class are refused with an
+:class:`~repro.verifier.results.UndecidableInstanceError` citing the
+relevant undecidability theorem; pass ``force=True`` to run the bounded
+search anyway (sound for violations found, no completeness claim).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ctl.syntax import StateFormula
+from repro.ltl.ltlfo import LTLFOSentence, check_ltlfo_input_bounded
+from repro.service.classify import ServiceClass, classify
+from repro.service.webservice import WebService
+from repro.verifier.branching import verify_ctl, verify_fully_propositional
+from repro.verifier.linear import verify_ltlfo
+from repro.verifier.results import UndecidableInstanceError, VerificationResult
+from repro.verifier.search import verify_input_driven_search
+
+
+def verify(
+    service: WebService,
+    prop: "LTLFOSentence | StateFormula",
+    force: bool = False,
+    **options: Any,
+) -> VerificationResult:
+    """Verify a temporal property of a Web service.
+
+    Dispatch:
+
+    - LTL-FO sentence + input-bounded service → Theorem 3.5 procedure;
+    - CTL(*) formula + fully propositional service → Theorem 4.6;
+    - CTL(*) formula + propositional service → Theorem 4.4;
+    - CTL(*) formula + input-driven-search service → Theorem 4.9;
+    - anything else → refusal citing Theorem 3.7/3.8/3.9/4.2, unless
+      ``force=True``.
+
+    ``options`` are forwarded to the underlying procedure
+    (``databases=``, ``domain_size=``, budgets, ...).
+    """
+    if isinstance(prop, LTLFOSentence):
+        return verify_ltlfo(
+            service, prop, check_restrictions=not force, **options
+        )
+    if isinstance(prop, StateFormula):
+        report = classify(service)
+        if report.is_in(ServiceClass.FULLY_PROPOSITIONAL) and "databases" not in options and "domain_size" not in options:
+            return verify_fully_propositional(
+                service, prop, check_restrictions=not force
+            )
+        if report.is_in(ServiceClass.PROPOSITIONAL):
+            return verify_ctl(
+                service, prop, check_restrictions=not force, **options
+            )
+        if report.is_in(ServiceClass.INPUT_DRIVEN_SEARCH):
+            return verify_input_driven_search(
+                service, prop, check_restrictions=not force, **options
+            )
+        if force:
+            return verify_ctl(service, prop, check_restrictions=False, **options)
+        raise UndecidableInstanceError(
+            report.why_not(ServiceClass.PROPOSITIONAL)
+            + report.why_not(ServiceClass.INPUT_DRIVEN_SEARCH),
+            "Theorem 4.2 (input-bounded CTL-FO verification is undecidable)",
+        )
+    raise TypeError(
+        f"unsupported property type {type(prop).__name__}: pass an "
+        "LTLFOSentence or a CTL(*) StateFormula"
+    )
+
+
+def decidability_report(
+    service: WebService,
+    prop: "LTLFOSentence | StateFormula | None" = None,
+) -> str:
+    """Human-readable report of which theorems apply to the instance."""
+    report = classify(service)
+    lines = [report.describe()]
+    if isinstance(prop, LTLFOSentence):
+        ib = check_ltlfo_input_bounded(prop, service.schema, service.page_names)
+        mark = "yes" if ib.ok else "no "
+        lines.append(f"property classification:")
+        lines.append(f"  [{mark}] input-bounded LTL-FO sentence")
+        for reason in ib.reasons[:4]:
+            lines.append(f"        - {reason}")
+        if ib.ok and report.is_in(ServiceClass.INPUT_BOUNDED):
+            lines.append(
+                "=> decidable: Theorem 3.5 (PSPACE-complete for fixed arity)"
+            )
+        else:
+            lines.append("=> outside Theorem 3.5; undecidable in general (§3)")
+    elif isinstance(prop, StateFormula):
+        from repro.ctl.syntax import is_ctl
+
+        fragment = "CTL" if is_ctl(prop) else "CTL*"
+        lines.append(f"property: a {fragment} state formula")
+        if report.is_in(ServiceClass.FULLY_PROPOSITIONAL):
+            lines.append(f"=> decidable: Theorem 4.6 (PSPACE)")
+        elif report.is_in(ServiceClass.PROPOSITIONAL):
+            bound = "co-NEXPTIME" if fragment == "CTL" else "EXPSPACE"
+            lines.append(f"=> decidable: Theorem 4.4 ({bound})")
+        elif report.is_in(ServiceClass.INPUT_DRIVEN_SEARCH):
+            bound = "EXPTIME" if fragment == "CTL" else "2-EXPTIME"
+            lines.append(f"=> decidable: Theorem 4.9 ({bound})")
+        else:
+            lines.append(
+                "=> undecidable in general: Theorem 4.2 (even one path "
+                "quantifier alternation encodes ∃*∀* FO validity)"
+            )
+    return "\n".join(lines)

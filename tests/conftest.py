@@ -1,0 +1,137 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (demo services, databases) are built once per
+session; each test receives the same immutable objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.demo.core import core_database, core_service, core_service_broken
+from repro.demo.ecommerce import ecommerce_database, ecommerce_service
+from repro.demo.propositional import propositional_service
+from repro.demo.search_site import figure1_database, search_service
+from repro.schema import (
+    Database,
+    RelationalSchema,
+    ServiceSchema,
+    database_relation,
+    input_relation,
+    state_relation,
+    action_relation,
+)
+from repro.service import ServiceBuilder
+
+
+@pytest.fixture(scope="session")
+def small_schema() -> ServiceSchema:
+    """A compact four-part schema used across the fol/service tests."""
+    return ServiceSchema(
+        database=RelationalSchema(
+            [database_relation("user", 2), database_relation("item", 1)],
+            ["root"],
+        ),
+        state=RelationalSchema(
+            [state_relation("cart", 1), state_relation("flag", 0)]
+        ),
+        input=RelationalSchema(
+            [input_relation("button", 1), input_relation("pick", 2),
+             input_relation("toggle", 0)],
+            ["name", "password"],
+        ),
+        action=RelationalSchema([action_relation("ship", 1)]),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_db(small_schema) -> Database:
+    return Database(
+        small_schema.database,
+        {"user": [("alice", "pw"), ("bob", "pw2")], "item": [("i1",), ("i2",)]},
+        {"root": "alice"},
+    )
+
+
+def build_toy_service(broken_target: bool = False):
+    """A two-page service used by many run-semantics tests."""
+    b = ServiceBuilder("toy")
+    b.database("item", 1)
+    b.input("button", 1)
+    b.input("pick", 1)
+    b.state("chosen", 1)
+    b.state("visited", 0)
+    b.action("done", 0)
+
+    hp = b.page("HP", home=True)
+    hp.options("button", 'x = "go" | x = "stay"', ("x",))
+    hp.options("pick", "item(y)", ("y",))
+    hp.insert("chosen", 'pick(y) & button("go")', ("y",))
+    hp.insert("visited", "true")
+    hp.target("P2", 'button("go")')
+    if broken_target:
+        hp.target("P3", 'button("go")')
+
+    p2 = b.page("P2")
+    p2.options("button", 'x = "back"', ("x",))
+    p2.act("done", "true")
+    p2.target("HP", 'button("back")')
+
+    if broken_target:
+        b.page("P3")
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def toy_service():
+    return build_toy_service()
+
+
+@pytest.fixture(scope="session")
+def toy_db(toy_service):
+    return Database(toy_service.schema.database, {"item": [("i1",), ("i2",)]})
+
+
+@pytest.fixture(scope="session")
+def demo_service():
+    return ecommerce_service()
+
+
+@pytest.fixture(scope="session")
+def demo_db(demo_service):
+    return ecommerce_database(demo_service)
+
+
+@pytest.fixture(scope="session")
+def core():
+    return core_service()
+
+
+@pytest.fixture(scope="session")
+def core_broken():
+    return core_service_broken()
+
+
+@pytest.fixture(scope="session")
+def core_db(core):
+    return core_database(core)
+
+
+@pytest.fixture(scope="session")
+def alice_sigma():
+    return [{"name": "alice", "password": "pw1"}]
+
+
+@pytest.fixture(scope="session")
+def prop_service():
+    return propositional_service()
+
+
+@pytest.fixture(scope="session")
+def ids_service():
+    return search_service()
+
+
+@pytest.fixture(scope="session")
+def ids_db(ids_service):
+    return figure1_database(ids_service)

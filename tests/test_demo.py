@@ -1,0 +1,292 @@
+"""Tests for the paper's running examples: the Figure 2 site, the
+input-bounded core, the propositional abstraction and the Figure 1
+search store — including the paper's numbered properties."""
+
+import pytest
+
+from repro.ctl import AG, CAtom, CNot, EF
+from repro.demo import (
+    core_database,
+    core_service,
+    ecommerce_database,
+    ecommerce_service,
+    example_43_home_reachable,
+    example_43_login_to_payment,
+    example_41_cancel_until_ship,
+    figure1_database,
+    property_1_navigation,
+    property_4_paid_before_ship,
+    propositional_service,
+    scaled_hierarchy_database,
+    search_service,
+)
+from repro.demo.core import core_service_broken
+from repro.demo.properties import ctl_star_eventual_purchase
+from repro.demo.search_site import ROOT
+from repro.ltl.ltlfo import check_ltlfo_input_bounded
+from repro.service import Session, ServiceClass, classify
+from repro.verifier import (
+    verify,
+    verify_error_free,
+    verify_fully_propositional,
+    verify_input_driven_search,
+    verify_ltlfo,
+)
+
+
+# ---------------------------------------------------------------------------
+# the full Figure 2 site
+# ---------------------------------------------------------------------------
+
+class TestEcommerceDemo:
+    def test_nineteen_pages(self, demo_service):
+        assert len(demo_service.pages) == 19
+        expected = {
+            "HP", "NP", "RP", "MP", "CP", "AP", "DSP", "LSP", "PIP", "PP",
+            "CC", "UPP", "COP", "VOP", "POP", "OSP", "SCP", "DCP", "CCP",
+        }
+        assert demo_service.page_names == expected
+
+    def test_full_purchase_walkthrough(self, demo_service, demo_db):
+        s = Session(demo_service, demo_db)
+        s.submit(picks={"button": ("login",)},
+                 constants={"name": "alice", "password": "pw1"})
+        s.submit(picks={"button": ("laptop",)})
+        assert s.page == "LSP"
+        s.submit(picks={"laptopsearch": ("8G", "512G", "14in"),
+                        "button": ("search",)})
+        assert s.page == "PIP"
+        product = sorted(s.options()["select"])[0]
+        s.submit(picks={"select": product, "button": ("view",)})
+        assert s.page == "PP"
+        s.submit(picks={"button": ("add to cart",)})
+        assert s.page == "CC"
+        s.submit(picks={"button": ("buy",)})
+        assert s.page == "UPP"
+        amount = sorted(s.options()["pay"])[0]
+        s.submit(picks={"pay": amount, "button": ("authorize payment",)},
+                 constants={"ccno": "4111-1111"})
+        assert s.page == "COP"
+
+    def test_admin_routed_to_admin_page(self, demo_service, demo_db):
+        s = Session(demo_service, demo_db)
+        s.submit(picks={"button": ("login",)},
+                 constants={"name": "Admin", "password": "root"})
+        assert s.page == "AP"
+
+    def test_admin_shipping_flow(self, demo_service, demo_db):
+        s = Session(demo_service, demo_db)
+        s.submit(picks={"button": ("login",)},
+                 constants={"name": "Admin", "password": "root"})
+        s.submit(picks={"button": ("pending orders",)})
+        assert s.page == "POP"
+        # no orders yet: no order items offered
+        assert s.options()["orderitem"] == frozenset()
+
+    def test_registration_flow(self, demo_service, demo_db):
+        s = Session(demo_service, demo_db)
+        s.submit(picks={"button": ("register",)},
+                 constants={"name": "carol", "password": "s3cret"})
+        assert s.page == "NP"
+        s.submit(picks={"button": ("register",)},
+                 constants={"repassword": "s3cret"})
+        assert s.page == "RP"
+        newuser = demo_service.schema.state["newuser"]
+        assert s.state.holds(newuser, ("carol", "s3cret"))
+
+    def test_mismatched_repassword(self, demo_service, demo_db):
+        s = Session(demo_service, demo_db)
+        s.submit(picks={"button": ("register",)},
+                 constants={"name": "carol", "password": "a"})
+        s.submit(picks={"button": ("register",)},
+                 constants={"repassword": "b"})
+        assert s.page == "MP"
+
+    def test_search_uses_criteria_lookup(self, demo_service, demo_db):
+        s = Session(demo_service, demo_db)
+        s.submit(picks={"button": ("login",)},
+                 constants={"name": "alice", "password": "pw1"})
+        s.submit(picks={"button": ("laptop",)})
+        opts = s.options()["laptopsearch"]
+        rams = {r for r, _h, _d in opts}
+        assert rams == {"8G", "16G"}
+
+    def test_cart_emptied(self, demo_service, demo_db):
+        s = Session(demo_service, demo_db)
+        s.submit(picks={"button": ("login",)},
+                 constants={"name": "alice", "password": "pw1"})
+        s.submit(picks={"button": ("laptop",)})
+        s.submit(picks={"laptopsearch": ("8G", "512G", "14in"),
+                        "button": ("search",)})
+        product = sorted(s.options()["select"])[0]
+        s.submit(picks={"select": product, "button": ("view",)})
+        s.submit(picks={"button": ("add to cart",)})
+        assert s.options()["cartitem"]
+        s.submit(picks={"button": ("empty cart",)})
+        assert s.page == "CP"
+        cart = demo_service.schema.state["cart"]
+        assert not s.state.tuples(cart)
+
+    def test_demo_is_not_error_free(self, demo_service, demo_db):
+        # the clear/back loops re-request constants: condition (ii),
+        # found by the verifier on the concrete demo database.
+        result = verify_error_free(
+            demo_service,
+            databases=[demo_db],
+            sigmas=[{"name": "alice", "password": "pw1",
+                     "repassword": "pw1", "ccno": "c"}],
+        )
+        assert not result.holds
+
+    def test_outside_decidable_classes(self, demo_service):
+        report = classify(demo_service)
+        assert not report.is_in(ServiceClass.INPUT_BOUNDED)
+        assert any("cart" in r for r in report.why_not(ServiceClass.INPUT_BOUNDED))
+
+
+# ---------------------------------------------------------------------------
+# the input-bounded core
+# ---------------------------------------------------------------------------
+
+class TestCore:
+    def test_core_in_decidable_class(self, core):
+        assert classify(core).is_in(ServiceClass.INPUT_BOUNDED)
+
+    def test_property_4_is_input_bounded(self, core):
+        prop = property_4_paid_before_ship()
+        assert check_ltlfo_input_bounded(prop, core.schema, core.page_names).ok
+
+    def test_core_error_free(self, core, core_db, alice_sigma):
+        assert verify_error_free(core, databases=[core_db], sigmas=alice_sigma).holds
+
+    def test_paid_before_ship_holds(self, core, core_db, alice_sigma):
+        result = verify_ltlfo(
+            core, property_4_paid_before_ship(),
+            databases=[core_db], sigmas=alice_sigma,
+        )
+        assert result.holds
+
+    def test_paid_before_ship_violated_on_broken(self, core_broken, alice_sigma):
+        result = verify_ltlfo(
+            core_broken, property_4_paid_before_ship(),
+            databases=[core_database(core_broken)], sigmas=alice_sigma,
+        )
+        assert not result.holds
+        run = result.counterexample
+        assert run is not None
+        # the trace must actually ship something
+        ship = core_broken.schema.action["ship"]
+        assert any(s.actions.tuples(ship) for s in run.snapshots)
+
+    def test_navigation_property_violated(self, core, core_db, alice_sigma):
+        # the user can always log out before reaching COP
+        prop = property_1_navigation("LSP", "COP")
+        result = verify_ltlfo(core, prop, databases=[core_db], sigmas=alice_sigma)
+        assert not result.holds
+
+    def test_bought_implies_ships(self, core, core_db, alice_sigma):
+        result = verify_ltlfo(
+            core, example_41_cancel_until_ship(),
+            databases=[core_db], sigmas=alice_sigma,
+        )
+        assert result.holds
+
+    def test_wrong_password_lands_on_mp(self, core, core_db):
+        result = verify_ltlfo(
+            core,
+            property_1_navigation("MP", "CP"),
+            databases=[core_db],
+            sigmas=[{"name": "alice", "password": "wrong"}],
+        )
+        # once on MP (terminal) the run never reaches CP
+        assert not result.holds
+
+
+# ---------------------------------------------------------------------------
+# the propositional abstraction (Example 4.3)
+# ---------------------------------------------------------------------------
+
+class TestPropositionalDemo:
+    def test_fully_propositional(self, prop_service):
+        assert classify(prop_service).is_in(ServiceClass.FULLY_PROPOSITIONAL)
+
+    def test_home_always_reachable(self, prop_service):
+        assert verify(prop_service, example_43_home_reachable()).holds
+
+    def test_login_to_payment(self, prop_service):
+        assert verify(prop_service, example_43_login_to_payment()).holds
+
+    def test_confirmation_implies_order(self, prop_service):
+        # COP is only entered through btn_authorize, which sets has_order
+        prop = AG(CNot(CAtom("COP")) | CAtom("has_order"))
+        assert verify(prop_service, prop).holds
+
+    def test_ctl_star_purchase(self, prop_service):
+        result = verify_fully_propositional(
+            prop_service, ctl_star_eventual_purchase()
+        )
+        # the user can buy and then wander forever without reaching COP?
+        # No: CC -> UPP requires btn_buy, and UPP -> COP or back; a path
+        # may bounce UPP <-> CC forever, never reaching COP: violated.
+        assert not result.holds
+
+    def test_no_order_without_authorize(self, prop_service):
+        prop = AG(CNot(CAtom("has_order")) | CAtom("COP") | CNot(CAtom("HP")))
+        # weaker sanity property: has_order never coincides with HP...
+        # actually logging out after purchase lands on HP with has_order.
+        assert not verify(prop_service, prop).holds
+
+
+# ---------------------------------------------------------------------------
+# the Figure 1 search store (Example 4.8)
+# ---------------------------------------------------------------------------
+
+class TestSearchSite:
+    def test_classified_ids(self, ids_service):
+        assert classify(ids_service).is_in(ServiceClass.INPUT_DRIVEN_SEARCH)
+
+    def test_browse_hierarchy(self, ids_service, ids_db):
+        s = Session(ids_service, ids_db)
+        assert s.options()["I"] == {(ROOT,)}
+        s.submit(picks={"I": (ROOT,)})
+        assert s.options()["I"] == {("new",), ("used",)}
+        s.submit(picks={"I": ("new",)})
+        assert s.options()["I"] == {("new desktops",), ("new laptops",)}
+
+    def test_new_flag(self, ids_service, ids_db):
+        s = Session(ids_service, ids_db)
+        s.submit(picks={"I": (ROOT,)})
+        s.submit(picks={"I": ("new",)})
+        s.submit(picks={"I": ("new laptops",)})
+        new = ids_service.schema.state["new"]
+        assert s.state.truth(new)
+        # back off to used: flag clears only on picking "used"
+        s2 = Session(ids_service, ids_db)
+        s2.submit(picks={"I": (ROOT,)})
+        s2.submit(picks={"I": ("used",)})
+        assert not s2.state.truth(new)
+
+    def test_stock_filter(self, ids_service, ids_db):
+        s = Session(ids_service, ids_db)
+        s.submit(picks={"I": (ROOT,)})
+        s.submit(picks={"I": ("used",)})
+        s.submit(picks={"I": ("used laptops",)})
+        assert s.options()["I"] == {("ul1",)}  # ul2 out of stock
+
+    def test_scaled_hierarchy(self, ids_service):
+        db = scaled_hierarchy_database(3, branching=2, service=ids_service)
+        assert len(db.tuples("R_I")) == 2 + 4 + 8
+        result = verify_input_driven_search(
+            ids_service, EF(CAtom(("I", ("n000",)))), databases=[db]
+        )
+        assert result.holds
+
+    def test_stock_ratio_filters_leaves(self, ids_service):
+        db = scaled_hierarchy_database(
+            2, branching=2, service=ids_service, stock_ratio=0.5
+        )
+        in_stock = {v for (v,) in db.tuples("avail")}
+        leaves = {f"n{i:02b}".replace("0b", "") for i in range(4)}
+        # exactly half the leaves are stocked
+        stocked_leaves = {v for v in in_stock if len(v) == 3}
+        assert len(stocked_leaves) == 2

@@ -1,0 +1,499 @@
+"""Tests for the extension components: the Lemma A.10 simple-service
+reduction, ASM transducers (Appendix A.1), the FO^W / E+TC logics, the
+temporal property parsers, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.fol import And, Atom, Eq, Exists, Forall, Lit, Not, Var, parse_formula
+from repro.ltl import F, G, LTLFOSentence, parse_ltlfo
+from repro.ltl.syntax import LB, LNot, LOr, LTLAtom, LU, LX
+from repro.ctl import CAtom, is_ctl, parse_ctl
+from repro.schema import Database, RelationalSchema, database_relation
+from repro.service import ServiceBuilder, ServiceClass, classify
+from repro.verifier import verify_ltlfo
+
+
+# ---------------------------------------------------------------------------
+# Lemma A.10: to_simple_service
+# ---------------------------------------------------------------------------
+
+def _flagger_service():
+    b = ServiceBuilder("pp")
+    b.input("go")
+    b.state("flag")
+    p1 = b.page("P1", home=True)
+    p1.toggle("go")
+    p1.insert("flag", "go")
+    p1.target("P2", "go")
+    p2 = b.page("P2")
+    p2.toggle("go")
+    p2.target("P1", "go")
+    return b.build()
+
+
+class TestSimpleReduction:
+    def test_produces_simple_service(self):
+        from repro.service.simple import to_simple_service
+
+        simple = to_simple_service(_flagger_service())
+        report = classify(simple)
+        assert report.is_in(ServiceClass.SIMPLE)
+        assert len(simple.pages) == 1
+
+    def test_page_props_become_states(self):
+        from repro.service.simple import PAGE_PROP_PREFIX, to_simple_service
+
+        simple = to_simple_service(_flagger_service())
+        names = {r.name for r in simple.schema.state.relations}
+        assert PAGE_PROP_PREFIX + "P1" in names
+        assert PAGE_PROP_PREFIX + "P2" in names
+
+    def test_input_constants_become_db_constants(self, core):
+        from repro.service.simple import to_simple_service
+
+        simple = to_simple_service(core)
+        assert not simple.schema.input_constants
+        assert {"name", "password"} <= set(simple.schema.database.constants)
+
+    @pytest.mark.parametrize("prop, expected_holds", [
+        (LTLFOSentence((), G(Not(Atom("P2", ()))), name="never P2"), False),
+        (LTLFOSentence((), G(Atom("P1", ()) | Atom("P2", ())), name="paged"), True),
+        (LTLFOSentence((), F(Atom("flag", ())), name="flag"), False),
+        (LTLFOSentence(
+            (), LB(LTLAtom(Atom("go", ())), LNot(LTLAtom(Atom("flag", ())))),
+            name="go before flag"), True),
+    ])
+    def test_verdicts_agree_across_reduction(self, prop, expected_holds):
+        from repro.service.simple import to_simple_service, transform_sentence
+
+        service = _flagger_service()
+        simple = to_simple_service(service)
+        original = verify_ltlfo(
+            service, prop, databases=[Database(service.schema.database)]
+        )
+        translated = verify_ltlfo(
+            simple,
+            transform_sentence(prop, service),
+            databases=[Database(simple.schema.database)],
+            check_restrictions=False,
+        )
+        assert original.holds == expected_holds
+        assert translated.holds == expected_holds
+
+    def test_data_service_reduction_agrees(self, toy_service, toy_db):
+        from repro.service.simple import to_simple_service, transform_sentence
+
+        prop = LTLFOSentence(
+            ("x",),
+            LB(LTLAtom(Atom("pick", (Var("x"),))),
+               LNot(LTLAtom(Atom("chosen", (Var("x"),))))),
+            name="chosen after pick",
+        )
+        simple = to_simple_service(toy_service)
+        db2 = Database(simple.schema.database, {"item": [("i1",), ("i2",)]})
+        original = verify_ltlfo(toy_service, prop, databases=[toy_db])
+        translated = verify_ltlfo(
+            simple, transform_sentence(prop, toy_service),
+            databases=[db2], check_restrictions=False,
+        )
+        assert original.holds == translated.holds is True
+
+
+# ---------------------------------------------------------------------------
+# ASM transducers
+# ---------------------------------------------------------------------------
+
+class TestASM:
+    def _transducer(self):
+        from repro.asm import from_simple_service
+
+        b = ServiceBuilder("counter")
+        b.database("universe", 1)
+        b.input("add", 1)
+        b.state("bag", 1)
+        b.action("echo", 1)
+        page = b.page("W", home=True)
+        page.options("add", "universe(x)", ("x",))
+        page.insert("bag", "add(x)", ("x",))
+        page.act("echo", "add(x)", ("x",))
+        return from_simple_service(b.build())
+
+    def test_wraps_simple_services_only(self, core):
+        from repro.asm import ASMTransducer
+
+        with pytest.raises(ValueError):
+            ASMTransducer(core)
+
+    def test_step_updates_memory_and_outputs(self):
+        from repro.asm.transducer import TransducerState
+
+        t = self._transducer()
+        db = Database(
+            t.service.schema.database, {"universe": [("a",), ("b",)]}
+        )
+        state, outputs = t.step(db, TransducerState.initial(), {"add": ("a",)})
+        bag = t.memory_schema["bag"]
+        echo = t.output_schema["echo"]
+        assert state.memory.tuples(bag) == {("a",)}
+        assert outputs.tuples(echo) == {("a",)}
+
+    def test_options_respect_rules(self):
+        from repro.asm.transducer import TransducerState
+
+        t = self._transducer()
+        db = Database(t.service.schema.database, {"universe": [("a",)]})
+        assert t.options(db, TransducerState.initial())["add"] == {("a",)}
+
+    def test_scripted_run_accumulates(self):
+        t = self._transducer()
+        db = Database(
+            t.service.schema.database, {"universe": [("a",), ("b",)]}
+        )
+        trace = t.run(db, [{"add": ("a",)}, {"add": ("b",)}, {}])
+        bag = t.memory_schema["bag"]
+        assert trace[-1][0].memory.tuples(bag) == {("a",), ("b",)}
+
+    def test_web_service_to_transducer(self, core):
+        from repro.asm import web_service_to_transducer
+
+        prop = LTLFOSentence((), G(Not(Atom("ERROR", ()))))
+        transducer, translated = web_service_to_transducer(core, prop)
+        assert len(transducer.service.pages) == 1
+        assert isinstance(translated.skeleton, LX)
+
+
+# ---------------------------------------------------------------------------
+# FO^W / E+TC logics
+# ---------------------------------------------------------------------------
+
+class TestTCLogic:
+    SCHEMA = RelationalSchema([database_relation("edge", 2)])
+
+    def _ctx(self, edges, extra=()):
+        from repro.fol import EvalContext
+
+        db = Database(self.SCHEMA, {"edge": edges}, extra_domain=extra)
+        return EvalContext(database=db)
+
+    def test_tc_reachability(self):
+        from repro.fol.tclogic import TC, evaluate_tc
+
+        ctx = self._ctx([("a", "b"), ("b", "c")], extra=["d"])
+        tc = lambda s, t: TC(
+            ("x",), ("y",), Atom("edge", (Var("x"), Var("y"))),
+            (Lit(s),), (Lit(t),),
+        )
+        assert evaluate_tc(tc("a", "c"), ctx)
+        assert evaluate_tc(tc("a", "b"), ctx)
+        assert not evaluate_tc(tc("a", "d"), ctx)
+        assert not evaluate_tc(tc("c", "a"), ctx)
+
+    def test_tc_shape_validation(self):
+        from repro.fol.tclogic import TC
+
+        with pytest.raises(ValueError):
+            TC(("x",), ("y", "z"), parse_formula("edge(x, y)"),
+               (Lit("a"),), (Lit("b"),))
+
+    def test_tc_under_quantifiers(self):
+        from repro.fol.tclogic import TC, evaluate_tc
+
+        ctx = self._ctx([("a", "b"), ("b", "a")])
+        # every node reaches itself through the cycle
+        f = Forall(
+            "u",
+            TC(("x",), ("y",), Atom("edge", (Var("x"), Var("y"))),
+               (Var("u"),), (Var("u"),)),
+        )
+        assert evaluate_tc(f, ctx)
+
+    def test_witness_bounded_membership(self):
+        from repro.fol.tclogic import is_witness_bounded
+
+        guarded = Exists(
+            "x",
+            And(
+                Eq(Var("x"), Lit("a")) | Eq(Var("x"), Var("z")),
+                Atom("edge", (Var("x"), Var("z"))),
+            ),
+        )
+        assert is_witness_bounded(guarded)
+        assert not is_witness_bounded(parse_formula("exists x . edge(x, x)"))
+        universal = Forall(
+            "x",
+            parse_formula('x = "a"').implies(Atom("edge", (Var("x"), Var("x")))),
+        )
+        assert is_witness_bounded(universal)
+
+    def test_existential_tc_membership(self):
+        from repro.fol.tclogic import TC, is_existential_tc
+
+        tc = TC(("x",), ("y",), Atom("edge", (Var("x"), Var("y"))),
+                (Lit("a"),), (Lit("b"),))
+        assert is_existential_tc(Exists("u", And(tc, Eq(Var("u"), Lit("a")))))
+        assert not is_existential_tc(parse_formula("forall x . edge(x, x)"))
+        assert is_existential_tc(Not(Forall("x", Atom("edge", (Var("x"), Var("x"))))))
+
+    def test_positive_tc_polarity(self):
+        from repro.fol.tclogic import TC, is_fow_pos_tc
+
+        tc = TC(("x",), ("y",), Atom("edge", (Var("x"), Var("y"))),
+                (Lit("a"),), (Lit("b"),))
+        assert is_fow_pos_tc(tc)
+        assert not is_fow_pos_tc(Not(tc))
+        assert is_fow_pos_tc(Not(Not(tc)))
+
+    def test_finite_satisfiability(self):
+        from repro.fol.tclogic import TC, finite_satisfiable
+
+        cycle = Exists(
+            ("u", "v"),
+            And(
+                Atom("edge", (Var("u"), Var("v"))),
+                TC(("x",), ("y",), Atom("edge", (Var("x"), Var("y"))),
+                   (Var("v"),), (Var("u"),)),
+            ),
+        )
+        sat, model = finite_satisfiable(cycle, self.SCHEMA, 2)
+        assert sat and model is not None
+        contradiction = And(
+            parse_formula("exists x . edge(x, x)"),
+            parse_formula("forall x . !edge(x, x)"),
+        )
+        sat, model = finite_satisfiable(contradiction, self.SCHEMA, 3)
+        assert not sat and model is None
+
+
+# ---------------------------------------------------------------------------
+# temporal property parsers
+# ---------------------------------------------------------------------------
+
+class TestLTLFOParser:
+    def test_closure_prefix(self):
+        s = parse_ltlfo("forall x, y : G !p(x, y)")
+        assert s.variables == ("x", "y")
+
+    def test_matches_programmatic_property_4(self, core):
+        from repro.demo import property_4_paid_before_ship
+
+        ref = property_4_paid_before_ship()
+        s = parse_ltlfo(
+            'forall pid, price : '
+            '(UPP & pay(price) & button("authorize payment") '
+            '& pick(pid, price) & prod_prices(pid, price))'
+            ' B !(conf(name, price) & ship(name, pid))',
+            input_constants={"name"},
+        )
+        assert s.variables == ref.variables
+        assert s.skeleton == ref.skeleton
+
+    def test_property_1_shape(self):
+        s = parse_ltlfo("G(!P) | F(P & F Q)")
+        assert isinstance(s.skeleton, LOr)
+
+    def test_fo_level_is_preserved(self):
+        s = parse_ltlfo('G (exists x . p(x) & x != "a")')
+        components = list(s.fo_components())
+        assert len(components) == 1
+        assert components[0] == parse_formula('exists x . p(x) & x != "a"')
+
+    def test_temporal_until(self):
+        s = parse_ltlfo("p U q")
+        assert isinstance(s.skeleton, LU)
+
+    def test_nested_temporal(self):
+        s = parse_ltlfo("G (p -> F q)")
+        assert "U" in str(s.skeleton) or "R" in str(s.skeleton)
+
+    def test_implication_mixing_levels(self):
+        s = parse_ltlfo("p -> G q")
+        assert isinstance(s.skeleton, LOr)  # ¬p ∨ G q
+
+    def test_errors(self):
+        from repro.fol import FormulaSyntaxError
+
+        with pytest.raises(FormulaSyntaxError):
+            parse_ltlfo("G (p &")
+        with pytest.raises(FormulaSyntaxError):
+            parse_ltlfo("p q")
+
+
+class TestCTLParser:
+    def test_sugar(self):
+        from repro.demo import example_43_home_reachable
+
+        assert parse_ctl("AG EF HP") == example_43_home_reachable()
+
+    def test_implication(self):
+        from repro.demo import example_43_login_to_payment
+
+        got = parse_ctl("AG ((HP & btn_login) -> EF btn_authorize)")
+        assert got == example_43_login_to_payment()
+
+    def test_ground_atoms(self):
+        f = parse_ctl('EF button("login")')
+        assert CAtom(("button", ("login",))) in set(
+            __import__("repro.ctl", fromlist=["state_atoms"]).state_atoms(f)
+        )
+
+    def test_ctl_star(self):
+        f = parse_ctl("E (F a & F b)")
+        assert not is_ctl(f)
+        g = parse_ctl("A (G !buy | F COP)")
+        assert not is_ctl(g)
+
+    def test_path_until(self):
+        f = parse_ctl("E (a U b)")
+        assert is_ctl(f)
+
+    def test_boolean_and_constants(self):
+        f = parse_ctl("true & !false | p")
+        assert f is not None
+
+    def test_errors(self):
+        from repro.fol import FormulaSyntaxError
+
+        with pytest.raises(FormulaSyntaxError):
+            parse_ctl("AG (p &")
+        with pytest.raises(FormulaSyntaxError):
+            parse_ctl("EF p(x)")  # non-literal argument
+
+    def test_verification_with_parsed_formula(self, prop_service):
+        from repro.verifier import verify
+
+        assert verify(prop_service, parse_ctl("AG EF HP")).holds
+        assert not verify(prop_service, parse_ctl("AG !UPP")).holds
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCLI:
+    @pytest.fixture()
+    def spec_and_db(self, tmp_path, core, core_db):
+        from repro.io import database_to_dict, save_service
+
+        spec = tmp_path / "core.json"
+        dbf = tmp_path / "db.json"
+        save_service(core, spec)
+        dbf.write_text(json.dumps(database_to_dict(core_db)))
+        return str(spec), str(dbf)
+
+    def _run(self, argv, capsys):
+        from repro.cli import main
+
+        code = main(argv)
+        out = capsys.readouterr()
+        return code, out.out, out.err
+
+    def test_show(self, spec_and_db, capsys):
+        spec, _ = spec_and_db
+        code, out, _ = self._run(["show", spec], capsys)
+        assert code == 0 and "Page HP" in out
+
+    def test_classify(self, spec_and_db, capsys):
+        spec, _ = spec_and_db
+        code, out, _ = self._run(["classify", spec], capsys)
+        assert code == 0 and "input-bounded" in out
+
+    def test_audit(self, spec_and_db, capsys):
+        spec, _ = spec_and_db
+        code, out, _ = self._run(["audit", spec], capsys)
+        assert code == 0 and "navigation audit" in out
+
+    def test_verify_ltl_holds(self, spec_and_db, capsys):
+        spec, dbf = spec_and_db
+        code, out, _ = self._run(
+            ["verify", spec, "--ltl", "G !ERROR", "--db", dbf], capsys
+        )
+        assert code == 0 and "HOLDS" in out
+
+    def test_verify_refusal_exit_code(self, spec_and_db, capsys):
+        spec, dbf = spec_and_db
+        code, _out, err = self._run(
+            ["verify", spec, "--ctl", "AG EF HP", "--db", dbf], capsys
+        )
+        assert code == 3 and "undecidable" in err
+
+    def test_verify_violated_exit_code(self, tmp_path, prop_service, capsys):
+        from repro.io import save_service
+
+        spec = tmp_path / "prop.json"
+        save_service(prop_service, spec)
+        code, out, _ = self._run(
+            ["verify", str(spec), "--ctl", "AG !UPP"], capsys
+        )
+        assert code == 1 and "VIOLATED" in out
+
+    def test_simulate(self, spec_and_db, capsys):
+        spec, dbf = spec_and_db
+        code, out, _ = self._run(
+            ["simulate", spec, "--db", dbf, "--steps", "4",
+             "--constant", "name=alice", "--constant", "password=pw1"],
+            capsys,
+        )
+        assert code == 0 and "HP" in out
+
+    def test_missing_property_is_an_error(self, spec_and_db, capsys):
+        spec, _ = spec_and_db
+        code, _out, err = self._run(["verify", spec], capsys)
+        assert code == 2 and "error" in err
+
+
+# ---------------------------------------------------------------------------
+# randomized agreement: Lemma A.10 over a family of services
+# ---------------------------------------------------------------------------
+
+class TestSimpleReductionFamily:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_propositional_services_agree(self, seed):
+        """Original vs Lemma A.10 translation on random 3-page services."""
+        import random
+
+        from repro.service.simple import to_simple_service, transform_sentence
+        from repro.fol import Or as FOr
+
+        rng = random.Random(seed)
+        b = ServiceBuilder(f"rand{seed}")
+        b.input("a")
+        b.input("bb")
+        b.state("s1")
+        pages = ["P0", "P1", "P2"]
+        builders = {}
+        for name in pages:
+            pb = b.page(name, home=(name == "P0"))
+            pb.toggle("a", "bb")
+            builders[name] = pb
+        for name in pages:
+            pb = builders[name]
+            if rng.random() < 0.8:
+                pb.insert("s1", rng.choice(["a", "bb", "a & bb"]))
+            if rng.random() < 0.5:
+                pb.delete("s1", rng.choice(["a & !bb", "bb & !a"]))
+            targets = rng.sample(pages, k=rng.randint(1, 2))
+            guards = ["a & !bb", "bb & !a"]
+            for i, target in enumerate(targets[:2]):
+                pb.target(target, guards[i])
+        service = b.build()
+        simple = to_simple_service(service)
+
+        db1 = Database(service.schema.database)
+        db2 = Database(simple.schema.database)
+        properties = [
+            LTLFOSentence((), G(Not(Atom("ERROR", ()))), name="no error"),
+            LTLFOSentence((), G(Not(Atom("s1", ()))), name="never s1"),
+            LTLFOSentence((), F(Atom("P1", ())), name="eventually P1"),
+            LTLFOSentence((), G(Not(Atom("P2", ()))), name="never P2"),
+        ]
+        for prop in properties:
+            original = verify_ltlfo(
+                service, prop, databases=[db1], check_restrictions=False
+            )
+            translated = verify_ltlfo(
+                simple, transform_sentence(prop, service),
+                databases=[db2], check_restrictions=False,
+            )
+            assert original.holds == translated.holds, (seed, prop.name)

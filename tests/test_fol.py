@@ -1,0 +1,507 @@
+"""Tests for the FO substrate: terms, formulas, parser, evaluation,
+analysis and transforms — including hypothesis property tests comparing
+the evaluator against brute-force grounding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fol import (
+    And,
+    Atom,
+    Bottom,
+    DbConst,
+    Eq,
+    EvalContext,
+    Exists,
+    FALSE,
+    Forall,
+    Formula,
+    FormulaSyntaxError,
+    Iff,
+    Implies,
+    InputConst,
+    Lit,
+    MissingInputConstantError,
+    Not,
+    Or,
+    TRUE,
+    Top,
+    UnknownRelationError,
+    Var,
+    all_variables,
+    atom,
+    atoms_of,
+    check_input_bounded,
+    check_input_rule_formula,
+    db_constants_of,
+    evaluate,
+    evaluate_query,
+    formula_size,
+    free_variables,
+    ground,
+    input_constants_of,
+    is_existential,
+    is_quantifier_free,
+    literals_of,
+    neq,
+    nnf,
+    parse_formula,
+    parse_term,
+    relation_names,
+    rename_relations,
+    simplify,
+    substitute,
+)
+from repro.fol.evaluation import UnboundVariableError
+from repro.schema import Database, Instance, RelationalSchema, database_relation
+
+
+# ---------------------------------------------------------------------------
+# construction and structure
+# ---------------------------------------------------------------------------
+
+class TestFormulaConstruction:
+    def test_atom_coercion(self):
+        a = atom("p", "x", 3)
+        assert a.terms == (Lit("x"), Lit(3))
+
+    def test_operator_sugar(self):
+        p, q = atom("p"), atom("q")
+        assert (p & q) == And(p, q)
+        assert (p | q) == Or(p, q)
+        assert (~p) == Not(p)
+        assert p.implies(q) == Implies(p, q)
+
+    def test_and_flattens_iterables(self):
+        p, q = atom("p"), atom("q")
+        assert And([p, q]) == And(p, q)
+
+    def test_empty_quantifier_rejected(self):
+        with pytest.raises(ValueError):
+            Exists((), atom("p"))
+        with pytest.raises(ValueError):
+            Forall((), atom("p"))
+
+    def test_neq(self):
+        assert neq("a", "b") == Not(Eq(Lit("a"), Lit("b")))
+
+    def test_hashable(self):
+        f = And(atom("p", Var("x")), Not(atom("q")))
+        assert f == And(atom("p", Var("x")), Not(atom("q")))
+        assert len({f, f}) == 1
+
+
+class TestStructuralQueries:
+    def test_free_variables(self):
+        f = Exists("x", And(atom("p", Var("x"), Var("y")), atom("q", Var("z"))))
+        assert free_variables(f) == {"y", "z"}
+
+    def test_free_variables_shadowing(self):
+        f = And(atom("p", Var("x")), Exists("x", atom("q", Var("x"))))
+        assert free_variables(f) == {"x"}
+
+    def test_all_variables(self):
+        f = Exists("x", atom("p", Var("x"), Var("y")))
+        assert all_variables(f) == {"x", "y"}
+
+    def test_atoms_and_relations(self):
+        f = Implies(atom("p", Var("x")), Not(atom("q")))
+        assert {a.relation for a in atoms_of(f)} == {"p", "q"}
+        assert relation_names(f) == {"p", "q"}
+
+    def test_constant_collection(self):
+        f = And(
+            atom("p", InputConst("name")),
+            Eq(DbConst("min"), Lit("lit1")),
+        )
+        assert input_constants_of(f) == {"name"}
+        assert db_constants_of(f) == {"min"}
+        assert literals_of(f) == {"lit1"}
+
+    def test_quantifier_free(self):
+        assert is_quantifier_free(And(atom("p"), Not(atom("q"))))
+        assert not is_quantifier_free(Exists("x", atom("p", Var("x"))))
+
+    def test_is_existential(self):
+        f = Or(
+            Exists("x", atom("p", Var("x"))),
+            And(atom("q"), Exists("y", atom("p", Var("y")))),
+        )
+        assert is_existential(f)
+        assert not is_existential(Not(Exists("x", atom("p", Var("x")))))
+        assert not is_existential(Forall("x", atom("p", Var("x"))))
+
+    def test_formula_size(self):
+        assert formula_size(atom("p")) == 1
+        assert formula_size(And(atom("p"), Not(atom("q")))) == 4
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+class TestParser:
+    def test_atom_with_terms(self):
+        f = parse_formula('user(x, "secret")')
+        assert f == Atom("user", (Var("x"), Lit("secret")))
+
+    def test_propositional_atom(self):
+        assert parse_formula("flag") == Atom("flag", ())
+
+    def test_precedence(self):
+        f = parse_formula("a & b | c")
+        assert isinstance(f, Or)
+        assert isinstance(f.parts[0], And)
+
+    def test_implication_right_assoc(self):
+        f = parse_formula("a -> b -> c")
+        assert isinstance(f, Implies)
+        assert isinstance(f.consequent, Implies)
+
+    def test_quantifier_scopes_right(self):
+        f = parse_formula("exists x . p(x) & q(x)")
+        assert isinstance(f, Exists)
+        assert free_variables(f) == set()
+
+    def test_multi_variable_quantifier(self):
+        f = parse_formula("exists x, y . p(x, y)")
+        assert f == Exists(("x", "y"), Atom("p", (Var("x"), Var("y"))))
+
+    def test_constant_resolution(self):
+        f = parse_formula("user(name, x)", input_constants={"name"})
+        assert f == Atom("user", (InputConst("name"), Var("x")))
+
+    def test_sigils(self):
+        f = parse_formula("@name = #min")
+        assert f == Eq(InputConst("name"), DbConst("min"))
+
+    def test_inequality(self):
+        f = parse_formula('x != "a"')
+        assert f == Not(Eq(Var("x"), Lit("a")))
+
+    def test_numbers(self):
+        assert parse_term("42") == Lit(42)
+        assert parse_term("-1.5") == Lit(-1.5)
+
+    def test_keywords(self):
+        assert parse_formula("true") == TRUE
+        assert parse_formula("not p") == Not(Atom("p", ()))
+        assert parse_formula("p and q") == And(Atom("p", ()), Atom("q", ()))
+        assert parse_formula("p or q") == Or(Atom("p", ()), Atom("q", ()))
+
+    def test_unicode_operators(self):
+        assert parse_formula("p ∧ ¬q") == And(Atom("p", ()), Not(Atom("q", ())))
+        assert parse_formula("∃x.p(x)") == Exists("x", Atom("p", (Var("x"),)))
+        assert parse_formula("∀x.p(x)") == Forall("x", Atom("p", (Var("x"),)))
+
+    def test_syntax_errors(self):
+        for bad in ["p(", "&& q", "exists . p", "p q", "x =", "p) ("]:
+            with pytest.raises(FormulaSyntaxError):
+                parse_formula(bad)
+
+    def test_roundtrip_through_str(self):
+        texts = [
+            'user(name, password) & button("login") & name != "Admin"',
+            "exists x, y . p(x, y) & (q | r(x))",
+            "forall x . p(x) -> exists y . q(x, y)",
+            "(a <-> b) | !c",
+        ]
+        for text in texts:
+            f = parse_formula(text, input_constants={"name", "password"})
+            assert parse_formula(str(f)) == f
+
+
+# ---------------------------------------------------------------------------
+# evaluation
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def ctx():
+    schema = RelationalSchema(
+        [database_relation("p", 1), database_relation("q", 2)], ["kmin"]
+    )
+    db = Database(
+        schema,
+        {"p": [("a",), ("b",)], "q": [("a", "b"), ("b", "b")]},
+        {"kmin": "a"},
+        extra_domain=["c"],
+    )
+    return EvalContext(database=db, input_values={"name": "a"})
+
+
+class TestEvaluation:
+    def test_atoms(self, ctx):
+        assert evaluate(parse_formula('p("a")'), ctx)
+        assert not evaluate(parse_formula('p("z")'), ctx)
+
+    def test_equality_and_terms(self, ctx):
+        assert evaluate(parse_formula('@name = "a"'), ctx)
+        assert evaluate(parse_formula('#kmin = "a"'), ctx)
+        assert evaluate(parse_formula('"a" != "b"'), ctx)
+
+    def test_boolean_connectives(self, ctx):
+        assert evaluate(parse_formula('p("a") & !p("z")'), ctx)
+        assert evaluate(parse_formula('p("z") | p("a")'), ctx)
+        assert evaluate(parse_formula('p("z") -> p("q")'), ctx)
+        assert evaluate(parse_formula('p("a") <-> q("a", "b")'), ctx)
+
+    def test_quantifiers_active_domain(self, ctx):
+        assert evaluate(parse_formula("exists x . p(x)"), ctx)
+        assert not evaluate(parse_formula("forall x . p(x)"), ctx)
+        assert evaluate(parse_formula("forall x . p(x) | !p(x)"), ctx)
+
+    def test_nested_quantifiers(self, ctx):
+        assert evaluate(parse_formula("exists x . p(x) & exists y . q(x, y)"), ctx)
+        assert evaluate(
+            parse_formula("forall x . p(x) -> exists y . q(x, y)"), ctx
+        )
+
+    def test_missing_input_constant(self, ctx):
+        with pytest.raises(MissingInputConstantError):
+            evaluate(parse_formula('@nope = "a"'), ctx)
+
+    def test_unknown_relation(self, ctx):
+        with pytest.raises(UnknownRelationError):
+            evaluate(parse_formula("zzz(x, y)"), ctx, {"x": "a", "y": "b"})
+
+    def test_unbound_variable(self, ctx):
+        with pytest.raises(UnboundVariableError):
+            evaluate(parse_formula("p(x)"), ctx)
+
+    def test_page_propositions(self):
+        ctx = EvalContext(page="HP", page_names={"HP", "CP"})
+        assert evaluate(Atom("HP", ()), ctx)
+        assert not evaluate(Atom("CP", ()), ctx)
+
+    def test_declare_empty(self):
+        ctx = EvalContext()
+        ctx.declare_empty(["cart"])
+        assert not evaluate(parse_formula('cart("x")'), ctx)
+
+    def test_query_basic(self, ctx):
+        result = evaluate_query(parse_formula("q(x, y)"), ("x", "y"), ctx)
+        assert result == {("a", "b"), ("b", "b")}
+
+    def test_query_with_negation(self, ctx):
+        result = evaluate_query(
+            parse_formula("p(x) & !q(x, x)"), ("x",), ctx
+        )
+        assert result == {("a",)}  # q(b, b) holds, so b is excluded
+
+    def test_query_join(self, ctx):
+        result = evaluate_query(
+            parse_formula("p(x) & q(x, y) & p(y)"), ("x", "y"), ctx
+        )
+        assert result == {("a", "b"), ("b", "b")}
+
+    def test_query_disjunctive(self, ctx):
+        result = evaluate_query(
+            parse_formula('x = "a" | x = "b"'), ("x",), ctx
+        )
+        assert result == {("a",), ("b",)}
+
+    def test_query_existential_body(self, ctx):
+        result = evaluate_query(
+            parse_formula("exists y . q(x, y)"), ("x",), ctx
+        )
+        assert result == {("a",), ("b",)}
+
+    def test_query_false_is_cheap(self, ctx):
+        assert evaluate_query(FALSE, ("a", "b", "c", "d", "e"), ctx) == frozenset()
+
+    def test_domain_includes_input_values(self):
+        ctx = EvalContext(input_values={"name": "zz"})
+        assert "zz" in ctx.domain
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: evaluator vs brute-force grounding
+# ---------------------------------------------------------------------------
+
+_DOMAIN = ["a", "b", "c"]
+_SCHEMA = RelationalSchema([database_relation("p", 1), database_relation("q", 2)])
+
+
+def _terms(variables):
+    opts = [st.sampled_from([Lit(v) for v in _DOMAIN])]
+    if variables:
+        opts.append(st.sampled_from([Var(v) for v in variables]))
+    return st.one_of(*opts)
+
+
+def _formulas(variables=(), depth=3):
+    base = st.one_of(
+        st.builds(lambda t: Atom("p", (t,)), _terms(variables)),
+        st.builds(lambda t1, t2: Atom("q", (t1, t2)), _terms(variables), _terms(variables)),
+        st.builds(Eq, _terms(variables), _terms(variables)),
+    )
+    if depth == 0:
+        return base
+    sub = _formulas(variables, depth - 1)
+    fresh = f"v{depth}"
+    sub_q = _formulas(tuple(variables) + (fresh,), depth - 1)
+    return st.one_of(
+        base,
+        st.builds(Not, sub),
+        st.builds(lambda l, r: And(l, r), sub, sub),
+        st.builds(lambda l, r: Or(l, r), sub, sub),
+        st.builds(Implies, sub, sub),
+        st.builds(lambda b: Exists(fresh, b), sub_q),
+        st.builds(lambda b: Forall(fresh, b), sub_q),
+    )
+
+
+def _rel_strategy(arity):
+    import itertools as it
+
+    all_tuples = list(it.product(_DOMAIN, repeat=arity))
+    return st.frozensets(st.sampled_from(all_tuples))
+
+
+@st.composite
+def _contexts(draw):
+    p = draw(_rel_strategy(1))
+    q = draw(_rel_strategy(2))
+    db = Database(_SCHEMA, {"p": p, "q": q}, extra_domain=_DOMAIN)
+    return EvalContext(database=db)
+
+
+class TestEvaluationProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(f=_formulas(), context=_contexts())
+    def test_evaluate_agrees_with_grounding(self, f, context):
+        assert evaluate(f, context) == evaluate(ground(f, context.domain), context)
+
+    @settings(max_examples=80, deadline=None)
+    @given(f=_formulas(("x",), 2), context=_contexts())
+    def test_query_agrees_with_pointwise_evaluation(self, f, context):
+        got = evaluate_query(f, ("x",), context)
+        want = frozenset(
+            (v,) for v in context.domain if evaluate(f, context, {"x": v})
+        )
+        assert got == want
+
+    @settings(max_examples=80, deadline=None)
+    @given(f=_formulas(), context=_contexts())
+    def test_nnf_preserves_semantics(self, f, context):
+        assert evaluate(f, context) == evaluate(nnf(f), context)
+
+    @settings(max_examples=80, deadline=None)
+    @given(f=_formulas(), context=_contexts())
+    def test_simplify_preserves_semantics(self, f, context):
+        assert evaluate(f, context) == evaluate(simplify(f), context)
+
+    @settings(max_examples=60, deadline=None)
+    @given(f=_formulas(("x",), 2), context=_contexts(),
+           value=st.sampled_from(_DOMAIN))
+    def test_substitution_lemma(self, f, context, value):
+        substituted = substitute(f, {"x": value})
+        assert evaluate(substituted, context) == evaluate(f, context, {"x": value})
+
+
+# ---------------------------------------------------------------------------
+# transforms
+# ---------------------------------------------------------------------------
+
+class TestTransforms:
+    def test_nnf_pushes_negation(self):
+        f = Not(And(atom("p"), atom("q")))
+        g = nnf(f)
+        assert isinstance(g, Or)
+        assert all(isinstance(p, Not) for p in g.parts)
+
+    def test_nnf_quantifier_duality(self):
+        f = Not(Exists("x", atom("p", Var("x"))))
+        g = nnf(f)
+        assert isinstance(g, Forall)
+
+    def test_simplify_absorption(self):
+        p = atom("p")
+        assert simplify(And(p, TRUE)) == p
+        assert simplify(And(p, FALSE)) == FALSE
+        assert simplify(Or(p, TRUE)) == TRUE
+        assert simplify(Or(p, FALSE)) == p
+        assert simplify(Not(Not(p))) == p
+
+    def test_simplify_trivial_equality(self):
+        assert simplify(Eq(Lit("a"), Lit("a"))) == TRUE
+        assert simplify(Eq(Lit("a"), Lit("b"))) == FALSE
+        assert simplify(Eq(Var("x"), Var("x"))) == TRUE
+
+    def test_ground_produces_quantifier_free(self):
+        f = parse_formula("exists x . p(x) & forall y . q(x, y)")
+        g = ground(f, ["a", "b"])
+        assert is_quantifier_free(g)
+
+    def test_substitute_capture_safety(self):
+        f = Exists("x", atom("p", Var("x"), Var("y")))
+        g = substitute(f, {"y": "val", "x": "ignored"})
+        assert g == Exists("x", atom("p", Var("x"), Lit("val")))
+
+    def test_rename_relations(self):
+        f = And(atom("p", Var("x")), Exists("y", atom("q", Var("y"))))
+        g = rename_relations(f, {"p": "p2"})
+        assert relation_names(g) == {"p2", "q"}
+
+
+# ---------------------------------------------------------------------------
+# input-boundedness
+# ---------------------------------------------------------------------------
+
+class TestInputBoundedness:
+    def test_quantifier_free_is_bounded(self, small_schema):
+        f = parse_formula('cart("x") & button("go")')
+        assert check_input_bounded(f, small_schema).ok
+
+    def test_guarded_existential_ok(self, small_schema):
+        f = parse_formula("exists x, y . pick(x, y) & user(x, y)")
+        assert check_input_bounded(f, small_schema).ok
+
+    def test_prev_guard_ok(self, small_schema):
+        f = parse_formula("exists x . prev_button(x) & item(x)")
+        assert check_input_bounded(f, small_schema).ok
+
+    def test_guarded_universal_ok(self, small_schema):
+        f = parse_formula("forall x . button(x) -> item(x)")
+        assert check_input_bounded(f, small_schema).ok
+
+    def test_unguarded_existential_rejected(self, small_schema):
+        f = parse_formula("exists x . item(x)")
+        report = check_input_bounded(f, small_schema)
+        assert not report.ok
+        assert "guard" in report.reasons[0]
+
+    def test_state_atom_with_quantified_var_rejected(self, small_schema):
+        f = parse_formula("exists x . button(x) & cart(x)")
+        report = check_input_bounded(f, small_schema)
+        assert not report.ok
+        assert any("state atom" in r for r in report.reasons)
+
+    def test_guard_must_cover_all_variables(self, small_schema):
+        f = parse_formula("exists x, y . button(x) & user(x, y)")
+        assert not check_input_bounded(f, small_schema).ok
+
+    def test_universal_without_implication_rejected(self, small_schema):
+        f = parse_formula("forall x . button(x) & item(x)")
+        assert not check_input_bounded(f, small_schema).ok
+
+    def test_free_state_variables_allowed(self, small_schema):
+        # Only *quantified* variables are barred from state atoms.
+        f = parse_formula('cart(y) & exists x . button(x) & x != "stop"')
+        assert check_input_bounded(f, small_schema).ok
+
+    def test_input_rule_formula_checks(self, small_schema):
+        good = parse_formula("exists y . user(x, y) & flag")
+        assert check_input_rule_formula(good, small_schema).ok
+        non_ground_state = parse_formula("cart(x)")
+        assert not check_input_rule_formula(non_ground_state, small_schema).ok
+        universal = parse_formula("forall y . user(x, y) -> item(x)")
+        assert not check_input_rule_formula(universal, small_schema).ok
+
+    def test_report_merging(self, small_schema):
+        f = And(
+            parse_formula("exists x . item(x)"),
+            parse_formula("exists z . item(z)"),
+        )
+        report = check_input_bounded(f, small_schema)
+        assert len(report.reasons) == 2

@@ -1,0 +1,200 @@
+"""Cross-cutting integration tests: whole-pipeline scenarios exercising
+several subsystems at once, plus run-semantics invariants as hypothesis
+properties over random user behaviour."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ctl import parse_ctl
+from repro.fol import Atom, Not, parse_formula
+from repro.io import service_from_dict, service_to_dict
+from repro.ltl import G, LTLFOSentence, parse_ltlfo
+from repro.schema import Database
+from repro.service import (
+    RunContext,
+    ServiceBuilder,
+    classify,
+    initial_snapshots,
+    random_run,
+    successors,
+    to_simple_service,
+    transform_sentence,
+)
+from repro.verifier import verify, verify_error_free, verify_ltlfo
+
+
+# ---------------------------------------------------------------------------
+# pipeline scenarios
+# ---------------------------------------------------------------------------
+
+class TestPipelines:
+    def test_spec_json_verify_roundtrip(self, core, core_db, alice_sigma):
+        """Serialise -> reload -> verify: verdict unchanged."""
+        reloaded = service_from_dict(service_to_dict(core))
+        prop = parse_ltlfo("G !ERROR")
+        a = verify_ltlfo(core, prop, databases=[core_db], sigmas=alice_sigma)
+        db2 = Database(
+            reloaded.schema.database,
+            {sym.name: rel for sym, rel in core_db.instance},
+        )
+        b = verify_ltlfo(reloaded, prop, databases=[db2], sigmas=alice_sigma)
+        assert a.holds == b.holds is True
+
+    def test_parsed_property_equals_programmatic_verdict(
+        self, core, core_db, alice_sigma
+    ):
+        from repro.demo import property_4_paid_before_ship
+
+        text_prop = parse_ltlfo(
+            'forall pid, price : '
+            '(UPP & pay(price) & button("authorize payment") '
+            '& pick(pid, price) & prod_prices(pid, price))'
+            ' B !(conf(name, price) & ship(name, pid))',
+            input_constants=core.schema.input_constants,
+        )
+        a = verify_ltlfo(
+            core, property_4_paid_before_ship(),
+            databases=[core_db], sigmas=alice_sigma,
+        )
+        b = verify_ltlfo(
+            core, text_prop, databases=[core_db], sigmas=alice_sigma
+        )
+        assert a.holds == b.holds is True
+
+    def test_reduction_chain_service_to_transducer_verdict(self, toy_service, toy_db):
+        """Original -> Lemma A.10 simple service: same verdict."""
+        prop = LTLFOSentence((), G(Not(Atom("ERROR", ()))))
+        simple = to_simple_service(toy_service)
+        a = verify_ltlfo(toy_service, prop, databases=[toy_db])
+        db2 = Database(simple.schema.database, {"item": [("i1",), ("i2",)]})
+        b = verify_ltlfo(
+            simple, transform_sentence(prop, toy_service),
+            databases=[db2], check_restrictions=False,
+        )
+        assert a.holds == b.holds is True
+
+    def test_counterexample_replays_in_session(self, core_broken, alice_sigma):
+        """A verifier counterexample must be reproducible step by step."""
+        from repro.demo import core_database, property_4_paid_before_ship
+
+        db = core_database(core_broken)
+        result = verify_ltlfo(
+            core_broken, property_4_paid_before_ship(),
+            databases=[db], sigmas=alice_sigma,
+        )
+        assert not result.holds
+        run = result.counterexample
+        ctx = RunContext(core_broken, db, sigma=run.sigma)
+        # every consecutive pair in the trace is a legal transition
+        for a, b in zip(run.snapshots, run.snapshots[1:]):
+            assert b in successors(ctx, a), (a.describe(), b.describe())
+        # and the lasso closes
+        last, back = run.snapshots[-1], run.snapshots[run.loop_index]
+        assert back in successors(ctx, last)
+
+    def test_ctl_text_pipeline(self, prop_service):
+        assert verify(prop_service, parse_ctl("AG EF HP")).holds
+        assert verify(
+            prop_service, parse_ctl("AG (COP -> has_order)")
+        ).holds
+
+    def test_classify_verify_refuse_force_cycle(self):
+        """classify explains, verify refuses, force still finds bugs."""
+        from repro.verifier import UndecidableInstanceError
+
+        b = ServiceBuilder("frontier")
+        b.database("d", 1)
+        b.input("i", 1)
+        b.state("s", 1)
+        page = b.page("P", home=True)
+        page.options("i", "s(x) | d(x)", ("x",))  # non-ground state atom
+        page.insert("s", "i(x)", ("x",))
+        svc = b.build()
+        report = classify(svc)
+        from repro.service import ServiceClass
+
+        assert not report.is_in(ServiceClass.INPUT_BOUNDED)
+        prop = LTLFOSentence((), G(parse_formula('!s("zz")')))
+        with pytest.raises(UndecidableInstanceError):
+            verify(svc, prop)
+        db = Database(svc.schema.database, {"d": [("zz",)]})
+        forced = verify(svc, prop, force=True, databases=[db])
+        assert not forced.holds
+
+
+# ---------------------------------------------------------------------------
+# run-semantics invariants under random user behaviour
+# ---------------------------------------------------------------------------
+
+class TestRunInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_inputs_always_within_options(self, toy_service, toy_db, seed):
+        """Every chosen tuple in any reachable snapshot was offered."""
+        from repro.service.runs import page_options
+
+        ctx = RunContext(toy_service, toy_db)
+        run = random_run(ctx, 6, rng=seed)
+        for snap in run.snapshots:
+            if snap.is_error:
+                continue
+            page = toy_service.page(snap.page)
+            gamma = snap.provided_here(toy_service)
+            options = page_options(ctx, page, snap.state, snap.prev, gamma)
+            for name in page.inputs:
+                sym = toy_service.schema.input[name]
+                if sym.arity == 0:
+                    continue
+                for t in snap.inputs.tuples(sym):
+                    assert t in options[name]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_at_most_one_tuple_per_input(self, toy_service, toy_db, seed):
+        ctx = RunContext(toy_service, toy_db)
+        run = random_run(ctx, 6, rng=seed)
+        for snap in run.snapshots:
+            for sym in toy_service.schema.input.relations:
+                assert len(snap.inputs.tuples(sym)) <= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_prev_matches_previous_inputs(self, toy_service, toy_db, seed):
+        from repro.schema.symbols import prev_symbol
+
+        ctx = RunContext(toy_service, toy_db)
+        run = random_run(ctx, 6, rng=seed)
+        for a, b in zip(run.snapshots, run.snapshots[1:]):
+            if a.is_error or b.is_error or a.pending_error:
+                continue
+            page = toy_service.page(a.page)
+            for name in page.inputs:
+                sym = toy_service.schema.input[name]
+                assert b.prev.tuples(prev_symbol(sym)) == a.inputs.tuples(sym)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_error_page_is_absorbing(self, toy_service, toy_db, seed):
+        ctx = RunContext(toy_service, toy_db)
+        run = random_run(ctx, 8, rng=seed)
+        seen_error = False
+        for snap in run.snapshots:
+            if seen_error:
+                assert snap.is_error
+            seen_error = seen_error or snap.is_error
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_successors_deterministic(self, toy_service, toy_db, seed):
+        """successors() is a pure function of (context, snapshot)."""
+        ctx = RunContext(toy_service, toy_db)
+        run = random_run(ctx, 4, rng=seed)
+        for snap in run.snapshots:
+            assert successors(ctx, snap) == successors(ctx, snap)
+
+    def test_core_random_runs_never_err(self, core, core_db):
+        ctx = RunContext(core, core_db,
+                         sigma={"name": "alice", "password": "pw1"})
+        for seed in range(12):
+            run = random_run(ctx, 10, rng=seed)
+            assert not any(s.is_error for s in run.snapshots), seed
