@@ -55,6 +55,9 @@ from repro.verifier import (
     VerificationResult,
     Verdict,
     UndecidableInstanceError,
+    VerificationBudgetExceeded,
+    Budget,
+    Checkpoint,
 )
 
 __version__ = "1.0.0"
@@ -72,6 +75,7 @@ __all__ = [
     "verify", "verify_ltlfo", "verify_error_free", "verify_ctl",
     "verify_fully_propositional", "verify_input_driven_search",
     "decidability_report", "VerificationResult", "Verdict",
-    "UndecidableInstanceError",
+    "UndecidableInstanceError", "VerificationBudgetExceeded",
+    "Budget", "Checkpoint",
     "__version__",
 ]

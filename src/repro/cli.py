@@ -12,7 +12,14 @@ properties are written in the temporal text syntaxes of
     python -m repro verify spec.json --ltl 'G !ERROR' --db catalog.json
     python -m repro verify spec.json --ctl 'AG EF HP'
     python -m repro verify spec.json --error-free --db catalog.json
+    python -m repro verify spec.json --ltl 'G !ERROR' --timeout-s 2 \
+        --checkpoint ck.json          # bounded run, resumable
+    python -m repro verify spec.json --ltl 'G !ERROR' --resume ck.json
     python -m repro simulate spec.json --db catalog.json --steps 12 --seed 7
+
+Exit codes: 0 property holds, 1 property violated, 2 usage error,
+3 undecidable instance, 4 budget exceeded under ``--strict``,
+5 inconclusive (budget exhausted, non-strict).
 """
 
 from __future__ import annotations
@@ -24,16 +31,33 @@ from pathlib import Path
 
 from repro.analysis import audit_service
 from repro.ctl.parser import parse_ctl
-from repro.io import database_from_dict, load_service, service_to_text
+from repro.io import (
+    database_from_dict,
+    load_checkpoint,
+    load_service,
+    save_checkpoint,
+    service_to_text,
+)
 from repro.ltl.parser import parse_ltlfo
 from repro.service.classify import classify
 from repro.service.runs import RunContext, random_run
 from repro.verifier import (
+    Budget,
     UndecidableInstanceError,
+    VerificationBudgetExceeded,
     decidability_report,
     verify,
     verify_error_free,
 )
+from repro.verifier.branching import DEFAULT_KRIPKE_BUDGET
+from repro.verifier.linear import DEFAULT_SNAPSHOT_BUDGET
+
+EXIT_HOLDS = 0
+EXIT_VIOLATED = 1
+EXIT_USAGE = 2
+EXIT_UNDECIDABLE = 3
+EXIT_BUDGET_STRICT = 4
+EXIT_INCONCLUSIVE = 5
 
 
 def _load_databases(service, paths):
@@ -62,6 +86,39 @@ def _cmd_audit(args) -> int:
     return 0
 
 
+def _make_budget(args) -> Budget:
+    return Budget(
+        max_snapshots=(
+            args.max_snapshots if args.max_snapshots is not None
+            else DEFAULT_SNAPSHOT_BUDGET
+        ),
+        max_states=(
+            args.max_snapshots if args.max_snapshots is not None
+            else DEFAULT_KRIPKE_BUDGET
+        ),
+        max_databases=args.max_databases,
+        timeout_s=args.timeout_s,
+        strict=args.strict,
+    )
+
+
+def _explain_budget_exceeded(exc: VerificationBudgetExceeded) -> str:
+    lines = [
+        f"verification stopped: {exc} (limit: {exc.limit or 'budget'}).",
+        "The search space of these decision procedures is worst-case "
+        "exponential; the configured budget ran out before it was "
+        "exhausted.  The work already done is not lost — partial stats:",
+    ]
+    shown = {k: v for k, v in sorted(exc.stats.items()) if v}
+    lines.append("  " + ", ".join(f"{k}={v}" for k, v in shown.items()))
+    lines.append(
+        "Raise --max-snapshots/--max-databases/--timeout-s, or drop "
+        "--strict to get an INCONCLUSIVE verdict with a resumable "
+        "checkpoint instead of this error."
+    )
+    return "\n".join(lines)
+
+
 def _cmd_verify(args) -> int:
     service = load_service(args.spec)
     databases = _load_databases(service, args.db)
@@ -70,39 +127,85 @@ def _cmd_verify(args) -> int:
         options["databases"] = databases
     if args.domain_size is not None:
         options["domain_size"] = args.domain_size
-
-    if args.error_free:
-        result = verify_error_free(service, **options)
-    else:
-        if args.ltl:
-            prop = parse_ltlfo(
-                args.ltl,
-                input_constants=service.schema.input_constants,
-                db_constants=service.schema.database.constants,
-            )
-        elif args.ctl:
-            prop = parse_ctl(args.ctl)
-        else:
-            print(
-                "error: pass --ltl/--ctl with a property, or --error-free",
-                file=sys.stderr,
-            )
-            return 2
-        if args.explain:
-            print(decidability_report(service, prop))
-            print()
+    options["budget"] = _make_budget(args)
+    checkpoint = None
+    if args.resume:
         try:
+            checkpoint = load_checkpoint(args.resume)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read checkpoint {args.resume}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        options["resume"] = checkpoint
+        if args.domain_size is None and checkpoint.domain_size is not None:
+            options["domain_size"] = checkpoint.domain_size
+
+    try:
+        if args.error_free:
+            if checkpoint is not None and checkpoint.procedure not in (
+                    "", "verify_error_free"):
+                print(
+                    f"error: checkpoint {args.resume} was written by "
+                    f"{checkpoint.procedure}, not verify_error_free — its "
+                    "skipped databases were never checked for error-freeness",
+                    file=sys.stderr,
+                )
+                return EXIT_USAGE
+            result = verify_error_free(service, **options)
+        else:
+            if args.ltl:
+                prop = parse_ltlfo(
+                    args.ltl,
+                    input_constants=service.schema.input_constants,
+                    db_constants=service.schema.database.constants,
+                )
+            elif args.ctl:
+                prop = parse_ctl(args.ctl)
+            else:
+                print(
+                    "error: pass --ltl/--ctl with a property, or --error-free",
+                    file=sys.stderr,
+                )
+                return EXIT_USAGE
+            # the same label the verifiers store in their checkpoints
+            prop_label = getattr(prop, "name", "") or str(prop)
+            if (checkpoint is not None and checkpoint.property_name
+                    and checkpoint.property_name != prop_label):
+                print(
+                    f"error: checkpoint {args.resume} was written for "
+                    f"property {checkpoint.property_name!r}, not "
+                    f"{prop_label!r} — its skipped databases were only "
+                    "checked for that property",
+                    file=sys.stderr,
+                )
+                return EXIT_USAGE
+            if args.explain:
+                print(decidability_report(service, prop))
+                print()
             result = verify(service, prop, force=args.force, **options)
-        except UndecidableInstanceError as exc:
-            print(str(exc), file=sys.stderr)
-            print(
-                "hint: --force runs the bounded search anyway "
-                "(sound for violations found)",
-                file=sys.stderr,
-            )
-            return 3
+    except UndecidableInstanceError as exc:
+        print(str(exc), file=sys.stderr)
+        print(
+            "hint: --force runs the bounded search anyway "
+            "(sound for violations found)",
+            file=sys.stderr,
+        )
+        return EXIT_UNDECIDABLE
+    except VerificationBudgetExceeded as exc:
+        print(_explain_budget_exceeded(exc), file=sys.stderr)
+        if args.checkpoint and exc.checkpoint is not None:
+            save_checkpoint(exc.checkpoint, args.checkpoint)
+            print(f"checkpoint written to {args.checkpoint}", file=sys.stderr)
+        return EXIT_BUDGET_STRICT
+
     print(result.describe(service))
-    return 0 if result.holds else 1
+    if result.inconclusive:
+        if args.checkpoint and result.checkpoint is not None:
+            save_checkpoint(result.checkpoint, args.checkpoint)
+            print(f"checkpoint written to {args.checkpoint}")
+            print(f"resume with: --resume {args.checkpoint}")
+        return EXIT_INCONCLUSIVE
+    return EXIT_HOLDS if result.holds else EXIT_VIOLATED
 
 
 def _cmd_simulate(args) -> int:
@@ -151,6 +254,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run the bounded search on undecidable instances")
     ver.add_argument("--explain", action="store_true",
                      help="print the decidability report first")
+    ver.add_argument("--max-snapshots", type=int,
+                     help="cap on snapshots per (database, sigma) pair / "
+                          "states per Kripke structure")
+    ver.add_argument("--max-databases", type=int,
+                     help="cap on candidate databases examined")
+    ver.add_argument("--timeout-s", type=float,
+                     help="wall-clock deadline in seconds")
+    ver.add_argument("--strict", action="store_true",
+                     help="raise on a blown budget (exit 4) instead of "
+                          "returning INCONCLUSIVE (exit 5)")
+    ver.add_argument("--resume", metavar="CHECKPOINT",
+                     help="resume from a checkpoint JSON written by a "
+                          "previous interrupted run")
+    ver.add_argument("--checkpoint", metavar="PATH",
+                     help="where to write the resume checkpoint when the "
+                          "budget runs out")
     ver.set_defaults(func=_cmd_verify)
 
     sim = sub.add_parser("simulate", help="random run over a database")

@@ -1,9 +1,9 @@
 """Interchange: JSON (de)serialization and pretty printing.
 
-Services, databases and LTL-FO properties round-trip through a plain
-JSON structure (formulas as text in the :mod:`repro.fol.parser` syntax),
-and specifications render in the paper's "Page HP / Inputs / Rules / End
-Page" layout for review.
+Services, databases, LTL-FO properties and verification checkpoints
+round-trip through a plain JSON structure (formulas as text in the
+:mod:`repro.fol.parser` syntax), and specifications render in the
+paper's "Page HP / Inputs / Rules / End Page" layout for review.
 """
 
 from repro.io.json_format import (
@@ -13,6 +13,10 @@ from repro.io.json_format import (
     load_service,
     database_to_dict,
     database_from_dict,
+    checkpoint_to_dict,
+    checkpoint_from_dict,
+    save_checkpoint,
+    load_checkpoint,
 )
 from repro.io.pretty import service_to_text, page_to_text
 
@@ -23,6 +27,10 @@ __all__ = [
     "load_service",
     "database_to_dict",
     "database_from_dict",
+    "checkpoint_to_dict",
+    "checkpoint_from_dict",
+    "save_checkpoint",
+    "load_checkpoint",
     "service_to_text",
     "page_to_text",
 ]

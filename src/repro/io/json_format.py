@@ -185,3 +185,36 @@ def database_from_dict(data: dict, schema: RelationalSchema) -> Database:
         data.get("constants", {}),
         extra_domain=data.get("domain", ()),
     )
+
+
+def checkpoint_to_dict(checkpoint) -> dict:
+    """Serialize a :class:`~repro.verifier.budget.Checkpoint`.
+
+    The cursor is only valid for the same (service, property,
+    enumeration parameters); ``procedure`` and ``property_name`` are
+    stored so a resuming caller can sanity-check the pairing.
+    """
+    return {"format": "repro.checkpoint/1", **checkpoint.to_dict()}
+
+
+def checkpoint_from_dict(data: dict):
+    """Rebuild a checkpoint from :func:`checkpoint_to_dict` output."""
+    from repro.verifier.budget import Checkpoint
+
+    if data.get("format") != "repro.checkpoint/1":
+        raise ValueError(
+            f"unsupported or missing format tag: {data.get('format')!r}"
+        )
+    return Checkpoint.from_dict(data)
+
+
+def save_checkpoint(checkpoint, path: str | Path) -> None:
+    """Write an interrupted run's checkpoint to a JSON file."""
+    Path(path).write_text(
+        json.dumps(checkpoint_to_dict(checkpoint), indent=2, ensure_ascii=False)
+    )
+
+
+def load_checkpoint(path: str | Path):
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    return checkpoint_from_dict(json.loads(Path(path).read_text()))

@@ -14,7 +14,7 @@ factor of ``k!`` for ``k`` anonymous elements.
 from __future__ import annotations
 
 import itertools
-from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
 
 from repro.schema.database import Database
 from repro.schema.instances import Instance
@@ -39,13 +39,46 @@ def enumerate_relations(arity: int, domain: Sequence[Value]) -> Iterator[frozens
         yield frozenset(t for t, bit in zip(all_tuples, bits) if bit)
 
 
+def _lazy_product(
+    factories: Sequence[Callable[[], Iterator]],
+) -> Iterator[tuple]:
+    """``itertools.product`` over regenerable iterators, fully streaming.
+
+    ``itertools.product`` materialises every input up front, which for
+    relation enumerations means building ``2**(|domain|**arity)``
+    frozensets before the first combination appears.  Regenerating each
+    level on demand yields the first combination immediately and keeps
+    memory flat, in exactly the same order ``product`` would produce —
+    checkpoint cursors depend on that determinism.
+    """
+    if not factories:
+        yield ()
+        return
+    head, rest = factories[0], factories[1:]
+    for item in head():
+        for tail in _lazy_product(rest):
+            yield (item,) + tail
+
+
 def enumerate_instances(
-    schema: RelationalSchema, domain: Sequence[Value]
+    schema: RelationalSchema,
+    domain: Sequence[Value],
+    on_step: Callable[[], None] | None = None,
 ) -> Iterator[Instance]:
-    """All instances of ``schema`` over ``domain`` (cartesian product)."""
+    """All instances of ``schema`` over ``domain`` (cartesian product).
+
+    ``on_step`` is invoked once per candidate instance — the resource
+    governor's cooperative hook, so wall-clock deadlines fire even while
+    an exponentially large enumeration is still streaming.
+    """
     symbols = sorted(schema.relations)
-    per_symbol = [list(enumerate_relations(sym.arity, domain)) for sym in symbols]
-    for combo in itertools.product(*per_symbol):
+    factories = [
+        (lambda arity=sym.arity: enumerate_relations(arity, domain))
+        for sym in symbols
+    ]
+    for combo in _lazy_product(factories):
+        if on_step is not None:
+            on_step()
         yield Instance(dict(zip(symbols, combo)))
 
 
@@ -82,6 +115,7 @@ def enumerate_databases(
     up_to_iso: bool = True,
     domain: Sequence[Value] | None = None,
     fixed_elements: Iterable[Value] = (),
+    on_step: Callable[[], None] | None = None,
 ) -> Iterator[Database]:
     """All databases of ``schema`` over a canonical domain.
 
@@ -104,6 +138,10 @@ def enumerate_databases(
     fixed_elements:
         Domain elements with fixed identity (e.g. the specification's
         literal constants): iso-pruning never permutes them.
+    on_step:
+        Cooperative callback invoked once per candidate instance, even
+        for candidates the iso-pruning discards — lets a resource
+        governor interrupt mid-enumeration.
     """
     dom = list(domain) if domain is not None else canonical_domain(domain_size)
     fixed_set = set(fixed_elements)
@@ -123,7 +161,7 @@ def enumerate_databases(
         fixed = set(interp.values()) | fixed_set
         anonymous = [d for d in dom if d not in fixed]
         seen: set[tuple] = set()
-        for inst in enumerate_instances(schema, dom):
+        for inst in enumerate_instances(schema, dom, on_step=on_step):
             if up_to_iso and anonymous:
                 key = _canonical_form(inst, interp, anonymous)
                 if key in seen:

@@ -12,6 +12,10 @@
 - :mod:`repro.verifier.statics` — the front door :func:`verify`, which
   classifies the (service, property) pair against the paper's
   decidability map and dispatches or refuses with the relevant theorem;
+- :mod:`repro.verifier.budget` — the resource governor: snapshot,
+  database, valuation and Kripke-state caps plus a wall-clock deadline,
+  graceful degradation to ``Verdict.INCONCLUSIVE``, and resumable
+  checkpoints;
 - :mod:`repro.verifier.results` — verdicts and counterexamples.
 """
 
@@ -21,6 +25,7 @@ from repro.verifier.results import (
     UndecidableInstanceError,
     VerificationBudgetExceeded,
 )
+from repro.verifier.budget import Budget, Checkpoint, coverage_summary
 from repro.verifier.linear import (
     verify_ltlfo,
     default_domain_size,
@@ -45,6 +50,9 @@ __all__ = [
     "VerificationResult",
     "UndecidableInstanceError",
     "VerificationBudgetExceeded",
+    "Budget",
+    "Checkpoint",
+    "coverage_summary",
     "verify_ltlfo",
     "default_domain_size",
     "enumerate_sigmas",

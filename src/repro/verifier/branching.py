@@ -41,6 +41,7 @@ from repro.service.runs import (
     error_snapshot,
 )
 from repro.service.webservice import WebService
+from repro.verifier.budget import Budget, Checkpoint, degrade
 from repro.verifier.linear import _candidate_databases
 from repro.verifier.results import (
     UndecidableInstanceError,
@@ -65,8 +66,16 @@ def build_snapshot_kripke(
     database: Database,
     extra_domain: Iterable[Value] = (),
     max_states: int = DEFAULT_KRIPKE_BUDGET,
+    budget: Budget | None = None,
 ) -> KripkeStructure:
-    """The configuration Kripke structure of one database (Lemma A.12)."""
+    """The configuration Kripke structure of one database (Lemma A.12).
+
+    A blown state budget or deadline raises
+    :class:`VerificationBudgetExceeded` with the partial exploration
+    stats attached.
+    """
+    gov = Budget.ensure(budget, max_states=max_states)
+    gov.begin_structure()
     contexts: dict[SigmaItems, RunContext] = {}
 
     def ctx_for(sig: SigmaItems) -> RunContext:
@@ -174,19 +183,21 @@ def build_snapshot_kripke(
     seen: set[KripkeState] = set(initial)
     frontier = list(initial)
     states.extend(initial)
-    while frontier:
-        node = frontier.pop()
-        nexts = branch_successors(node)
-        edges[node] = nexts
-        for nxt in nexts:
-            if nxt not in seen:
-                if len(seen) >= max_states:
-                    raise VerificationBudgetExceeded(
-                        f"Kripke structure exceeds {max_states} states"
-                    )
-                seen.add(nxt)
-                states.append(nxt)
-                frontier.append(nxt)
+    try:
+        gov.charge_state(len(seen))
+        while frontier:
+            node = frontier.pop()
+            nexts = branch_successors(node)
+            edges[node] = nexts
+            for nxt in nexts:
+                if nxt not in seen:
+                    gov.charge_state()
+                    seen.add(nxt)
+                    states.append(nxt)
+                    frontier.append(nxt)
+    except VerificationBudgetExceeded as exc:
+        exc.stats.setdefault("kripke_states", len(seen))
+        raise
 
     labels = {node: _labels(service, node) for node in states}
     # The run tree of Appendix A.2 is rooted at the *empty prefix*; CTL(*)
@@ -220,9 +231,18 @@ def verify_ctl(
     domain_size: int | None = None,
     check_restrictions: bool = True,
     max_states: int = DEFAULT_KRIPKE_BUDGET,
+    budget: Budget | None = None,
+    timeout_s: float | None = None,
+    strict: bool = False,
+    resume: Checkpoint | None = None,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for propositional input-bounded services
-    (Theorem 4.4; Corollary 4.5 is the fixed-parameter special case)."""
+    (Theorem 4.4; Corollary 4.5 is the fixed-parameter special case).
+
+    A blown budget returns ``Verdict.INCONCLUSIVE`` with a resumable
+    database cursor unless ``strict=True`` (see
+    :mod:`repro.verifier.budget`).
+    """
     if check_restrictions:
         report = classify(service)
         if not report.is_in(ServiceClass.PROPOSITIONAL):
@@ -231,34 +251,65 @@ def verify_ctl(
                 "Theorem 4.2 (input-bounded CTL-FO is undecidable in general)",
             )
 
-    dbs, used_size = _candidate_databases(
-        service, None, databases, domain_size, up_to_iso=True
+    gov = Budget.ensure(
+        budget, max_states=max_states, timeout_s=timeout_s, strict=strict
     )
+    dbs, used_size = _candidate_databases(
+        service, None, databases, domain_size, up_to_iso=True,
+        on_step=gov.check_deadline,
+    )
+    total_dbs = len(dbs) if isinstance(dbs, list) else None
     fragment = "CTL" if is_ctl(formula) else "CTL*"
+    method = f"propositional {fragment} (Theorem 4.4)"
     stats: dict = {
         "databases_checked": 0,
+        "databases_skipped": 0,
         "kripke_states": 0,
         "formula_size": ctl_size(formula),
         "domain_size": used_size,
     }
-    for db in dbs:
-        stats["databases_checked"] += 1
-        kripke = build_snapshot_kripke(service, db, max_states=max_states)
-        stats["kripke_states"] = max(stats["kripke_states"], kripke.n_states)
-        sat = satisfying_states(kripke, formula)
-        bad = [s for s in kripke.initial if s not in sat]
-        if bad:
-            return VerificationResult(
-                verdict=Verdict.VIOLATED,
+    skip_db = resume.db_index if resume is not None else 0
+    cursor_db = skip_db
+    try:
+        for db_index, db in enumerate(dbs):
+            if db_index < skip_db:
+                stats["databases_skipped"] += 1
+                continue
+            cursor_db = db_index
+            gov.charge_database()
+            stats["databases_checked"] += 1
+            kripke = build_snapshot_kripke(service, db, budget=gov)
+            stats["kripke_states"] = max(stats["kripke_states"], kripke.n_states)
+            sat = satisfying_states(kripke, formula)
+            bad = [s for s in kripke.initial if s not in sat]
+            if bad:
+                return VerificationResult(
+                    verdict=Verdict.VIOLATED,
+                    property_name=str(formula),
+                    method=method,
+                    counterexample_database=db,
+                    stats={**stats, "violating_initial_states": len(bad)},
+                )
+    except VerificationBudgetExceeded as exc:
+        return degrade(
+            exc,
+            budget=gov,
+            property_name=str(formula),
+            method=method,
+            stats=stats,
+            checkpoint=Checkpoint(
+                procedure="verify_ctl",
                 property_name=str(formula),
-                method=f"propositional {fragment} (Theorem 4.4)",
-                counterexample_database=db,
-                stats={**stats, "violating_initial_states": len(bad)},
-            )
+                db_index=cursor_db,
+                domain_size=used_size,
+            ),
+            phase="Kripke construction / model checking",
+            total_databases=total_dbs,
+        )
     return VerificationResult(
         verdict=Verdict.HOLDS,
         property_name=str(formula),
-        method=f"propositional {fragment} (Theorem 4.4)",
+        method=method,
         stats=stats,
     )
 
@@ -267,13 +318,19 @@ def verify_fully_propositional(
     service: WebService,
     formula: StateFormula,
     check_restrictions: bool = True,
+    max_states: int = DEFAULT_KRIPKE_BUDGET,
+    budget: Budget | None = None,
+    timeout_s: float | None = None,
+    strict: bool = False,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for fully propositional services (Theorem 4.6).
 
     The database plays no role, so a single Kripke structure suffices;
     only its reachable part is ever constructed (the paper's PSPACE
     algorithm avoids even that via on-the-fly search — reachable-only
-    construction is the practical middle ground).
+    construction is the practical middle ground).  There is no
+    enumeration cursor to resume: a blown budget yields INCONCLUSIVE
+    with partial stats but no checkpoint.
     """
     if check_restrictions:
         report = classify(service)
@@ -282,14 +339,28 @@ def verify_fully_propositional(
                 report.why_not(ServiceClass.FULLY_PROPOSITIONAL),
                 "Theorem 4.6 requires a fully propositional service",
             )
-    empty_db = Database(service.schema.database)
-    kripke = build_snapshot_kripke(service, empty_db)
-    sat = satisfying_states(kripke, formula)
+    gov = Budget.ensure(
+        budget, max_states=max_states, timeout_s=timeout_s, strict=strict
+    )
     fragment = "CTL" if is_ctl(formula) else "CTL*"
+    method = f"fully propositional {fragment} (Theorem 4.6)"
+    empty_db = Database(service.schema.database)
+    try:
+        kripke = build_snapshot_kripke(service, empty_db, budget=gov)
+    except VerificationBudgetExceeded as exc:
+        return degrade(
+            exc,
+            budget=gov,
+            property_name=str(formula),
+            method=method,
+            stats={"formula_size": ctl_size(formula)},
+            phase="Kripke construction",
+        )
+    sat = satisfying_states(kripke, formula)
     ok = kripke.initial <= sat
     return VerificationResult(
         verdict=Verdict.HOLDS if ok else Verdict.VIOLATED,
         property_name=str(formula),
-        method=f"fully propositional {fragment} (Theorem 4.6)",
+        method=method,
         stats={"kripke_states": kripke.n_states, "formula_size": ctl_size(formula)},
     )

@@ -1,0 +1,341 @@
+"""The resource governor: bounded, interruptible verification.
+
+Every decision procedure in this package is worst-case PSPACE/EXPSPACE
+(Theorems 3.5, 4.4, 4.6, 4.9), so production callers need every
+verification call to be *bounded* — in explored snapshots, candidate
+databases, grounded valuations, Kripke states, and wall-clock time —
+and to report how far it got when a bound strikes.  One
+:class:`Budget` object carries all the caps and is checked
+cooperatively at exploration steps by all four decision procedures
+(:mod:`~repro.verifier.linear`, :mod:`~repro.verifier.errors`,
+:mod:`~repro.verifier.branching`, :mod:`~repro.verifier.search`).
+
+On exhaustion the governor raises
+:class:`~repro.verifier.results.VerificationBudgetExceeded` carrying the
+name of the exceeded limit; the public entry points catch it and — in
+the default non-strict mode — degrade gracefully to a
+``Verdict.INCONCLUSIVE`` :class:`~repro.verifier.results.VerificationResult`
+with the partial stats, a human-readable coverage summary, and a
+serializable :class:`Checkpoint` from which a follow-up call can resume
+the database/sigma enumeration instead of restarting from scratch
+(`repro.io.save_checkpoint` / `load_checkpoint` round-trip it).
+
+INCONCLUSIVE is *sound for violations*: any counterexample found before
+exhaustion is genuine, but nothing is claimed about the unexplored
+space — resuming (or raising the budget) is the only way to turn an
+INCONCLUSIVE into a HOLDS.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.verifier.results import (
+    Verdict,
+    VerificationBudgetExceeded,
+    VerificationResult,
+)
+
+__all__ = ["Budget", "Checkpoint", "coverage_summary"]
+
+
+@dataclass
+class Checkpoint:
+    """Resumable cursor into a verification run's enumeration.
+
+    The database/sigma enumerations are deterministic for fixed
+    parameters, so an index pair identifies exactly where a budget ran
+    out: ``db_index`` is the candidate database being processed when the
+    governor struck (everything before it is fully checked) and
+    ``sigma_index`` the input-constant interpretation within it.
+    Resuming re-verifies that pair from scratch and continues — the
+    union of the interrupted prefix and the resumed suffix covers the
+    same space as one unbounded run.
+    """
+
+    procedure: str
+    property_name: str = ""
+    db_index: int = 0
+    sigma_index: int = 0
+    domain_size: int | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "procedure": self.procedure,
+            "property_name": self.property_name,
+            "db_index": self.db_index,
+            "sigma_index": self.sigma_index,
+            "domain_size": self.domain_size,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Checkpoint":
+        return cls(
+            procedure=data["procedure"],
+            property_name=data.get("property_name", ""),
+            db_index=int(data.get("db_index", 0)),
+            sigma_index=int(data.get("sigma_index", 0)),
+            domain_size=data.get("domain_size"),
+            extra=dict(data.get("extra", {})),
+        )
+
+
+class Budget:
+    """Caps and a deadline for one verification call, checked cooperatively.
+
+    Parameters
+    ----------
+    max_snapshots:
+        Cap on snapshots explored per (database, sigma) pair — the
+        linear-time procedures' unit of work.  ``None`` means unlimited.
+    max_states:
+        Cap on states per configuration Kripke structure — the
+        branching-time procedures' unit of work.
+    max_databases:
+        Cap on candidate databases examined by this call (a *run*-local
+        count: a resumed run starts the count afresh).
+    max_valuations:
+        Cap on grounded valuations of the universal closure checked.
+    timeout_s:
+        Wall-clock deadline in seconds, measured from :meth:`start`
+        (called by every public entry point).
+    strict:
+        When True the entry points re-raise
+        :class:`VerificationBudgetExceeded` (enriched with partial stats
+        and a checkpoint) instead of returning INCONCLUSIVE.
+    """
+
+    def __init__(
+        self,
+        max_snapshots: int | None = None,
+        max_states: int | None = None,
+        max_databases: int | None = None,
+        max_valuations: int | None = None,
+        timeout_s: float | None = None,
+        strict: bool = False,
+    ) -> None:
+        self.max_snapshots = max_snapshots
+        self.max_states = max_states
+        self.max_databases = max_databases
+        self.max_valuations = max_valuations
+        self.timeout_s = timeout_s
+        self.strict = strict
+        self.databases = 0
+        self.valuations = 0
+        self.snapshots_total = 0
+        self.pair_snapshots = 0
+        self.structure_states = 0
+        self._deadline: float | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "Budget":
+        """Arm the wall-clock deadline; idempotent per top-level call."""
+        if self.timeout_s is not None and self._deadline is None:
+            self._deadline = time.monotonic() + self.timeout_s
+        return self
+
+    @classmethod
+    def ensure(
+        cls,
+        budget: "Budget | None",
+        *,
+        max_snapshots: int | None = None,
+        max_states: int | None = None,
+        timeout_s: float | None = None,
+        strict: bool = False,
+    ) -> "Budget":
+        """The governor for one entry-point call.
+
+        An explicitly passed ``budget`` wins; otherwise one is built
+        from the entry point's legacy keyword arguments.
+        """
+        if budget is None:
+            budget = cls(
+                max_snapshots=max_snapshots,
+                max_states=max_states,
+                timeout_s=timeout_s,
+                strict=strict,
+            )
+        elif strict:
+            budget.strict = True
+        return budget.start()
+
+    # -- cooperative checks ------------------------------------------------
+
+    def _out_of_time(self) -> bool:
+        return self._deadline is not None and time.monotonic() > self._deadline
+
+    def check_deadline(self) -> None:
+        """Raise when the wall-clock deadline has passed.
+
+        Cheap enough (one monotonic-clock read) to call at every
+        exploration step — any unit of verifier work dwarfs it.
+        """
+        if self._out_of_time():
+            raise VerificationBudgetExceeded(
+                f"wall-clock deadline of {self.timeout_s}s exceeded",
+                limit="timeout_s",
+            )
+
+    def charge_database(self) -> None:
+        """One candidate database is about to be examined."""
+        self.check_deadline()
+        self.databases += 1
+        if self.max_databases is not None and self.databases > self.max_databases:
+            raise VerificationBudgetExceeded(
+                f"more than {self.max_databases} candidate databases examined",
+                limit="max_databases",
+            )
+
+    def begin_pair(self) -> None:
+        """Reset the per-(database, sigma) snapshot count."""
+        self.check_deadline()
+        self.pair_snapshots = 0
+
+    def charge_snapshot(self, n: int = 1) -> None:
+        """``n`` new snapshots explored in the current pair."""
+        self.pair_snapshots += n
+        self.snapshots_total += n
+        if self.max_snapshots is not None and self.pair_snapshots > self.max_snapshots:
+            raise VerificationBudgetExceeded(
+                f"more than {self.max_snapshots} snapshots explored",
+                limit="max_snapshots",
+            )
+        self.check_deadline()
+
+    def charge_valuation(self) -> None:
+        """One grounded valuation of the universal closure checked."""
+        self.valuations += 1
+        if self.max_valuations is not None and self.valuations > self.max_valuations:
+            raise VerificationBudgetExceeded(
+                f"more than {self.max_valuations} valuations checked",
+                limit="max_valuations",
+            )
+        self.check_deadline()
+
+    def begin_structure(self) -> None:
+        """Reset the per-Kripke-structure state count."""
+        self.check_deadline()
+        self.structure_states = 0
+
+    def charge_state(self, n: int = 1) -> None:
+        """``n`` new Kripke states added to the current structure."""
+        self.structure_states += n
+        if self.max_states is not None and self.structure_states > self.max_states:
+            raise VerificationBudgetExceeded(
+                f"Kripke structure exceeds {self.max_states} states",
+                limit="max_states",
+            )
+        self.check_deadline()
+
+    # -- reporting ---------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "budget_databases": self.databases,
+            "budget_valuations": self.valuations,
+            "budget_snapshots_total": self.snapshots_total,
+        }
+
+    def limits(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for name in ("max_snapshots", "max_states", "max_databases",
+                     "max_valuations", "timeout_s"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
+
+
+def coverage_summary(
+    stats: Mapping[str, Any],
+    *,
+    limit: str = "",
+    phase: str = "",
+    total_databases: int | None = None,
+) -> str:
+    """The human-readable "how far did we get" line for INCONCLUSIVE results.
+
+    Example: ``checked 37/214 candidate databases (52 input-constant
+    interpretations, 1204 snapshots) up to domain size 3; interrupted
+    during lasso search by max_snapshots``.
+    """
+    details = []
+    if stats.get("sigmas_checked"):
+        details.append(f"{stats['sigmas_checked']} input-constant interpretations")
+    if stats.get("valuations_checked"):
+        details.append(f"{stats['valuations_checked']} valuations")
+    if stats.get("snapshots_explored"):
+        details.append(f"{stats['snapshots_explored']} snapshots")
+    if stats.get("kripke_states"):
+        details.append(f"largest Kripke structure {stats['kripke_states']} states")
+    parts = []
+    if "databases_checked" in stats:
+        checked = stats.get("databases_checked", 0)
+        dbs = (
+            f"{checked}/{total_databases}"
+            if total_databases is not None
+            else f"{checked}"
+        )
+        parts.append(f"checked {dbs} candidate databases")
+        if details:
+            parts.append("(" + ", ".join(details) + ")")
+    elif details:
+        parts.append("explored " + ", ".join(details))
+    else:
+        parts.append("no exploration completed")
+    if stats.get("domain_size") is not None:
+        parts.append(f"up to domain size {stats['domain_size']}")
+    text = " ".join(parts)
+    if phase or limit:
+        tail = "interrupted"
+        if phase:
+            tail += f" during {phase}"
+        if limit:
+            tail += f" by {limit}"
+        text += "; " + tail
+    return text
+
+
+def degrade(
+    exc: VerificationBudgetExceeded,
+    *,
+    budget: Budget,
+    property_name: str,
+    method: str,
+    stats: Mapping[str, Any],
+    checkpoint: Checkpoint | None = None,
+    phase: str = "",
+    total_databases: int | None = None,
+) -> VerificationResult:
+    """Turn a blown budget into an INCONCLUSIVE result (or re-raise).
+
+    Merges the partial ``stats`` into the exception and — unless the
+    governor is strict — returns the graceful-degradation result so no
+    work already done is lost.
+    """
+    merged = dict(stats)
+    merged.update(exc.stats)
+    merged["interrupted_by"] = exc.limit or "budget"
+    if phase:
+        merged["interrupted_phase"] = phase
+    coverage = coverage_summary(
+        merged, limit=exc.limit, phase=phase, total_databases=total_databases
+    )
+    exc.stats = merged
+    exc.checkpoint = checkpoint
+    if budget.strict:
+        raise exc
+    return VerificationResult(
+        verdict=Verdict.INCONCLUSIVE,
+        property_name=property_name,
+        method=method,
+        stats=merged,
+        coverage=coverage,
+        checkpoint=checkpoint,
+    )

@@ -37,6 +37,7 @@ from repro.service.runs import (
     successors,
 )
 from repro.service.webservice import WebService
+from repro.verifier.budget import Budget, Checkpoint, degrade
 from repro.verifier.linear import (
     DEFAULT_SNAPSHOT_BUDGET,
     _candidate_databases,
@@ -59,35 +60,42 @@ _PROVIDED_PREFIX = "__provided_"
 def error_page_reachable(
     ctx: RunContext,
     max_snapshots: int = DEFAULT_SNAPSHOT_BUDGET,
+    budget: Budget | None = None,
 ) -> Run | None:
     """Shortest run reaching the error page for one (database, sigma).
 
     Returns the error trace as a lasso (looping on the error page), or
-    None when the error page is unreachable.
+    None when the error page is unreachable.  A blown budget raises
+    :class:`VerificationBudgetExceeded` with the partial BFS stats
+    attached.
     """
+    gov = Budget.ensure(budget, max_snapshots=max_snapshots)
+    gov.begin_pair()
     parent: dict[Snapshot, Snapshot | None] = {}
     queue: deque[Snapshot] = deque()
     for snap in initial_snapshots(ctx):
         parent.setdefault(snap, None)
         queue.append(snap)
+    gov.charge_snapshot(len(parent))
 
-    while queue:
-        snap = queue.popleft()
-        if snap.is_error:
-            trace = [snap]
-            while parent[trace[0]] is not None:
-                trace.insert(0, parent[trace[0]])
-            return Run(
-                ctx.database, dict(ctx.sigma), trace, loop_index=len(trace) - 1
-            )
-        for nxt in successors(ctx, snap):
-            if nxt not in parent:
-                if len(parent) >= max_snapshots:
-                    raise VerificationBudgetExceeded(
-                        f"more than {max_snapshots} reachable snapshots"
-                    )
-                parent[nxt] = snap
-                queue.append(nxt)
+    try:
+        while queue:
+            snap = queue.popleft()
+            if snap.is_error:
+                trace = [snap]
+                while parent[trace[0]] is not None:
+                    trace.insert(0, parent[trace[0]])
+                return Run(
+                    ctx.database, dict(ctx.sigma), trace, loop_index=len(trace) - 1
+                )
+            for nxt in successors(ctx, snap):
+                if nxt not in parent:
+                    gov.charge_snapshot()
+                    parent[nxt] = snap
+                    queue.append(nxt)
+    except VerificationBudgetExceeded as exc:
+        exc.stats.setdefault("snapshots_explored", len(parent))
+        raise
     return None
 
 
@@ -98,12 +106,19 @@ def verify_error_free(
     method: str = "direct",
     max_snapshots: int = DEFAULT_SNAPSHOT_BUDGET,
     sigmas: Iterable[dict] | None = None,
+    budget: Budget | None = None,
+    timeout_s: float | None = None,
+    strict: bool = False,
+    resume: Checkpoint | None = None,
 ) -> VerificationResult:
     """Decide error-freeness over the small-model database space.
 
     ``sigmas`` restricts the input-constant interpretations checked
     (session scoping, Remark 3.6); the default enumerates generically.
+    A blown budget returns ``Verdict.INCONCLUSIVE`` with a resumable
+    checkpoint unless ``strict=True`` (see :mod:`repro.verifier.budget`).
     """
+    property_name = f"error-free({service.name})"
     if method == "reduction":
         transformed, sentence = errorfree_reduction(service)
         result = verify_ltlfo(
@@ -114,44 +129,93 @@ def verify_error_free(
             check_restrictions=False,
             max_snapshots=max_snapshots,
             sigmas=sigmas,
+            budget=budget,
+            timeout_s=timeout_s,
+            strict=strict,
+            resume=resume,
         )
         result.method = "error-freeness via Lemma A.5 reduction + Theorem 3.5"
-        result.property_name = f"error-free({service.name})"
+        result.property_name = property_name
+        if result.checkpoint is not None:
+            result.checkpoint.procedure = "verify_error_free"
+            result.checkpoint.property_name = property_name
+            result.checkpoint.extra["method"] = "reduction"
         return result
     if method != "direct":
         raise ValueError(f"unknown method {method!r}; use 'direct' or 'reduction'")
 
-    dbs, used_size = _candidate_databases(
-        service, None, databases, domain_size, up_to_iso=True
+    gov = Budget.ensure(
+        budget, max_snapshots=max_snapshots, timeout_s=timeout_s, strict=strict
     )
+    dbs, used_size = _candidate_databases(
+        service, None, databases, domain_size, up_to_iso=True,
+        on_step=gov.check_deadline,
+    )
+    total_dbs = len(dbs) if isinstance(dbs, list) else None
     stats: dict = {
         "databases_checked": 0,
+        "databases_skipped": 0,
         "sigmas_checked": 0,
+        "snapshots_explored": 0,
         "domain_size": used_size,
     }
-    for db in dbs:
-        stats["databases_checked"] += 1
-        sigma_pool = (
-            [dict(s) for s in sigmas]
-            if sigmas is not None
-            else enumerate_sigmas(service, db)
+    snap_base = gov.snapshots_total
+    skip_db = resume.db_index if resume is not None else 0
+    skip_sigma = resume.sigma_index if resume is not None else 0
+    cursor_db, cursor_sigma = skip_db, skip_sigma
+    try:
+        for db_index, db in enumerate(dbs):
+            if db_index < skip_db:
+                stats["databases_skipped"] += 1
+                continue
+            cursor_db, cursor_sigma = db_index, 0
+            gov.charge_database()
+            stats["databases_checked"] += 1
+            sigma_pool = (
+                [dict(s) for s in sigmas]
+                if sigmas is not None
+                else enumerate_sigmas(service, db)
+            )
+            for sigma_index, sigma in enumerate(sigma_pool):
+                if db_index == skip_db and sigma_index < skip_sigma:
+                    continue
+                cursor_sigma = sigma_index
+                stats["sigmas_checked"] += 1
+                ctx = RunContext(service, db, sigma=sigma)
+                trace = error_page_reachable(ctx, budget=gov)
+                if trace is not None:
+                    stats["snapshots_explored"] = gov.snapshots_total - snap_base
+                    return VerificationResult(
+                        verdict=Verdict.VIOLATED,
+                        property_name=property_name,
+                        method="error-page reachability (direct)",
+                        counterexample=trace,
+                        counterexample_database=db,
+                        stats=stats,
+                    )
+    except VerificationBudgetExceeded as exc:
+        stats["snapshots_explored"] = gov.snapshots_total - snap_base
+        return degrade(
+            exc,
+            budget=gov,
+            property_name=property_name,
+            method="error-page reachability (direct)",
+            stats=stats,
+            checkpoint=Checkpoint(
+                procedure="verify_error_free",
+                property_name=property_name,
+                db_index=cursor_db,
+                sigma_index=cursor_sigma,
+                domain_size=used_size,
+                extra={"method": "direct"},
+            ),
+            phase="error-page reachability",
+            total_databases=total_dbs,
         )
-        for sigma in sigma_pool:
-            stats["sigmas_checked"] += 1
-            ctx = RunContext(service, db, sigma=sigma)
-            trace = error_page_reachable(ctx, max_snapshots=max_snapshots)
-            if trace is not None:
-                return VerificationResult(
-                    verdict=Verdict.VIOLATED,
-                    property_name=f"error-free({service.name})",
-                    method="error-page reachability (direct)",
-                    counterexample=trace,
-                    counterexample_database=db,
-                    stats=stats,
-                )
+    stats["snapshots_explored"] = gov.snapshots_total - snap_base
     return VerificationResult(
         verdict=Verdict.HOLDS,
-        property_name=f"error-free({service.name})",
+        property_name=property_name,
         method="error-page reachability (direct)",
         stats=stats,
     )

@@ -48,6 +48,7 @@ from repro.service.runs import (
     successors,
 )
 from repro.service.webservice import WebService
+from repro.verifier.budget import Budget, Checkpoint, degrade
 from repro.verifier.results import (
     UndecidableInstanceError,
     Verdict,
@@ -121,26 +122,31 @@ def enumerate_sigmas(
 def explore_configuration_graph(
     ctx: RunContext,
     max_snapshots: int = DEFAULT_SNAPSHOT_BUDGET,
+    budget: Budget | None = None,
 ) -> tuple[list[Snapshot], dict[Snapshot, list[Snapshot]]]:
     """BFS the reachable snapshot graph of one (database, sigma) pair."""
+    gov = Budget.ensure(budget, max_snapshots=max_snapshots)
+    gov.begin_pair()
     edges: dict[Snapshot, list[Snapshot]] = {}
     order: list[Snapshot] = []
     frontier = list(initial_snapshots(ctx))
     seen = set(frontier)
     order.extend(frontier)
-    while frontier:
-        snap = frontier.pop()
-        nexts = successors(ctx, snap)
-        edges[snap] = nexts
-        for nxt in nexts:
-            if nxt not in seen:
-                if len(seen) >= max_snapshots:
-                    raise VerificationBudgetExceeded(
-                        f"more than {max_snapshots} reachable snapshots"
-                    )
-                seen.add(nxt)
-                order.append(nxt)
-                frontier.append(nxt)
+    gov.charge_snapshot(len(frontier))
+    try:
+        while frontier:
+            snap = frontier.pop()
+            nexts = successors(ctx, snap)
+            edges[snap] = nexts
+            for nxt in nexts:
+                if nxt not in seen:
+                    gov.charge_snapshot()
+                    seen.add(nxt)
+                    order.append(nxt)
+                    frontier.append(nxt)
+    except VerificationBudgetExceeded as exc:
+        exc.stats.setdefault("snapshots_explored", len(seen))
+        raise
     return order, edges
 
 
@@ -175,6 +181,7 @@ def _candidate_databases(
     databases: Iterable[Database] | None,
     domain_size: int | None,
     up_to_iso: bool,
+    on_step: Callable[[], None] | None = None,
 ) -> tuple[Iterable[Database], int | None]:
     if databases is not None:
         return list(databases), None
@@ -191,6 +198,7 @@ def _candidate_databases(
         up_to_iso=up_to_iso,
         domain=dom,
         fixed_elements=literals,
+        on_step=on_step,
     )
     return dbs, size
 
@@ -206,6 +214,10 @@ def verify_ltlfo(
     confirm_counterexamples: bool = True,
     on_database: Callable[[Database], None] | None = None,
     sigmas: Iterable[Mapping[str, Value]] | None = None,
+    budget: Budget | None = None,
+    timeout_s: float | None = None,
+    strict: bool = False,
+    resume: Checkpoint | None = None,
 ) -> VerificationResult:
     """Decide ``service ⊨ sentence`` for input-bounded instances.
 
@@ -232,15 +244,33 @@ def verify_ltlfo(
     confirm_counterexamples:
         Re-check any counterexample against the reference lasso
         semantics before reporting it (cheap; catches verifier bugs).
+    budget, timeout_s, strict:
+        Resource governor (see :mod:`repro.verifier.budget`).  A blown
+        budget returns ``Verdict.INCONCLUSIVE`` with partial stats, a
+        coverage summary, and a resumable checkpoint; ``strict=True``
+        raises :class:`VerificationBudgetExceeded` instead (enriched
+        with the same stats and checkpoint).
+    resume:
+        A :class:`Checkpoint` from an earlier interrupted call with the
+        same enumeration parameters; databases/sigmas before its cursor
+        are skipped as already verified.
     """
     if check_restrictions:
         _require_input_bounded(service, sentence)
 
-    dbs, used_size = _candidate_databases(
-        service, sentence, databases, domain_size, up_to_iso
+    gov = Budget.ensure(
+        budget, max_snapshots=max_snapshots, timeout_s=timeout_s, strict=strict
     )
+    dbs, used_size = _candidate_databases(
+        service, sentence, databases, domain_size, up_to_iso,
+        on_step=gov.check_deadline,
+    )
+    total_dbs = len(dbs) if isinstance(dbs, list) else None
+    property_name = sentence.name or str(sentence)
+    method = "input-bounded LTL-FO (Theorem 3.5)"
     stats: dict = {
         "databases_checked": 0,
+        "databases_skipped": 0,
         "sigmas_checked": 0,
         "valuations_checked": 0,
         "snapshots_explored": 0,
@@ -248,76 +278,112 @@ def verify_ltlfo(
         "domain_size": used_size,
     }
     sentence_literals = frozenset(sentence.literals())
+    snap_base = gov.snapshots_total
+    skip_db = resume.db_index if resume is not None else 0
+    skip_sigma = resume.sigma_index if resume is not None else 0
+    cursor_db = skip_db
+    cursor_sigma = skip_sigma
+    phase = "database enumeration"
 
-    for db in dbs:
-        stats["databases_checked"] += 1
-        if on_database is not None:
-            on_database(db)
-        sigma_pool = (
-            [dict(s) for s in sigmas]
-            if sigmas is not None
-            else enumerate_sigmas(service, db)
+    try:
+        for db_index, db in enumerate(dbs):
+            if db_index < skip_db:
+                stats["databases_skipped"] += 1
+                continue
+            cursor_db, cursor_sigma = db_index, 0
+            phase = "database enumeration"
+            gov.charge_database()
+            stats["databases_checked"] += 1
+            if on_database is not None:
+                on_database(db)
+            sigma_pool = (
+                [dict(s) for s in sigmas]
+                if sigmas is not None
+                else enumerate_sigmas(service, db)
+            )
+            for sigma_index, sigma in enumerate(sigma_pool):
+                if db_index == skip_db and sigma_index < skip_sigma:
+                    continue
+                cursor_sigma = sigma_index
+                phase = "lasso search"
+                gov.begin_pair()
+                stats["sigmas_checked"] += 1
+                ctx = RunContext(
+                    service, db, sigma=sigma, extra_domain=sentence_literals
+                )
+                label = _SnapshotLabeller(ctx, sentence_literals)
+
+                succ_cache: dict[Snapshot, list[Snapshot]] = {}
+                explored = 0
+
+                def succ(snap: Snapshot) -> list[Snapshot]:
+                    nonlocal explored
+                    out = succ_cache.get(snap)
+                    if out is None:
+                        out = successors(ctx, snap)
+                        succ_cache[snap] = out
+                        explored += 1
+                        gov.charge_snapshot()
+                    return out
+
+                starts = initial_snapshots(ctx)
+                valuation_domain = sorted(
+                    set(db.domain) | set(sigma.values()) | set(ctx.extra_domain),
+                    key=repr,
+                )
+                names = sentence.variables
+                for combo in itertools.product(
+                    valuation_domain, repeat=len(names)
+                ):
+                    gov.charge_valuation()
+                    stats["valuations_checked"] += 1
+                    valuation = dict(zip(names, combo))
+                    grounded = sentence.instantiate(valuation)
+                    ba = ltl_to_buchi(LNot(grounded))
+                    stats["buchi_states"] = max(stats["buchi_states"], ba.n_states)
+                    lasso = find_accepting_lasso(ba, starts, succ, label)
+                    if lasso is not None:
+                        run = Run(
+                            db, dict(sigma), list(lasso.states), lasso.loop_index
+                        )
+                        stats["snapshots_explored"] += explored
+                        if confirm_counterexamples:
+                            ok = not _violation_confirmed_holds(
+                                sentence, run, service, ctx, valuation
+                            )
+                            stats["counterexample_confirmed"] = ok
+                        return VerificationResult(
+                            verdict=Verdict.VIOLATED,
+                            property_name=property_name,
+                            method=method,
+                            counterexample=run,
+                            counterexample_database=db,
+                            stats=stats,
+                        )
+                stats["snapshots_explored"] += explored
+    except VerificationBudgetExceeded as exc:
+        stats["snapshots_explored"] = gov.snapshots_total - snap_base
+        return degrade(
+            exc,
+            budget=gov,
+            property_name=property_name,
+            method=method,
+            stats=stats,
+            checkpoint=Checkpoint(
+                procedure="verify_ltlfo",
+                property_name=property_name,
+                db_index=cursor_db,
+                sigma_index=cursor_sigma,
+                domain_size=used_size,
+            ),
+            phase=phase,
+            total_databases=total_dbs,
         )
-        for sigma in sigma_pool:
-            stats["sigmas_checked"] += 1
-            ctx = RunContext(
-                service, db, sigma=sigma, extra_domain=sentence_literals
-            )
-            label = _SnapshotLabeller(ctx, sentence_literals)
-
-            succ_cache: dict[Snapshot, list[Snapshot]] = {}
-            explored = 0
-
-            def succ(snap: Snapshot) -> list[Snapshot]:
-                nonlocal explored
-                out = succ_cache.get(snap)
-                if out is None:
-                    out = successors(ctx, snap)
-                    succ_cache[snap] = out
-                    explored += 1
-                    if explored > max_snapshots:
-                        raise VerificationBudgetExceeded(
-                            f"more than {max_snapshots} snapshots explored"
-                        )
-                return out
-
-            starts = initial_snapshots(ctx)
-            valuation_domain = sorted(
-                set(db.domain) | set(sigma.values()) | set(ctx.extra_domain),
-                key=repr,
-            )
-            names = sentence.variables
-            for combo in itertools.product(valuation_domain, repeat=len(names)):
-                stats["valuations_checked"] += 1
-                valuation = dict(zip(names, combo))
-                grounded = sentence.instantiate(valuation)
-                ba = ltl_to_buchi(LNot(grounded))
-                stats["buchi_states"] = max(stats["buchi_states"], ba.n_states)
-                lasso = find_accepting_lasso(ba, starts, succ, label)
-                if lasso is not None:
-                    run = Run(
-                        db, dict(sigma), list(lasso.states), lasso.loop_index
-                    )
-                    stats["snapshots_explored"] += explored
-                    if confirm_counterexamples:
-                        ok = not _violation_confirmed_holds(
-                            sentence, run, service, ctx, valuation
-                        )
-                        stats["counterexample_confirmed"] = ok
-                    return VerificationResult(
-                        verdict=Verdict.VIOLATED,
-                        property_name=sentence.name or str(sentence),
-                        method="input-bounded LTL-FO (Theorem 3.5)",
-                        counterexample=run,
-                        counterexample_database=db,
-                        stats=stats,
-                    )
-            stats["snapshots_explored"] += explored
 
     return VerificationResult(
         verdict=Verdict.HOLDS,
-        property_name=sentence.name or str(sentence),
-        method="input-bounded LTL-FO (Theorem 3.5)",
+        property_name=property_name,
+        method=method,
         stats=stats,
     )
 

@@ -10,10 +10,19 @@ from repro.service.runs import Run
 
 
 class Verdict(enum.Enum):
-    """Outcome of a verification task."""
+    """Outcome of a verification task.
+
+    ``INCONCLUSIVE`` is the graceful-degradation verdict: a resource
+    budget (snapshots, databases, valuations, Kripke states, or the
+    wall-clock deadline) ran out before the search space was exhausted.
+    It is sound for violations — any counterexample found before
+    exhaustion would have been reported as VIOLATED — but makes no claim
+    about HOLDS over the unexplored remainder.
+    """
 
     HOLDS = "holds"
     VIOLATED = "violated"
+    INCONCLUSIVE = "inconclusive"
 
     def __bool__(self) -> bool:
         return self is Verdict.HOLDS
@@ -38,7 +47,29 @@ class UndecidableInstanceError(Exception):
 
 
 class VerificationBudgetExceeded(Exception):
-    """The exploration exceeded the configured state/database budget."""
+    """The exploration exceeded a configured resource budget.
+
+    Raised by the cooperative checks of
+    :class:`~repro.verifier.budget.Budget` and by the low-level graph
+    builders.  Carries the name of the exceeded ``limit``
+    (``"max_snapshots"``, ``"timeout_s"``, ...), the partial ``stats``
+    of the work already done, and — when a public entry point re-raises
+    in strict mode — the resumable ``checkpoint``, so even strict-mode
+    callers don't lose the completed prefix of the search.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        limit: str = "",
+        stats: dict[str, Any] | None = None,
+        checkpoint: Any = None,
+    ) -> None:
+        super().__init__(message)
+        self.limit = limit
+        self.stats: dict[str, Any] = dict(stats or {})
+        self.checkpoint = checkpoint
 
 
 @dataclass
@@ -49,7 +80,11 @@ class VerificationResult:
     ``counterexample`` (when violated) is a concrete lasso run together
     with its database and input-constant values.  ``stats`` records the
     work done (databases tried, snapshots explored, Büchi sizes, ...)
-    for the benchmark harness.
+    for the benchmark harness.  INCONCLUSIVE results additionally carry
+    ``coverage`` — a one-line summary of how far the interrupted search
+    got — and ``checkpoint``, a resumable
+    :class:`~repro.verifier.budget.Checkpoint` cursor (None when the
+    procedure has nothing to resume).
     """
 
     verdict: Verdict
@@ -58,10 +93,16 @@ class VerificationResult:
     counterexample: Run | None = None
     counterexample_database: Any = None
     stats: dict[str, Any] = field(default_factory=dict)
+    coverage: str = ""
+    checkpoint: Any = None
 
     @property
     def holds(self) -> bool:
         return self.verdict is Verdict.HOLDS
+
+    @property
+    def inconclusive(self) -> bool:
+        return self.verdict is Verdict.INCONCLUSIVE
 
     def __bool__(self) -> bool:
         return self.holds
@@ -76,11 +117,20 @@ class VerificationResult:
         interesting = (
             "databases_checked", "sigmas_checked", "valuations_checked",
             "snapshots_explored", "buchi_states", "kripke_states",
+            "interrupted_by", "interrupted_phase",
         )
         shown = {k: v for k, v in self.stats.items() if k in interesting}
         if shown:
             lines.append(
                 "stats    : " + ", ".join(f"{k}={v}" for k, v in sorted(shown.items()))
+            )
+        if self.coverage:
+            lines.append(f"coverage : {self.coverage}")
+        if self.inconclusive:
+            lines.append(
+                "note     : budget exhausted before the search space — no "
+                "violation found so far, no claim about the rest; resume "
+                "from the checkpoint or raise the budget"
             )
         if self.counterexample is not None:
             lines.append("counterexample run:")

@@ -24,10 +24,12 @@ from repro.verifier.branching import (
     DEFAULT_KRIPKE_BUDGET,
     build_snapshot_kripke,
 )
+from repro.verifier.budget import Budget, Checkpoint, degrade
 from repro.verifier.linear import _candidate_databases
 from repro.verifier.results import (
     UndecidableInstanceError,
     Verdict,
+    VerificationBudgetExceeded,
     VerificationResult,
 )
 
@@ -39,13 +41,19 @@ def verify_input_driven_search(
     domain_size: int | None = None,
     check_restrictions: bool = True,
     max_states: int = DEFAULT_KRIPKE_BUDGET,
+    budget: Budget | None = None,
+    timeout_s: float | None = None,
+    strict: bool = False,
+    resume: Checkpoint | None = None,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for input-driven-search services (Theorem 4.9).
 
     ``databases`` would normally be the concrete search graphs of
     interest (e.g. the Figure 1 hierarchy); the default enumeration over
     ``domain_size`` anonymous nodes is exhaustive but grows quickly with
-    the number of unary relations.
+    the number of unary relations.  A blown budget returns
+    ``Verdict.INCONCLUSIVE`` with a resumable database cursor unless
+    ``strict=True`` (see :mod:`repro.verifier.budget`).
     """
     if check_restrictions:
         report = classify(service)
@@ -56,34 +64,65 @@ def verify_input_driven_search(
                 "(Definition 4.7)",
             )
 
-    dbs, used_size = _candidate_databases(
-        service, None, databases, domain_size, up_to_iso=True
+    gov = Budget.ensure(
+        budget, max_states=max_states, timeout_s=timeout_s, strict=strict
     )
+    dbs, used_size = _candidate_databases(
+        service, None, databases, domain_size, up_to_iso=True,
+        on_step=gov.check_deadline,
+    )
+    total_dbs = len(dbs) if isinstance(dbs, list) else None
     fragment = "CTL" if is_ctl(formula) else "CTL*"
+    method = f"input-driven search {fragment} (Theorem 4.9)"
     stats: dict = {
         "databases_checked": 0,
+        "databases_skipped": 0,
         "kripke_states": 0,
         "formula_size": ctl_size(formula),
         "domain_size": used_size,
     }
     from repro.ctl.modelcheck import satisfying_states
 
-    for db in dbs:
-        stats["databases_checked"] += 1
-        kripke = build_snapshot_kripke(service, db, max_states=max_states)
-        stats["kripke_states"] = max(stats["kripke_states"], kripke.n_states)
-        sat = satisfying_states(kripke, formula)
-        if not kripke.initial <= sat:
-            return VerificationResult(
-                verdict=Verdict.VIOLATED,
+    skip_db = resume.db_index if resume is not None else 0
+    cursor_db = skip_db
+    try:
+        for db_index, db in enumerate(dbs):
+            if db_index < skip_db:
+                stats["databases_skipped"] += 1
+                continue
+            cursor_db = db_index
+            gov.charge_database()
+            stats["databases_checked"] += 1
+            kripke = build_snapshot_kripke(service, db, budget=gov)
+            stats["kripke_states"] = max(stats["kripke_states"], kripke.n_states)
+            sat = satisfying_states(kripke, formula)
+            if not kripke.initial <= sat:
+                return VerificationResult(
+                    verdict=Verdict.VIOLATED,
+                    property_name=str(formula),
+                    method=method,
+                    counterexample_database=db,
+                    stats=stats,
+                )
+    except VerificationBudgetExceeded as exc:
+        return degrade(
+            exc,
+            budget=gov,
+            property_name=str(formula),
+            method=method,
+            stats=stats,
+            checkpoint=Checkpoint(
+                procedure="verify_input_driven_search",
                 property_name=str(formula),
-                method=f"input-driven search {fragment} (Theorem 4.9)",
-                counterexample_database=db,
-                stats=stats,
-            )
+                db_index=cursor_db,
+                domain_size=used_size,
+            ),
+            phase="search-graph Kripke construction / model checking",
+            total_databases=total_dbs,
+        )
     return VerificationResult(
         verdict=Verdict.HOLDS,
         property_name=str(formula),
-        method=f"input-driven search {fragment} (Theorem 4.9)",
+        method=method,
         stats=stats,
     )

@@ -42,7 +42,13 @@ def verify(
       ``force=True``.
 
     ``options`` are forwarded to the underlying procedure
-    (``databases=``, ``domain_size=``, budgets, ...).
+    (``databases=``, ``domain_size=``, ``budget=``, ``timeout_s=``,
+    ``strict=``, ``resume=``, ...).  Every procedure shares the
+    resource-governor semantics of :mod:`repro.verifier.budget`: with
+    the default non-strict settings a blown budget never raises — it
+    returns a ``Verdict.INCONCLUSIVE`` result with partial stats, a
+    coverage summary, and (where the enumeration has a cursor) a
+    resumable checkpoint.
     """
     if isinstance(prop, LTLFOSentence):
         return verify_ltlfo(
@@ -51,8 +57,12 @@ def verify(
     if isinstance(prop, StateFormula):
         report = classify(service)
         if report.is_in(ServiceClass.FULLY_PROPOSITIONAL) and "databases" not in options and "domain_size" not in options:
+            fp_options = {
+                k: v for k, v in options.items()
+                if k in ("max_states", "budget", "timeout_s", "strict")
+            }
             return verify_fully_propositional(
-                service, prop, check_restrictions=not force
+                service, prop, check_restrictions=not force, **fp_options
             )
         if report.is_in(ServiceClass.PROPOSITIONAL):
             return verify_ctl(

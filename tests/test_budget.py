@@ -1,0 +1,274 @@
+"""Tests for the resource governor: graceful degradation, deadlines,
+checkpoint/resume, and the CLI's budget-aware exit codes.
+
+The degradation contract under test: with a non-strict budget, every
+public entry point returns ``Verdict.INCONCLUSIVE`` — it never raises —
+and the result carries partial stats, a coverage summary, and (for the
+enumerating procedures) a resumable checkpoint whose continuation
+reaches the same verdict as an unbounded run.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.ctl import AG, CAtom, EF
+from repro.fol import Atom, Not
+from repro.io import (
+    load_checkpoint,
+    save_checkpoint,
+    save_service,
+)
+from repro.ltl import G, LTLFOSentence
+from repro.verifier import (
+    Budget,
+    Checkpoint,
+    Verdict,
+    VerificationBudgetExceeded,
+    verify_ctl,
+    verify_error_free,
+    verify_fully_propositional,
+    verify_input_driven_search,
+    verify_ltlfo,
+)
+
+
+def _no_error():
+    return LTLFOSentence((), G(Not(Atom("ERROR", ()))))
+
+
+# ---------------------------------------------------------------------------
+# every entry point degrades to INCONCLUSIVE, never raises
+# ---------------------------------------------------------------------------
+
+# (id, entry-point runner) — each runner receives the fixture request and
+# a Budget, so one parametrized test covers all five public entry points.
+ENTRY_POINTS = [
+    ("verify_ltlfo", lambda r, b: verify_ltlfo(
+        r.getfixturevalue("core"), _no_error(),
+        databases=[r.getfixturevalue("core_db")],
+        sigmas=r.getfixturevalue("alice_sigma"), budget=b)),
+    ("verify_error_free", lambda r, b: verify_error_free(
+        r.getfixturevalue("core"),
+        databases=[r.getfixturevalue("core_db")],
+        sigmas=r.getfixturevalue("alice_sigma"), budget=b)),
+    ("verify_ctl", lambda r, b: verify_ctl(
+        r.getfixturevalue("prop_service"), AG(EF(CAtom("HP"))), budget=b)),
+    ("verify_fully_propositional", lambda r, b: verify_fully_propositional(
+        r.getfixturevalue("prop_service"), AG(EF(CAtom("HP"))), budget=b)),
+    ("verify_input_driven_search", lambda r, b: verify_input_driven_search(
+        r.getfixturevalue("ids_service"), EF(CAtom("ERROR")),
+        databases=[r.getfixturevalue("ids_db")], budget=b)),
+]
+
+
+class TestGracefulDegradation:
+    @pytest.mark.parametrize(
+        "name,run", ENTRY_POINTS, ids=[name for name, _ in ENTRY_POINTS]
+    )
+    def test_tiny_budget_returns_inconclusive(self, request, name, run):
+        budget = Budget(max_snapshots=2, max_states=2)
+        result = run(request, budget)
+        assert result.verdict is Verdict.INCONCLUSIVE
+        assert not result.holds
+        assert result.inconclusive
+        assert result.stats.get("interrupted_by")
+        assert result.coverage
+
+    @pytest.mark.parametrize(
+        "name,run", ENTRY_POINTS, ids=[name for name, _ in ENTRY_POINTS]
+    )
+    def test_tiny_budget_strict_raises_enriched(self, request, name, run):
+        budget = Budget(max_snapshots=2, max_states=2, strict=True)
+        with pytest.raises(VerificationBudgetExceeded) as info:
+            run(request, budget)
+        assert info.value.limit in ("max_snapshots", "max_states")
+        assert info.value.stats  # partial stats attached at the raise site
+
+    def test_checkpoint_attached_for_enumeration(self, core, core_db,
+                                                 alice_sigma):
+        result = verify_ltlfo(core, _no_error(), databases=[core_db],
+                              sigmas=alice_sigma,
+                              budget=Budget(max_snapshots=2))
+        assert result.checkpoint is not None
+        assert result.checkpoint.procedure == "verify_ltlfo"
+        assert result.checkpoint.db_index == 0
+
+    def test_max_databases_cap(self, toy_service):
+        prop = LTLFOSentence((), G(Not(Atom("ERROR", ()))))
+        result = verify_ltlfo(toy_service, prop, domain_size=1,
+                              budget=Budget(max_databases=1))
+        assert result.inconclusive
+        assert result.stats["interrupted_by"] == "max_databases"
+        assert result.stats["databases_checked"] == 1
+
+    def test_describe_mentions_coverage(self, core, core_db, alice_sigma):
+        result = verify_ltlfo(core, _no_error(), databases=[core_db],
+                              sigmas=alice_sigma,
+                              budget=Budget(max_snapshots=2))
+        text = result.describe()
+        assert "INCONCLUSIVE" in text
+        assert "interrupted" in text
+
+
+# ---------------------------------------------------------------------------
+# wall-clock deadline
+# ---------------------------------------------------------------------------
+
+class TestDeadline:
+    def test_deadline_honored_within_tolerance(self, core):
+        # Full enumeration for the core service is a multi-minute
+        # workload; the deadline must cut it short within ~1s.
+        start = time.monotonic()
+        result = verify_ltlfo(core, _no_error(), timeout_s=0.4)
+        elapsed = time.monotonic() - start
+        assert result.inconclusive
+        assert result.stats["interrupted_by"] == "timeout_s"
+        assert elapsed < 1.4
+
+    def test_deadline_strict_raises(self, core):
+        start = time.monotonic()
+        with pytest.raises(VerificationBudgetExceeded) as info:
+            verify_ltlfo(core, _no_error(), timeout_s=0.3, strict=True)
+        assert time.monotonic() - start < 1.3
+        assert info.value.limit == "timeout_s"
+
+
+# ---------------------------------------------------------------------------
+# checkpoint / resume
+# ---------------------------------------------------------------------------
+
+class TestResume:
+    def test_resume_reaches_unbounded_verdict(self, toy_service):
+        prop = LTLFOSentence((), G(Not(Atom("ERROR", ()))))
+        unbounded = verify_ltlfo(toy_service, prop, domain_size=1)
+
+        result = verify_ltlfo(toy_service, prop, domain_size=1,
+                              budget=Budget(max_databases=1))
+        rounds = 1
+        while result.inconclusive:
+            assert result.checkpoint is not None
+            result = verify_ltlfo(toy_service, prop, domain_size=1,
+                                  budget=Budget(max_databases=1),
+                                  resume=result.checkpoint)
+            rounds += 1
+            assert rounds < 100  # the enumeration is finite
+        assert result.verdict == unbounded.verdict
+        assert rounds > 1  # the budget actually bit
+
+    def test_resume_skips_checked_databases(self, toy_service):
+        prop = LTLFOSentence((), G(Not(Atom("ERROR", ()))))
+        first = verify_ltlfo(toy_service, prop, domain_size=1,
+                             budget=Budget(max_databases=2))
+        assert first.inconclusive
+        second = verify_ltlfo(toy_service, prop, domain_size=1,
+                              resume=first.checkpoint)
+        assert second.stats["databases_skipped"] == first.checkpoint.db_index
+
+    def test_checkpoint_roundtrip(self, tmp_path):
+        ck = Checkpoint(procedure="verify_ltlfo", property_name="G !ERROR",
+                        db_index=37, sigma_index=4, domain_size=2,
+                        extra={"method": "direct"})
+        path = tmp_path / "ck.json"
+        save_checkpoint(ck, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro.checkpoint/1"
+        loaded = load_checkpoint(path)
+        assert loaded == ck
+
+    def test_checkpoint_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "repro.database/1"}))
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes and checkpoint files
+# ---------------------------------------------------------------------------
+
+class TestCLI:
+    @pytest.fixture()
+    def spec_path(self, toy_service, tmp_path):
+        path = tmp_path / "toy.json"
+        save_service(toy_service, path)
+        return str(path)
+
+    def _run(self, argv, capsys):
+        from repro.cli import main
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_inconclusive_exit_5_and_checkpoint(self, spec_path, tmp_path,
+                                                capsys):
+        ck = str(tmp_path / "ck.json")
+        code, out, _ = self._run(
+            ["verify", spec_path, "--ltl", "G !ERROR", "--domain-size", "1",
+             "--max-databases", "1", "--checkpoint", ck], capsys)
+        assert code == 5
+        assert "INCONCLUSIVE" in out
+        assert "interrupted" in out
+        assert "--resume" in out
+        assert load_checkpoint(ck).procedure == "verify_ltlfo"
+
+    def test_strict_exit_4(self, spec_path, tmp_path, capsys):
+        ck = str(tmp_path / "ck.json")
+        code, _, err = self._run(
+            ["verify", spec_path, "--ltl", "G !ERROR", "--domain-size", "1",
+             "--max-databases", "1", "--strict", "--checkpoint", ck], capsys)
+        assert code == 4
+        assert "max_databases" in err
+        assert load_checkpoint(ck).procedure == "verify_ltlfo"
+
+    def test_resume_flag_completes(self, spec_path, tmp_path, capsys):
+        ck = str(tmp_path / "ck.json")
+        code, _, _ = self._run(
+            ["verify", spec_path, "--ltl", "G !ERROR", "--domain-size", "1",
+             "--max-databases", "3", "--checkpoint", ck], capsys)
+        assert code == 5
+        # resume without a cap: finishes the remaining databases
+        code, out, _ = self._run(
+            ["verify", spec_path, "--ltl", "G !ERROR", "--resume", ck],
+            capsys)
+        assert code == 0
+        assert "HOLDS" in out
+
+    def test_resume_unreadable_checkpoint_exit_2(self, spec_path, tmp_path,
+                                                 capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "repro.database/1"}))
+        code, _, err = self._run(
+            ["verify", spec_path, "--ltl", "G !ERROR", "--resume", str(bad)],
+            capsys)
+        assert code == 2
+        assert "cannot read checkpoint" in err
+        code, _, err = self._run(
+            ["verify", spec_path, "--ltl", "G !ERROR",
+             "--resume", str(tmp_path / "missing.json")], capsys)
+        assert code == 2
+
+    def test_resume_property_mismatch_exit_2(self, spec_path, tmp_path,
+                                             capsys):
+        ck = str(tmp_path / "ck.json")
+        code, _, _ = self._run(
+            ["verify", spec_path, "--ltl", "G !ERROR", "--domain-size", "1",
+             "--max-databases", "1", "--checkpoint", ck], capsys)
+        assert code == 5
+        # the skipped databases were only checked for G !ERROR: refuse
+        code, _, err = self._run(
+            ["verify", spec_path, "--ltl", 'F chosen("i1")', "--resume", ck],
+            capsys)
+        assert code == 2
+        assert "property" in err
+
+    def test_undecidable_exit_3(self, tmp_path, capsys, core):
+        # a property with a non-input-bounded quantification pattern is
+        # rejected by the decidability gate before any search
+        path = tmp_path / "core.json"
+        save_service(core, path)
+        code, _, err = self._run(
+            ["verify", str(path), "--ctl", "AG EF HP"], capsys)
+        assert code == 3
+        assert err.strip()

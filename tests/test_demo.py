@@ -159,6 +159,7 @@ class TestCore:
     def test_core_error_free(self, core, core_db, alice_sigma):
         assert verify_error_free(core, databases=[core_db], sigmas=alice_sigma).holds
 
+    @pytest.mark.slow
     def test_paid_before_ship_holds(self, core, core_db, alice_sigma):
         result = verify_ltlfo(
             core, property_4_paid_before_ship(),
@@ -166,6 +167,7 @@ class TestCore:
         )
         assert result.holds
 
+    @pytest.mark.slow
     def test_paid_before_ship_violated_on_broken(self, core_broken, alice_sigma):
         result = verify_ltlfo(
             core_broken, property_4_paid_before_ship(),
@@ -184,6 +186,7 @@ class TestCore:
         result = verify_ltlfo(core, prop, databases=[core_db], sigmas=alice_sigma)
         assert not result.holds
 
+    @pytest.mark.slow
     def test_bought_implies_ships(self, core, core_db, alice_sigma):
         result = verify_ltlfo(
             core, example_41_cancel_until_ship(),
@@ -221,6 +224,7 @@ class TestPropositionalDemo:
         prop = AG(CNot(CAtom("COP")) | CAtom("has_order"))
         assert verify(prop_service, prop).holds
 
+    @pytest.mark.slow
     def test_ctl_star_purchase(self, prop_service):
         result = verify_fully_propositional(
             prop_service, ctl_star_eventual_purchase()

@@ -40,6 +40,7 @@ class TestPipelines:
         b = verify_ltlfo(reloaded, prop, databases=[db2], sigmas=alice_sigma)
         assert a.holds == b.holds is True
 
+    @pytest.mark.slow
     def test_parsed_property_equals_programmatic_verdict(
         self, core, core_db, alice_sigma
     ):
@@ -73,6 +74,7 @@ class TestPipelines:
         )
         assert a.holds == b.holds is True
 
+    @pytest.mark.slow
     def test_counterexample_replays_in_session(self, core_broken, alice_sigma):
         """A verifier counterexample must be reproducible step by step."""
         from repro.demo import core_database, property_4_paid_before_ship

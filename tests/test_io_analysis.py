@@ -81,6 +81,7 @@ class TestFormulaTextRoundTrip:
 
     @settings(max_examples=100, deadline=None)
     @given(data=st.data())
+    @pytest.mark.slow
     def test_random_formulas_round_trip(self, data):
         from repro.fol import (
             And, Atom, Eq, Exists, Forall, Iff, Implies, Not, Or,

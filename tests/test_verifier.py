@@ -142,7 +142,15 @@ class TestVerifyLTLFO:
         prop = LTLFOSentence((), G(Not(Atom("ERROR", ()))))
         with pytest.raises(VerificationBudgetExceeded):
             verify_ltlfo(core, prop, databases=[core_db],
-                         sigmas=alice_sigma, max_snapshots=10)
+                         sigmas=alice_sigma, max_snapshots=10, strict=True)
+
+    def test_budget_degrades_without_strict(self, core, core_db, alice_sigma):
+        prop = LTLFOSentence((), G(Not(Atom("ERROR", ()))))
+        result = verify_ltlfo(core, prop, databases=[core_db],
+                              sigmas=alice_sigma, max_snapshots=10)
+        assert result.inconclusive
+        assert result.stats["interrupted_by"] == "max_snapshots"
+        assert result.coverage
 
     def test_default_domain_size(self, toy_service):
         prop = LTLFOSentence(("x", "y"), G(Not(Atom("chosen", (Var("x"),)))))
@@ -282,6 +290,7 @@ class TestBranching:
         result = verify_fully_propositional(prop_service, AG(CNot(CAtom("UPP"))))
         assert not result.holds
 
+    @pytest.mark.slow
     def test_ctl_star_property(self, prop_service):
         # on all paths: buying infinitely often implies visiting COP
         f = E(PAnd(PF(CAtom("CC")), PF(CAtom("COP"))))
