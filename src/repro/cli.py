@@ -15,6 +15,7 @@ properties are written in the temporal text syntaxes of
     python -m repro verify spec.json --ltl 'G !ERROR' --timeout-s 2 \
         --checkpoint ck.json          # bounded run, resumable
     python -m repro verify spec.json --ltl 'G !ERROR' --resume ck.json
+    python -m repro verify spec.json --ltl 'G !ERROR' --workers 4
     python -m repro simulate spec.json --db catalog.json --steps 12 --seed 7
 
 Exit codes: 0 property holds, 1 property violated, 2 usage error,
@@ -43,6 +44,7 @@ from repro.service.classify import classify
 from repro.service.runs import RunContext, random_run
 from repro.verifier import (
     Budget,
+    CheckpointMismatchError,
     UndecidableInstanceError,
     VerificationBudgetExceeded,
     decidability_report,
@@ -139,6 +141,10 @@ def _cmd_verify(args) -> int:
         options["resume"] = checkpoint
         if args.domain_size is None and checkpoint.domain_size is not None:
             options["domain_size"] = checkpoint.domain_size
+        if args.workers is None and checkpoint.workers is not None:
+            options["workers"] = checkpoint.workers
+    if args.workers is not None:
+        options["workers"] = args.workers
 
     try:
         if args.error_free:
@@ -183,6 +189,15 @@ def _cmd_verify(args) -> int:
                 print(decidability_report(service, prop))
                 print()
             result = verify(service, prop, force=args.force, **options)
+    except CheckpointMismatchError as exc:
+        print(f"error: cannot resume from {args.resume}: {exc}",
+              file=sys.stderr)
+        print(
+            "hint: rerun with the original parameters, or start a fresh "
+            "run without --resume",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     except UndecidableInstanceError as exc:
         print(str(exc), file=sys.stderr)
         print(
@@ -261,6 +276,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="cap on candidate databases examined")
     ver.add_argument("--timeout-s", type=float,
                      help="wall-clock deadline in seconds")
+    ver.add_argument("--workers", type=int,
+                     help="worker processes for the (database, sigma) "
+                          "enumeration (default: $REPRO_WORKERS or 1); "
+                          "verdicts are deterministic regardless of N")
     ver.add_argument("--strict", action="store_true",
                      help="raise on a blown budget (exit 4) instead of "
                           "returning INCONCLUSIVE (exit 5)")

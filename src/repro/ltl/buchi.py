@@ -159,9 +159,31 @@ def _covers(
     return list(results.values())
 
 
-def ltl_to_buchi(formula: LTLFormula) -> BuchiAutomaton:
+def ltl_to_buchi(
+    formula: LTLFormula,
+    cache: "dict[LTLFormula, BuchiAutomaton] | None" = None,
+) -> BuchiAutomaton:
     """Construct a Büchi automaton accepting exactly the models of
-    ``formula`` (over infinite words of atom valuations)."""
+    ``formula`` (over infinite words of atom valuations).
+
+    ``cache`` is an optional memo table keyed by the formula: the
+    verifier passes one per verification call (per worker process under
+    parallel execution) so a sentence compiled for one (database, sigma)
+    pair is reused by every other pair instead of being rebuilt.  The
+    construction is deterministic, so cached and fresh automata are
+    interchangeable.
+    """
+    if cache is not None:
+        hit = cache.get(formula)
+        if hit is not None:
+            return hit
+        ba = _ltl_to_buchi(formula)
+        cache[formula] = ba
+        return ba
+    return _ltl_to_buchi(formula)
+
+
+def _ltl_to_buchi(formula: LTLFormula) -> BuchiAutomaton:
     nnf = ltl_nnf(formula)
     untils = _until_subformulas(nnf)
     k = len(untils)

@@ -186,15 +186,20 @@ def fo_component_holds(
     formula: Formula,
     eval_context,
     gamma: frozenset[str],
+    env: "dict[str, Value] | None" = None,
 ) -> bool:
     """§3 satisfaction of one FO component at one step.
 
     False (not an error) when the component mentions an input constant
     outside ``gamma``; otherwise plain evaluation in the given context.
+    ``env`` supplies values for free variables — the verifier passes the
+    universal-closure valuation here instead of substituting it into the
+    formula, so one compiled (symbolic) Büchi automaton serves every
+    valuation.
     """
     if not input_constants_of(formula) <= gamma:
         return False
-    return evaluate(formula, eval_context)
+    return evaluate(formula, eval_context, env)
 
 
 def run_satisfies(

@@ -12,6 +12,11 @@
 - :mod:`repro.verifier.statics` — the front door :func:`verify`, which
   classifies the (service, property) pair against the paper's
   decidability map and dispatches or refuses with the relevant theorem;
+- :mod:`repro.verifier.parallel` — the work-unit execution layer: one
+  (database, sigma) pair per unit, run in-process or on a
+  ``ProcessPoolExecutor`` (``workers=N``) with deterministic verdicts,
+  early cancellation on the first confirmed counterexample, and merged
+  frontier checkpoints;
 - :mod:`repro.verifier.budget` — the resource governor: snapshot,
   database, valuation and Kripke-state caps plus a wall-clock deadline,
   graceful degradation to ``Verdict.INCONCLUSIVE``, and resumable
@@ -25,13 +30,20 @@ from repro.verifier.results import (
     UndecidableInstanceError,
     VerificationBudgetExceeded,
 )
-from repro.verifier.budget import Budget, Checkpoint, coverage_summary
+from repro.verifier.budget import (
+    Budget,
+    Checkpoint,
+    CheckpointMismatchError,
+    coverage_summary,
+)
 from repro.verifier.linear import (
     verify_ltlfo,
     default_domain_size,
     enumerate_sigmas,
     explore_configuration_graph,
+    fresh_value_pool,
 )
+from repro.verifier.parallel import resolve_workers
 from repro.verifier.errors import (
     verify_error_free,
     error_page_reachable,
@@ -52,11 +64,14 @@ __all__ = [
     "VerificationBudgetExceeded",
     "Budget",
     "Checkpoint",
+    "CheckpointMismatchError",
     "coverage_summary",
+    "resolve_workers",
     "verify_ltlfo",
     "default_domain_size",
     "enumerate_sigmas",
     "explore_configuration_graph",
+    "fresh_value_pool",
     "verify_error_free",
     "error_page_reachable",
     "errorfree_reduction",

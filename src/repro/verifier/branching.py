@@ -42,7 +42,20 @@ from repro.service.runs import (
 )
 from repro.service.webservice import WebService
 from repro.verifier.budget import Budget, Checkpoint, degrade
-from repro.verifier.linear import _candidate_databases
+from repro.verifier.linear import _candidate_databases, fresh_value_pool
+from repro.verifier.parallel import (
+    CLEAN,
+    VIOLATED,
+    TaskSpec,
+    UnitOutcome,
+    UnitStream,
+    WorkUnit,
+    frontier_checkpoint,
+    merge_unit_stats,
+    resolve_workers,
+    run_units,
+    unit_checker,
+)
 from repro.verifier.results import (
     UndecidableInstanceError,
     Verdict,
@@ -88,7 +101,10 @@ def build_snapshot_kripke(
         return ctx
 
     n_constants = len(service.schema.input_constants)
-    fresh = [f"$new{i}" for i in range(n_constants)]
+    # Fresh values must be disjoint from the database domain: a domain
+    # value colliding with a fresh name would both duplicate candidate
+    # assignments and stop the "fresh" value being outside the database.
+    fresh, _prefix = fresh_value_pool(database, n_constants)
     candidates = sorted(database.domain, key=repr) + fresh
 
     def constant_assignments(
@@ -224,6 +240,26 @@ def _labels(service: WebService, node: KripkeState) -> frozenset:
     return frozenset(out)
 
 
+@unit_checker("verify_ctl")
+def _check_ctl_unit(
+    spec: TaskSpec, unit: WorkUnit, gov: Budget, cache: dict
+) -> UnitOutcome:
+    """Build and model check the Kripke structure of one database."""
+    formula: StateFormula = spec.payload["formula"]
+    kripke = build_snapshot_kripke(spec.service, unit.database, budget=gov)
+    stats: dict = {"kripke_states": kripke.n_states}
+    sat = satisfying_states(kripke, formula)
+    bad = [s for s in kripke.initial if s not in sat]
+    if bad:
+        return UnitOutcome(
+            unit.db_index, unit.sigma_index, VIOLATED,
+            stats=stats,
+            detail={"violating_initial_states": len(bad),
+                    "database": unit.database},
+        )
+    return UnitOutcome(unit.db_index, unit.sigma_index, CLEAN, stats=stats)
+
+
 def verify_ctl(
     service: WebService,
     formula: StateFormula,
@@ -235,13 +271,16 @@ def verify_ctl(
     timeout_s: float | None = None,
     strict: bool = False,
     resume: Checkpoint | None = None,
+    workers: int | None = None,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for propositional input-bounded services
     (Theorem 4.4; Corollary 4.5 is the fixed-parameter special case).
 
     A blown budget returns ``Verdict.INCONCLUSIVE`` with a resumable
     database cursor unless ``strict=True`` (see
-    :mod:`repro.verifier.budget`).
+    :mod:`repro.verifier.budget`).  Each database is one work unit;
+    ``workers`` fans them out to a process pool with deterministic
+    verdicts (see :mod:`repro.verifier.parallel`).
     """
     if check_restrictions:
         report = classify(service)
@@ -251,6 +290,7 @@ def verify_ctl(
                 "Theorem 4.2 (input-bounded CTL-FO is undecidable in general)",
             )
 
+    n_workers = resolve_workers(workers)
     gov = Budget.ensure(
         budget, max_states=max_states, timeout_s=timeout_s, strict=strict
     )
@@ -258,6 +298,11 @@ def verify_ctl(
         service, None, databases, domain_size, up_to_iso=True,
         on_step=gov.check_deadline,
     )
+    iso_used = True if databases is None else None
+    if resume is not None:
+        resume.ensure_compatible(
+            domain_size=used_size, up_to_iso=iso_used, workers=n_workers
+        )
     total_dbs = len(dbs) if isinstance(dbs, list) else None
     fragment = "CTL" if is_ctl(formula) else "CTL*"
     method = f"propositional {fragment} (Theorem 4.4)"
@@ -267,41 +312,47 @@ def verify_ctl(
         "kripke_states": 0,
         "formula_size": ctl_size(formula),
         "domain_size": used_size,
+        "workers": n_workers,
     }
-    skip_db = resume.db_index if resume is not None else 0
-    cursor_db = skip_db
-    try:
-        for db_index, db in enumerate(dbs):
-            if db_index < skip_db:
-                stats["databases_skipped"] += 1
-                continue
-            cursor_db = db_index
-            gov.charge_database()
-            stats["databases_checked"] += 1
-            kripke = build_snapshot_kripke(service, db, budget=gov)
-            stats["kripke_states"] = max(stats["kripke_states"], kripke.n_states)
-            sat = satisfying_states(kripke, formula)
-            bad = [s for s in kripke.initial if s not in sat]
-            if bad:
-                return VerificationResult(
-                    verdict=Verdict.VIOLATED,
-                    property_name=str(formula),
-                    method=method,
-                    counterexample_database=db,
-                    stats={**stats, "violating_initial_states": len(bad)},
-                )
-    except VerificationBudgetExceeded as exc:
+
+    spec = TaskSpec(
+        procedure="verify_ctl",
+        service=service,
+        payload={"formula": formula},
+        unit_limits={"max_states": gov.max_states},
+    )
+    stream = UnitStream(dbs, gov, stats, resume=resume)
+    outcome = run_units(spec, stream, gov, n_workers)
+    merge_unit_stats(stats, outcome.unit_stats)
+
+    if outcome.violation is not None:
+        detail = outcome.violation.detail
+        stats["counterexample_db_index"] = outcome.violation.db_index
+        return VerificationResult(
+            verdict=Verdict.VIOLATED,
+            property_name=str(formula),
+            method=method,
+            counterexample_database=detail["database"],
+            stats={
+                **stats,
+                "violating_initial_states": detail["violating_initial_states"],
+            },
+        )
+    if outcome.interrupted is not None:
         return degrade(
-            exc,
+            outcome.interrupted,
             budget=gov,
             property_name=str(formula),
             method=method,
             stats=stats,
-            checkpoint=Checkpoint(
+            checkpoint=frontier_checkpoint(
+                outcome,
                 procedure="verify_ctl",
                 property_name=str(formula),
-                db_index=cursor_db,
                 domain_size=used_size,
+                up_to_iso=iso_used,
+                workers=n_workers,
+                resume=resume,
             ),
             phase="Kripke construction / model checking",
             total_databases=total_dbs,
@@ -322,6 +373,7 @@ def verify_fully_propositional(
     budget: Budget | None = None,
     timeout_s: float | None = None,
     strict: bool = False,
+    workers: int | None = None,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for fully propositional services (Theorem 4.6).
 
@@ -330,7 +382,9 @@ def verify_fully_propositional(
     algorithm avoids even that via on-the-fly search — reachable-only
     construction is the practical middle ground).  There is no
     enumeration cursor to resume: a blown budget yields INCONCLUSIVE
-    with partial stats but no checkpoint.
+    with partial stats but no checkpoint.  ``workers`` is accepted for
+    API symmetry — the single structure is one work unit, so it buys no
+    parallelism here.
     """
     if check_restrictions:
         report = classify(service)
@@ -339,28 +393,51 @@ def verify_fully_propositional(
                 report.why_not(ServiceClass.FULLY_PROPOSITIONAL),
                 "Theorem 4.6 requires a fully propositional service",
             )
+    n_workers = resolve_workers(workers)
     gov = Budget.ensure(
         budget, max_states=max_states, timeout_s=timeout_s, strict=strict
     )
     fragment = "CTL" if is_ctl(formula) else "CTL*"
     method = f"fully propositional {fragment} (Theorem 4.6)"
     empty_db = Database(service.schema.database)
-    try:
-        kripke = build_snapshot_kripke(service, empty_db, budget=gov)
-    except VerificationBudgetExceeded as exc:
+    stats: dict = {
+        "databases_checked": 0,
+        "databases_skipped": 0,
+        "kripke_states": 0,
+        "formula_size": ctl_size(formula),
+        "workers": n_workers,
+    }
+    spec = TaskSpec(
+        procedure="verify_ctl",
+        service=service,
+        payload={"formula": formula},
+        unit_limits={"max_states": gov.max_states},
+    )
+    stream = UnitStream([empty_db], gov, stats)
+    outcome = run_units(spec, stream, gov, n_workers)
+    merge_unit_stats(stats, outcome.unit_stats)
+    if outcome.interrupted is not None:
         return degrade(
-            exc,
+            outcome.interrupted,
             budget=gov,
             property_name=str(formula),
             method=method,
-            stats={"formula_size": ctl_size(formula)},
+            stats=stats,
             phase="Kripke construction",
         )
-    sat = satisfying_states(kripke, formula)
-    ok = kripke.initial <= sat
+    if outcome.violation is not None:
+        stats["violating_initial_states"] = (
+            outcome.violation.detail["violating_initial_states"]
+        )
+        return VerificationResult(
+            verdict=Verdict.VIOLATED,
+            property_name=str(formula),
+            method=method,
+            stats=stats,
+        )
     return VerificationResult(
-        verdict=Verdict.HOLDS if ok else Verdict.VIOLATED,
+        verdict=Verdict.HOLDS,
         property_name=str(formula),
         method=method,
-        stats={"kripke_states": kripke.n_states, "formula_size": ctl_size(formula)},
+        stats=stats,
     )

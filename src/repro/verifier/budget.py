@@ -38,7 +38,24 @@ from repro.verifier.results import (
     VerificationResult,
 )
 
-__all__ = ["Budget", "Checkpoint", "coverage_summary"]
+__all__ = [
+    "Budget",
+    "Checkpoint",
+    "CheckpointMismatchError",
+    "coverage_summary",
+]
+
+
+class CheckpointMismatchError(ValueError):
+    """A checkpoint was produced under different enumeration parameters.
+
+    The database/sigma cursors in a :class:`Checkpoint` identify
+    positions in a *specific* deterministic enumeration; resuming with a
+    different ``domain_size``/``up_to_iso``/``workers`` would silently
+    skip a prefix of a *different* enumeration, leaving part of the
+    search space unverified.  The entry points therefore refuse the
+    resume instead (mirroring the CLI's procedure/property refusal).
+    """
 
 
 @dataclass
@@ -53,6 +70,17 @@ class Checkpoint:
     Resuming re-verifies that pair from scratch and continues — the
     union of the interrupted prefix and the resumed suffix covers the
     same space as one unbounded run.
+
+    Under parallel execution units complete out of order, so the cursor
+    alone is not the whole story: ``extra["completed_units"]`` lists the
+    ``[db_index, sigma_index]`` cursors *beyond* the cursor that had
+    already completed when the run was interrupted (the complement of
+    the frontier).  Resuming skips those as well.
+
+    ``domain_size``, ``up_to_iso`` and ``workers`` record the
+    enumeration parameters of the producing run; the cursors are only
+    meaningful under the same parameters, and
+    :meth:`ensure_compatible` refuses a resume that changes them.
     """
 
     procedure: str
@@ -60,6 +88,8 @@ class Checkpoint:
     db_index: int = 0
     sigma_index: int = 0
     domain_size: int | None = None
+    up_to_iso: bool | None = None
+    workers: int | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -69,6 +99,8 @@ class Checkpoint:
             "db_index": self.db_index,
             "sigma_index": self.sigma_index,
             "domain_size": self.domain_size,
+            "up_to_iso": self.up_to_iso,
+            "workers": self.workers,
             "extra": dict(self.extra),
         }
 
@@ -80,8 +112,46 @@ class Checkpoint:
             db_index=int(data.get("db_index", 0)),
             sigma_index=int(data.get("sigma_index", 0)),
             domain_size=data.get("domain_size"),
+            up_to_iso=data.get("up_to_iso"),
+            workers=data.get("workers"),
             extra=dict(data.get("extra", {})),
         )
+
+    def completed_units(self) -> frozenset[tuple[int, int]]:
+        """Cursors beyond (db_index, sigma_index) already fully checked."""
+        return frozenset(
+            (int(db), int(sig))
+            for db, sig in self.extra.get("completed_units", ())
+        )
+
+    def ensure_compatible(
+        self,
+        *,
+        domain_size: int | None = None,
+        up_to_iso: bool | None = None,
+        workers: int | None = None,
+    ) -> None:
+        """Refuse a resume whose enumeration parameters changed.
+
+        A parameter recorded as ``None`` in the checkpoint (pre-existing
+        checkpoints, or an explicit-database run with no derived domain)
+        is not checked — there is nothing to compare against.
+        """
+        mismatches = []
+        for name, was, now in (
+            ("domain_size", self.domain_size, domain_size),
+            ("up_to_iso", self.up_to_iso, up_to_iso),
+            ("workers", self.workers, workers),
+        ):
+            if was is not None and now is not None and was != now:
+                mismatches.append(f"{name} was {was!r}, now {now!r}")
+        if mismatches:
+            raise CheckpointMismatchError(
+                "checkpoint is incompatible with this run — its cursors "
+                "index a different enumeration ("
+                + "; ".join(mismatches)
+                + "); rerun with the checkpoint's parameters or start fresh"
+            )
 
 
 class Budget:
@@ -230,6 +300,31 @@ class Budget:
             raise VerificationBudgetExceeded(
                 f"Kripke structure exceeds {self.max_states} states",
                 limit="max_states",
+            )
+        self.check_deadline()
+
+    def remaining_time(self) -> float | None:
+        """Seconds left on the armed deadline; None when no deadline."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
+
+    def absorb(self, unit_stats: Mapping[str, Any]) -> None:
+        """Fold one completed work unit's counters into this governor.
+
+        Used by the parallel backend: workers charge their own local
+        budgets while running, and the parent governor absorbs the
+        totals as units complete so the *global* caps (``max_valuations``
+        and the deadline) keep their meaning across workers.  The
+        per-pair/per-structure caps are enforced worker-side and are not
+        re-checked here.
+        """
+        self.valuations += int(unit_stats.get("valuations_checked", 0))
+        self.snapshots_total += int(unit_stats.get("snapshots_explored", 0))
+        if self.max_valuations is not None and self.valuations > self.max_valuations:
+            raise VerificationBudgetExceeded(
+                f"more than {self.max_valuations} valuations checked",
+                limit="max_valuations",
             )
         self.check_deadline()
 

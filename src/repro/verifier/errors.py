@@ -44,6 +44,19 @@ from repro.verifier.linear import (
     enumerate_sigmas,
     verify_ltlfo,
 )
+from repro.verifier.parallel import (
+    CLEAN,
+    VIOLATED,
+    TaskSpec,
+    UnitOutcome,
+    UnitStream,
+    WorkUnit,
+    frontier_checkpoint,
+    merge_unit_stats,
+    resolve_workers,
+    run_units,
+    unit_checker,
+)
 from repro.verifier.results import (
     Verdict,
     VerificationBudgetExceeded,
@@ -99,6 +112,24 @@ def error_page_reachable(
     return None
 
 
+@unit_checker("verify_error_free")
+def _check_errorfree_unit(
+    spec: TaskSpec, unit: WorkUnit, gov: Budget, cache: dict
+) -> UnitOutcome:
+    """Error-page BFS over one (database, sigma) pair."""
+    snap_base = gov.snapshots_total
+    ctx = RunContext(spec.service, unit.database, sigma=unit.sigma or {})
+    stats: dict = {"sigmas_checked": 1, "snapshots_explored": 0}
+    trace = error_page_reachable(ctx, budget=gov)
+    stats["snapshots_explored"] = gov.snapshots_total - snap_base
+    if trace is not None:
+        return UnitOutcome(
+            unit.db_index, unit.sigma_index, VIOLATED,
+            stats=stats, detail={"run": trace},
+        )
+    return UnitOutcome(unit.db_index, unit.sigma_index, CLEAN, stats=stats)
+
+
 def verify_error_free(
     service: WebService,
     databases: Iterable[Database] | None = None,
@@ -110,6 +141,7 @@ def verify_error_free(
     timeout_s: float | None = None,
     strict: bool = False,
     resume: Checkpoint | None = None,
+    workers: int | None = None,
 ) -> VerificationResult:
     """Decide error-freeness over the small-model database space.
 
@@ -117,6 +149,8 @@ def verify_error_free(
     (session scoping, Remark 3.6); the default enumerates generically.
     A blown budget returns ``Verdict.INCONCLUSIVE`` with a resumable
     checkpoint unless ``strict=True`` (see :mod:`repro.verifier.budget`).
+    ``workers`` fans the (database, sigma) pairs out to a process pool
+    with deterministic verdicts (see :mod:`repro.verifier.parallel`).
     """
     property_name = f"error-free({service.name})"
     if method == "reduction":
@@ -133,6 +167,7 @@ def verify_error_free(
             timeout_s=timeout_s,
             strict=strict,
             resume=resume,
+            workers=workers,
         )
         result.method = "error-freeness via Lemma A.5 reduction + Theorem 3.5"
         result.property_name = property_name
@@ -144,6 +179,7 @@ def verify_error_free(
     if method != "direct":
         raise ValueError(f"unknown method {method!r}; use 'direct' or 'reduction'")
 
+    n_workers = resolve_workers(workers)
     gov = Budget.ensure(
         budget, max_snapshots=max_snapshots, timeout_s=timeout_s, strict=strict
     )
@@ -151,6 +187,11 @@ def verify_error_free(
         service, None, databases, domain_size, up_to_iso=True,
         on_step=gov.check_deadline,
     )
+    iso_used = True if databases is None else None
+    if resume is not None:
+        resume.ensure_compatible(
+            domain_size=used_size, up_to_iso=iso_used, workers=n_workers
+        )
     total_dbs = len(dbs) if isinstance(dbs, list) else None
     stats: dict = {
         "databases_checked": 0,
@@ -158,61 +199,60 @@ def verify_error_free(
         "sigmas_checked": 0,
         "snapshots_explored": 0,
         "domain_size": used_size,
+        "workers": n_workers,
     }
+
+    if sigmas is not None:
+        sigma_list = [dict(s) for s in sigmas]
+        sigma_fn = lambda db: sigma_list  # noqa: E731
+    else:
+        sigma_fn = lambda db: enumerate_sigmas(service, db)  # noqa: E731
+
+    spec = TaskSpec(
+        procedure="verify_error_free",
+        service=service,
+        payload={},
+        unit_limits={"max_snapshots": gov.max_snapshots},
+    )
     snap_base = gov.snapshots_total
-    skip_db = resume.db_index if resume is not None else 0
-    skip_sigma = resume.sigma_index if resume is not None else 0
-    cursor_db, cursor_sigma = skip_db, skip_sigma
-    try:
-        for db_index, db in enumerate(dbs):
-            if db_index < skip_db:
-                stats["databases_skipped"] += 1
-                continue
-            cursor_db, cursor_sigma = db_index, 0
-            gov.charge_database()
-            stats["databases_checked"] += 1
-            sigma_pool = (
-                [dict(s) for s in sigmas]
-                if sigmas is not None
-                else enumerate_sigmas(service, db)
-            )
-            for sigma_index, sigma in enumerate(sigma_pool):
-                if db_index == skip_db and sigma_index < skip_sigma:
-                    continue
-                cursor_sigma = sigma_index
-                stats["sigmas_checked"] += 1
-                ctx = RunContext(service, db, sigma=sigma)
-                trace = error_page_reachable(ctx, budget=gov)
-                if trace is not None:
-                    stats["snapshots_explored"] = gov.snapshots_total - snap_base
-                    return VerificationResult(
-                        verdict=Verdict.VIOLATED,
-                        property_name=property_name,
-                        method="error-page reachability (direct)",
-                        counterexample=trace,
-                        counterexample_database=db,
-                        stats=stats,
-                    )
-    except VerificationBudgetExceeded as exc:
-        stats["snapshots_explored"] = gov.snapshots_total - snap_base
+    stream = UnitStream(dbs, gov, stats, sigma_fn=sigma_fn, resume=resume)
+    outcome = run_units(spec, stream, gov, n_workers)
+    merge_unit_stats(stats, outcome.unit_stats)
+
+    if outcome.violation is not None:
+        trace: Run = outcome.violation.detail["run"]
+        stats["counterexample_db_index"] = outcome.violation.db_index
+        stats["counterexample_sigma_index"] = outcome.violation.sigma_index
+        return VerificationResult(
+            verdict=Verdict.VIOLATED,
+            property_name=property_name,
+            method="error-page reachability (direct)",
+            counterexample=trace,
+            counterexample_database=trace.database,
+            stats=stats,
+        )
+    if outcome.interrupted is not None:
+        if n_workers == 1:
+            stats["snapshots_explored"] = gov.snapshots_total - snap_base
         return degrade(
-            exc,
+            outcome.interrupted,
             budget=gov,
             property_name=property_name,
             method="error-page reachability (direct)",
             stats=stats,
-            checkpoint=Checkpoint(
+            checkpoint=frontier_checkpoint(
+                outcome,
                 procedure="verify_error_free",
                 property_name=property_name,
-                db_index=cursor_db,
-                sigma_index=cursor_sigma,
                 domain_size=used_size,
+                up_to_iso=iso_used,
+                workers=n_workers,
+                resume=resume,
                 extra={"method": "direct"},
             ),
             phase="error-page reachability",
             total_databases=total_dbs,
         )
-    stats["snapshots_explored"] = gov.snapshots_total - snap_base
     return VerificationResult(
         verdict=Verdict.HOLDS,
         property_name=property_name,

@@ -13,9 +13,18 @@ authors' later WAVE verifier also used:
    elements (up to isomorphism fixing the constants);
 2. enumerate interpretations of the input constants over that domain
    plus fresh values (users may type values not in the database);
-3. for each valuation of the universal closure, compile the negated
-   property to a Büchi automaton and search the (finite) configuration
-   graph for an accepting lasso.
+3. for each valuation of the universal closure, search the (finite)
+   configuration graph for a lasso accepted by the Büchi automaton of
+   the negated property.
+
+The automaton is compiled **once per verification call** from the
+symbolic (ungrounded) skeleton — valuations are supplied to the FO
+payload evaluation as an environment instead of being substituted into
+the formula, so no (database, sigma, valuation) triple ever recompiles
+it.  Each (database, sigma) pair is an independent
+:class:`~repro.verifier.parallel.WorkUnit`; ``workers=N`` fans the pairs
+out to a process pool with deterministic (lowest-cursor) counterexample
+selection — see :mod:`repro.verifier.parallel`.
 
 A lasso found is a genuine counterexample (it is re-checked against the
 reference lasso semantics before being reported).  "HOLDS" means no
@@ -27,6 +36,7 @@ larger bounds trade time for extra assurance.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import Callable, Hashable, Iterable, Iterator, Mapping
 
 from repro.fol.evaluation import EvalContext
@@ -49,6 +59,19 @@ from repro.service.runs import (
 )
 from repro.service.webservice import WebService
 from repro.verifier.budget import Budget, Checkpoint, degrade
+from repro.verifier.parallel import (
+    CLEAN,
+    VIOLATED,
+    TaskSpec,
+    UnitOutcome,
+    UnitStream,
+    WorkUnit,
+    frontier_checkpoint,
+    merge_unit_stats,
+    resolve_workers,
+    run_units,
+    unit_checker,
+)
 from repro.verifier.results import (
     UndecidableInstanceError,
     Verdict,
@@ -82,6 +105,24 @@ def default_domain_size(
     return max(1, min(cap, n_consts + n_vars + 1))
 
 
+def fresh_value_pool(
+    database: Database, count: int, prefix: str = "$new"
+) -> tuple[list[str], str]:
+    """``count`` fresh values guaranteed disjoint from the database domain.
+
+    The fresh values stand for user-typed inputs outside the database;
+    they are recognised later by string prefix, so the prefix must not
+    collide with any genuine domain value (a domain value that *starts
+    with* the prefix would be misclassified as fresh, collapsing
+    distinct sigmas).  Underscores are appended until the prefix is
+    disjoint from every string in the domain.
+    """
+    taken = {v for v in database.domain if isinstance(v, str)}
+    while any(v.startswith(prefix) for v in taken):
+        prefix += "_"
+    return [f"{prefix}{i}" for i in range(count)], prefix
+
+
 def enumerate_sigmas(
     service: WebService,
     database: Database,
@@ -98,7 +139,8 @@ def enumerate_sigmas(
         yield {}
         return
     base = sorted(database.domain, key=repr)
-    fresh = [f"{fresh_prefix}{i}" for i in range(len(constants))]
+    fresh, _prefix = fresh_value_pool(database, len(constants), fresh_prefix)
+    fresh_set = frozenset(fresh)
     candidate_lists = [base + fresh[: i + 1] for i in range(len(constants))]
     seen: set[tuple] = set()
     for combo in itertools.product(*candidate_lists):
@@ -107,8 +149,8 @@ def enumerate_sigmas(
         norm: dict[Value, str] = {}
         key = []
         for v in combo:
-            if isinstance(v, str) and v.startswith(fresh_prefix):
-                norm.setdefault(v, f"{fresh_prefix}{len(norm)}")
+            if v in fresh_set:
+                norm.setdefault(v, fresh[len(norm)])
                 key.append(norm[v])
             else:
                 key.append(v)
@@ -124,18 +166,24 @@ def explore_configuration_graph(
     max_snapshots: int = DEFAULT_SNAPSHOT_BUDGET,
     budget: Budget | None = None,
 ) -> tuple[list[Snapshot], dict[Snapshot, list[Snapshot]]]:
-    """BFS the reachable snapshot graph of one (database, sigma) pair."""
+    """BFS the reachable snapshot graph of one (database, sigma) pair.
+
+    The returned ``order`` is genuine breadth-first (level) order, so
+    the first snapshot satisfying a predicate is one of minimal
+    distance from the initial snapshots — counterexample traces built
+    from it are shortest.
+    """
     gov = Budget.ensure(budget, max_snapshots=max_snapshots)
     gov.begin_pair()
     edges: dict[Snapshot, list[Snapshot]] = {}
     order: list[Snapshot] = []
-    frontier = list(initial_snapshots(ctx))
+    frontier = deque(initial_snapshots(ctx))
     seen = set(frontier)
     order.extend(frontier)
     gov.charge_snapshot(len(frontier))
     try:
         while frontier:
-            snap = frontier.pop()
+            snap = frontier.popleft()
             nexts = successors(ctx, snap)
             edges[snap] = nexts
             for nxt in nexts:
@@ -151,7 +199,12 @@ def explore_configuration_graph(
 
 
 class _SnapshotLabeller:
-    """Evaluate FO components on snapshots, with per-snapshot context cache."""
+    """Evaluate FO components on snapshots, with per-snapshot context cache.
+
+    ``env`` carries the universal-closure valuation: payloads stay
+    symbolic (one compiled automaton per call) and are evaluated under
+    the environment instead of being grounded by substitution.
+    """
 
     def __init__(self, ctx: RunContext, extra_domain: frozenset) -> None:
         self.ctx = ctx
@@ -170,9 +223,11 @@ class _SnapshotLabeller:
             self._cache[snap] = entry
         return entry
 
-    def __call__(self, snap: Snapshot, payload) -> bool:
+    def __call__(
+        self, snap: Snapshot, payload, env: Mapping[str, Value] | None = None
+    ) -> bool:
         ectx, gamma = self._context(snap)
-        return fo_component_holds(payload, ectx, gamma)
+        return fo_component_holds(payload, ectx, gamma, dict(env) if env else None)
 
 
 def _candidate_databases(
@@ -203,6 +258,73 @@ def _candidate_databases(
     return dbs, size
 
 
+@unit_checker("verify_ltlfo")
+def _check_ltlfo_unit(
+    spec: TaskSpec, unit: WorkUnit, gov: Budget, cache: dict
+) -> UnitOutcome:
+    """Lasso search over one (database, sigma) pair — the Theorem 3.5 unit."""
+    service: WebService = spec.service
+    sentence: LTLFOSentence = spec.payload["sentence"]
+    literals: frozenset = spec.payload["literals"]
+    ba = spec.payload.get("automaton")
+    if ba is None:  # pragma: no cover - spec always precompiles today
+        ba = ltl_to_buchi(LNot(sentence.skeleton), cache=cache)
+    db, sigma = unit.database, unit.sigma or {}
+
+    gov.begin_pair()
+    stats: dict = {
+        "sigmas_checked": 1,
+        "valuations_checked": 0,
+        "snapshots_explored": 0,
+        "buchi_states": ba.n_states,
+    }
+    ctx = RunContext(service, db, sigma=sigma, extra_domain=literals)
+    labeller = _SnapshotLabeller(ctx, literals)
+
+    succ_cache: dict[Snapshot, list[Snapshot]] = {}
+    explored = 0
+
+    def succ(snap: Snapshot) -> list[Snapshot]:
+        nonlocal explored
+        out = succ_cache.get(snap)
+        if out is None:
+            out = successors(ctx, snap)
+            succ_cache[snap] = out
+            explored += 1
+            gov.charge_snapshot()
+        return out
+
+    starts = initial_snapshots(ctx)
+    valuation_domain = sorted(
+        set(db.domain) | set(sigma.values()) | set(ctx.extra_domain),
+        key=repr,
+    )
+    names = sentence.variables
+    for combo in itertools.product(valuation_domain, repeat=len(names)):
+        gov.charge_valuation()
+        stats["valuations_checked"] += 1
+        valuation = dict(zip(names, combo))
+
+        def label(snap: Snapshot, payload, _env=valuation) -> bool:
+            return labeller(snap, payload, _env)
+
+        lasso = find_accepting_lasso(ba, starts, succ, label)
+        if lasso is not None:
+            run = Run(db, dict(sigma), list(lasso.states), lasso.loop_index)
+            stats["snapshots_explored"] = explored
+            detail: dict = {"run": run}
+            if spec.payload.get("confirm", True):
+                detail["confirmed"] = not _violation_confirmed_holds(
+                    sentence, run, service, ctx, valuation
+                )
+            return UnitOutcome(
+                unit.db_index, unit.sigma_index, VIOLATED,
+                stats=stats, detail=detail,
+            )
+    stats["snapshots_explored"] = explored
+    return UnitOutcome(unit.db_index, unit.sigma_index, CLEAN, stats=stats)
+
+
 def verify_ltlfo(
     service: WebService,
     sentence: LTLFOSentence,
@@ -218,6 +340,7 @@ def verify_ltlfo(
     timeout_s: float | None = None,
     strict: bool = False,
     resume: Checkpoint | None = None,
+    workers: int | None = None,
 ) -> VerificationResult:
     """Decide ``service ⊨ sentence`` for input-bounded instances.
 
@@ -253,11 +376,20 @@ def verify_ltlfo(
     resume:
         A :class:`Checkpoint` from an earlier interrupted call with the
         same enumeration parameters; databases/sigmas before its cursor
-        are skipped as already verified.
+        (and out-of-order completions it records) are skipped as already
+        verified.  Mismatched ``domain_size``/``up_to_iso``/``workers``
+        are refused with :class:`CheckpointMismatchError`.
+    workers:
+        Fan the (database, sigma) pairs out to ``N`` worker processes
+        (default: the ``REPRO_WORKERS`` environment variable, else
+        sequential).  Verdicts and counterexamples are deterministic
+        regardless of ``N`` — the lowest-cursor violation is reported,
+        not the first to finish.
     """
     if check_restrictions:
         _require_input_bounded(service, sentence)
 
+    n_workers = resolve_workers(workers)
     gov = Budget.ensure(
         budget, max_snapshots=max_snapshots, timeout_s=timeout_s, strict=strict
     )
@@ -265,121 +397,102 @@ def verify_ltlfo(
         service, sentence, databases, domain_size, up_to_iso,
         on_step=gov.check_deadline,
     )
+    iso_used = up_to_iso if databases is None else None
+    if resume is not None:
+        resume.ensure_compatible(
+            domain_size=used_size, up_to_iso=iso_used, workers=n_workers
+        )
     total_dbs = len(dbs) if isinstance(dbs, list) else None
     property_name = sentence.name or str(sentence)
     method = "input-bounded LTL-FO (Theorem 3.5)"
+
+    # One automaton per verification call: the negated *symbolic*
+    # skeleton, with valuations supplied at labelling time.
+    ba = ltl_to_buchi(LNot(sentence.skeleton))
+    sentence_literals = frozenset(sentence.literals())
     stats: dict = {
         "databases_checked": 0,
         "databases_skipped": 0,
         "sigmas_checked": 0,
         "valuations_checked": 0,
         "snapshots_explored": 0,
-        "buchi_states": 0,
+        "buchi_states": ba.n_states,
         "domain_size": used_size,
+        "workers": n_workers,
     }
-    sentence_literals = frozenset(sentence.literals())
+
+    if sigmas is not None:
+        sigma_list = [dict(s) for s in sigmas]
+        sigma_fn = lambda db: sigma_list  # noqa: E731
+    else:
+        sigma_fn = lambda db: enumerate_sigmas(service, db)  # noqa: E731
+
+    spec = TaskSpec(
+        procedure="verify_ltlfo",
+        service=service,
+        payload={
+            "sentence": sentence,
+            "automaton": ba,
+            "literals": sentence_literals,
+            "confirm": confirm_counterexamples,
+        },
+        unit_limits={
+            "max_snapshots": gov.max_snapshots,
+            "max_valuations": gov.max_valuations,
+        },
+    )
     snap_base = gov.snapshots_total
-    skip_db = resume.db_index if resume is not None else 0
-    skip_sigma = resume.sigma_index if resume is not None else 0
-    cursor_db = skip_db
-    cursor_sigma = skip_sigma
-    phase = "database enumeration"
+    stream = UnitStream(
+        dbs, gov, stats, sigma_fn=sigma_fn, resume=resume,
+        on_database=on_database,
+    )
+    outcome = run_units(spec, stream, gov, n_workers)
+    merge_unit_stats(stats, outcome.unit_stats)
 
-    try:
-        for db_index, db in enumerate(dbs):
-            if db_index < skip_db:
-                stats["databases_skipped"] += 1
-                continue
-            cursor_db, cursor_sigma = db_index, 0
-            phase = "database enumeration"
-            gov.charge_database()
-            stats["databases_checked"] += 1
-            if on_database is not None:
-                on_database(db)
-            sigma_pool = (
-                [dict(s) for s in sigmas]
-                if sigmas is not None
-                else enumerate_sigmas(service, db)
-            )
-            for sigma_index, sigma in enumerate(sigma_pool):
-                if db_index == skip_db and sigma_index < skip_sigma:
-                    continue
-                cursor_sigma = sigma_index
-                phase = "lasso search"
-                gov.begin_pair()
-                stats["sigmas_checked"] += 1
-                ctx = RunContext(
-                    service, db, sigma=sigma, extra_domain=sentence_literals
-                )
-                label = _SnapshotLabeller(ctx, sentence_literals)
-
-                succ_cache: dict[Snapshot, list[Snapshot]] = {}
-                explored = 0
-
-                def succ(snap: Snapshot) -> list[Snapshot]:
-                    nonlocal explored
-                    out = succ_cache.get(snap)
-                    if out is None:
-                        out = successors(ctx, snap)
-                        succ_cache[snap] = out
-                        explored += 1
-                        gov.charge_snapshot()
-                    return out
-
-                starts = initial_snapshots(ctx)
-                valuation_domain = sorted(
-                    set(db.domain) | set(sigma.values()) | set(ctx.extra_domain),
-                    key=repr,
-                )
-                names = sentence.variables
-                for combo in itertools.product(
-                    valuation_domain, repeat=len(names)
-                ):
-                    gov.charge_valuation()
-                    stats["valuations_checked"] += 1
-                    valuation = dict(zip(names, combo))
-                    grounded = sentence.instantiate(valuation)
-                    ba = ltl_to_buchi(LNot(grounded))
-                    stats["buchi_states"] = max(stats["buchi_states"], ba.n_states)
-                    lasso = find_accepting_lasso(ba, starts, succ, label)
-                    if lasso is not None:
-                        run = Run(
-                            db, dict(sigma), list(lasso.states), lasso.loop_index
-                        )
-                        stats["snapshots_explored"] += explored
-                        if confirm_counterexamples:
-                            ok = not _violation_confirmed_holds(
-                                sentence, run, service, ctx, valuation
-                            )
-                            stats["counterexample_confirmed"] = ok
-                        return VerificationResult(
-                            verdict=Verdict.VIOLATED,
-                            property_name=property_name,
-                            method=method,
-                            counterexample=run,
-                            counterexample_database=db,
-                            stats=stats,
-                        )
-                stats["snapshots_explored"] += explored
-    except VerificationBudgetExceeded as exc:
-        stats["snapshots_explored"] = gov.snapshots_total - snap_base
+    if outcome.violation is not None:
+        detail = outcome.violation.detail
+        run: Run = detail["run"]
+        stats["counterexample_db_index"] = outcome.violation.db_index
+        stats["counterexample_sigma_index"] = outcome.violation.sigma_index
+        if "confirmed" in detail:
+            stats["counterexample_confirmed"] = detail["confirmed"]
+        return VerificationResult(
+            verdict=Verdict.VIOLATED,
+            property_name=property_name,
+            method=method,
+            counterexample=run,
+            counterexample_database=run.database,
+            stats=stats,
+        )
+    if outcome.interrupted is not None:
+        if n_workers == 1:
+            # Sequential parity: include the interrupted pair's partial
+            # exploration, which the parent governor already charged.
+            stats["snapshots_explored"] = gov.snapshots_total - snap_base
+        exc = outcome.interrupted
+        phase = (
+            "lasso search"
+            if exc.limit in ("max_snapshots", "max_valuations")
+            else "database enumeration"
+        )
         return degrade(
             exc,
             budget=gov,
             property_name=property_name,
             method=method,
             stats=stats,
-            checkpoint=Checkpoint(
+            checkpoint=frontier_checkpoint(
+                outcome,
                 procedure="verify_ltlfo",
                 property_name=property_name,
-                db_index=cursor_db,
-                sigma_index=cursor_sigma,
                 domain_size=used_size,
+                up_to_iso=iso_used,
+                workers=n_workers,
+                resume=resume,
             ),
             phase=phase,
             total_databases=total_dbs,
         )
-
     return VerificationResult(
         verdict=Verdict.HOLDS,
         property_name=property_name,

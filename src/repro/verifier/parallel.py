@@ -1,0 +1,545 @@
+"""Parallel verification: work units over the (database, sigma) enumeration.
+
+Every decision procedure in this package has the same outer shape — a
+deterministic enumeration of candidate databases (and, for the
+linear-time procedures, input-constant interpretations sigma within
+each database) with an *independent* model check per pair.  That
+independence is what the paper's operational strategy (and the WAVE
+verifier after it) exploits, and it makes the enumeration embarrassingly
+parallel: this module turns each (db_index, sigma_index) pair into a
+:class:`WorkUnit` and runs the units either in-process (the classic
+sequential loop) or on a :class:`~concurrent.futures.ProcessPoolExecutor`
+selected with ``workers=N``.
+
+Guarantees, regardless of worker count:
+
+- **Deterministic verdicts.**  A violated property always reports the
+  violation with the *lowest* (db_index, sigma_index) cursor, not the
+  first one a worker happened to finish — so ``workers=1`` and
+  ``workers=8`` return the same verdict, the same counterexample
+  database and the same counterexample cursor.
+- **Early cancellation.**  Once a violation at cursor *c* is confirmed,
+  units beyond *c* are cancelled and no new units are submitted; units
+  below *c* are still awaited (one of them could hold an even lower
+  violation).
+- **Budget integration.**  The parent governor keeps charging the
+  database cap and the wall-clock deadline at submission time; workers
+  enforce the per-pair caps and the remaining deadline locally, and the
+  parent absorbs their counters as units complete so global caps and
+  aggregate stats stay meaningful.
+- **Resumable frontier.**  On interruption the checkpoint records the
+  lowest incomplete cursor plus the out-of-order completions beyond it
+  (``extra["completed_units"]``), so a resume — sequential or parallel —
+  re-runs exactly the incomplete units.
+
+The streaming is lazy end-to-end: databases are pulled from the
+canonical enumeration one at a time and shipped to workers in a bounded
+submission window, never materialized as a list.
+
+Workers are spawned per verification call with the task's specification
+pickled once into each worker (service, property, precompiled Büchi
+automaton, unit budget caps) — the per-unit messages carry only the
+database and sigma.  ``REPRO_WORKERS`` in the environment supplies a
+default worker count for entry points called without ``workers=``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.verifier.budget import Budget, Checkpoint
+from repro.verifier.results import VerificationBudgetExceeded
+
+__all__ = [
+    "WorkUnit",
+    "UnitOutcome",
+    "TaskSpec",
+    "UnitStream",
+    "EnumerationOutcome",
+    "run_units",
+    "unit_checker",
+    "resolve_workers",
+    "frontier_checkpoint",
+    "merge_unit_stats",
+    "CLEAN",
+    "VIOLATED",
+    "BUDGET",
+]
+
+CLEAN = "clean"
+VIOLATED = "violated"
+BUDGET = "budget"
+
+#: Stats keys aggregated by max (structure sizes); everything else sums.
+_MAX_KEYS = frozenset({"buchi_states", "kripke_states"})
+
+
+def resolve_workers(workers: int | None) -> int:
+    """The effective worker count for one verification call.
+
+    ``None`` falls back to the ``REPRO_WORKERS`` environment variable
+    (production deployments set it once instead of threading a parameter
+    through every call site), and finally to 1 — the sequential loop.
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_WORKERS must be an integer, got {raw!r}"
+                ) from None
+    if workers is None:
+        return 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent model check: a (database, sigma) pair with its cursor."""
+
+    db_index: int
+    sigma_index: int
+    database: Any
+    sigma: dict | None  # None for the per-database procedures
+
+    @property
+    def cursor(self) -> tuple[int, int]:
+        return (self.db_index, self.sigma_index)
+
+
+@dataclass
+class UnitOutcome:
+    """What one work unit reported back.
+
+    ``status`` is ``clean`` (no violation), ``violated`` (``detail``
+    carries the procedure-specific counterexample payload), or
+    ``budget`` (the unit's own governor struck; ``limit``/``message``
+    say which, ``stats`` holds the partial counters).
+    """
+
+    db_index: int
+    sigma_index: int
+    status: str
+    stats: dict = field(default_factory=dict)
+    limit: str = ""
+    message: str = ""
+    detail: Any = None
+
+    @property
+    def cursor(self) -> tuple[int, int]:
+        return (self.db_index, self.sigma_index)
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Picklable description of the per-unit work of one entry point.
+
+    ``procedure`` selects the registered checker; ``payload`` carries
+    the procedure's own data (sentence, precompiled automaton, formula,
+    flags); ``unit_limits`` are the caps each worker installs in its
+    local :class:`Budget` (the per-pair/per-structure caps — the global
+    caps stay with the parent governor).
+    """
+
+    procedure: str
+    service: Any
+    payload: Mapping[str, Any]
+    unit_limits: Mapping[str, Any]
+
+    def make_unit_budget(self, timeout_s: float | None) -> Budget:
+        return Budget(
+            max_snapshots=self.unit_limits.get("max_snapshots"),
+            max_states=self.unit_limits.get("max_states"),
+            max_valuations=self.unit_limits.get("max_valuations"),
+            timeout_s=timeout_s,
+        ).start()
+
+
+# -- checker registry -------------------------------------------------------
+
+#: procedure name -> checker(spec, unit, budget, cache) -> UnitOutcome.
+#: Checkers must be module-level (picklable by reference) and raise
+#: VerificationBudgetExceeded when their governor strikes; the backends
+#: decide whether that propagates (sequential) or becomes a BUDGET
+#: outcome (pool workers).
+_CHECKERS: dict[str, Callable[[TaskSpec, WorkUnit, Budget, dict], UnitOutcome]] = {}
+
+
+def unit_checker(procedure: str):
+    """Register the per-unit checker of one decision procedure."""
+
+    def register(fn):
+        _CHECKERS[procedure] = fn
+        return fn
+
+    return register
+
+
+def _load_checkers() -> None:
+    """Import every module that registers a checker (worker processes)."""
+    import repro.verifier.branching  # noqa: F401
+    import repro.verifier.errors  # noqa: F401
+    import repro.verifier.linear  # noqa: F401
+    import repro.verifier.search  # noqa: F401
+
+
+# -- worker-side plumbing ---------------------------------------------------
+
+_WORKER_SPEC: TaskSpec | None = None
+_WORKER_CACHE: dict | None = None
+
+
+def _init_worker(spec: TaskSpec) -> None:
+    global _WORKER_SPEC, _WORKER_CACHE
+    _load_checkers()
+    _WORKER_SPEC = spec
+    _WORKER_CACHE = {}
+
+
+def _pool_check(unit: WorkUnit, timeout_s: float | None) -> UnitOutcome:
+    """Run one unit in a worker: local budget, shared per-worker cache."""
+    spec = _WORKER_SPEC
+    assert spec is not None, "worker used before initialization"
+    gov = spec.make_unit_budget(timeout_s)
+    try:
+        return _CHECKERS[spec.procedure](spec, unit, gov, _WORKER_CACHE)
+    except VerificationBudgetExceeded as exc:
+        stats = dict(exc.stats)
+        stats.setdefault("snapshots_explored", gov.snapshots_total)
+        stats.setdefault("valuations_checked", gov.valuations)
+        return UnitOutcome(
+            unit.db_index,
+            unit.sigma_index,
+            BUDGET,
+            stats=stats,
+            limit=exc.limit,
+            message=str(exc),
+        )
+
+
+# -- the unit stream --------------------------------------------------------
+
+class UnitStream:
+    """Lazy, resumable iterator of pending work units.
+
+    Wraps the (streaming) database enumeration, applies the resume
+    cursor and the completed-units frontier, charges the parent governor
+    per database, and keeps ``cursor`` pointed at the unit most recently
+    yielded (or the database being entered) — the position an
+    interruption should checkpoint.
+    """
+
+    def __init__(
+        self,
+        databases: Iterable,
+        gov: Budget,
+        stats: dict,
+        *,
+        sigma_fn: Callable[[Any], Iterable[Mapping[str, Any]]] | None = None,
+        resume: Checkpoint | None = None,
+        on_database: Callable[[Any], None] | None = None,
+    ) -> None:
+        self._databases = databases
+        self._gov = gov
+        self._stats = stats
+        self._sigma_fn = sigma_fn
+        self._on_database = on_database
+        self._skip_db = resume.db_index if resume is not None else 0
+        self._skip_sigma = resume.sigma_index if resume is not None else 0
+        self._done = resume.completed_units() if resume is not None else frozenset()
+        self._db_marks: dict[int, tuple[int, int]] = {}
+        self.cursor: tuple[int, int] = (self._skip_db, self._skip_sigma)
+
+    def __iter__(self) -> Iterator[WorkUnit]:
+        for db_index, db in enumerate(self._databases):
+            if db_index < self._skip_db or (
+                self._sigma_fn is None and (db_index, 0) in self._done
+            ):
+                self._stats["databases_skipped"] += 1
+                continue
+            self.cursor = (db_index, 0)
+            self._gov.charge_database()
+            self._stats["databases_checked"] += 1
+            self._db_marks[db_index] = (
+                self._stats["databases_checked"],
+                self._stats["databases_skipped"],
+            )
+            if self._on_database is not None:
+                self._on_database(db)
+            if self._sigma_fn is None:
+                yield WorkUnit(db_index, 0, db, None)
+                continue
+            for sigma_index, sigma in enumerate(self._sigma_fn(db)):
+                if db_index == self._skip_db and sigma_index < self._skip_sigma:
+                    continue
+                if (db_index, sigma_index) in self._done:
+                    continue
+                self.cursor = (db_index, sigma_index)
+                yield WorkUnit(db_index, sigma_index, db, dict(sigma))
+
+    def clamp_db_stats(self, db_index: int) -> None:
+        """Rewind the database counters to their values when ``db_index``
+        was entered.
+
+        The pool's submission window pulls this stream ahead of the
+        units actually resolved, so on a violation the counters must be
+        reset to the prefix a sequential run would have charged before
+        stopping at that database.
+        """
+        mark = self._db_marks.get(db_index)
+        if mark is not None:
+            self._stats["databases_checked"] = mark[0]
+            self._stats["databases_skipped"] = mark[1]
+
+
+# -- outcome aggregation ----------------------------------------------------
+
+def merge_unit_stats(agg: dict, unit_stats: Mapping[str, Any]) -> None:
+    """Fold one unit's counters into the aggregate (sums; max for sizes)."""
+    for key, value in unit_stats.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if key in _MAX_KEYS:
+            agg[key] = max(agg.get(key, 0), value)
+        else:
+            agg[key] = agg.get(key, 0) + value
+
+
+@dataclass
+class EnumerationOutcome:
+    """How one enumeration run ended, backend-independent.
+
+    Exactly one of three shapes: a ``violation`` (lowest cursor), an
+    ``interrupted`` budget exception with the ``pending`` frontier and
+    ``completed`` out-of-order cursors, or neither (exhausted — HOLDS).
+    """
+
+    violation: UnitOutcome | None = None
+    interrupted: VerificationBudgetExceeded | None = None
+    pending: list[tuple[int, int]] = field(default_factory=list)
+    completed: list[tuple[int, int]] = field(default_factory=list)
+    unit_stats: dict = field(default_factory=dict)
+
+
+def frontier_checkpoint(
+    outcome: EnumerationOutcome,
+    *,
+    procedure: str,
+    property_name: str = "",
+    domain_size: int | None = None,
+    up_to_iso: bool | None = None,
+    workers: int | None = None,
+    resume: Checkpoint | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> Checkpoint:
+    """The merged resumable checkpoint of an interrupted enumeration.
+
+    The cursor is the lowest incomplete unit; completions beyond it
+    (out-of-order parallel finishes, plus any carried over from the
+    checkpoint being resumed) are recorded so the next run skips them.
+    """
+    pending = sorted(outcome.pending)
+    cursor = pending[0] if pending else (0, 0)
+    done: set[tuple[int, int]] = set(outcome.completed)
+    if resume is not None:
+        done |= resume.completed_units()
+    ahead = sorted(c for c in done if c > cursor)
+    payload = dict(extra or {})
+    if ahead:
+        payload["completed_units"] = [list(c) for c in ahead]
+    return Checkpoint(
+        procedure=procedure,
+        property_name=property_name,
+        db_index=cursor[0],
+        sigma_index=cursor[1],
+        domain_size=domain_size,
+        up_to_iso=up_to_iso,
+        workers=workers,
+        extra=payload,
+    )
+
+
+# -- backends ---------------------------------------------------------------
+
+def run_units(
+    spec: TaskSpec,
+    stream: UnitStream,
+    gov: Budget,
+    workers: int,
+) -> EnumerationOutcome:
+    """Run every pending unit; first confirmed lowest-cursor violation wins.
+
+    ``workers <= 1`` is the classic sequential loop sharing the parent
+    governor (identical charging order to the pre-parallel verifier);
+    ``workers > 1`` fans units out to a process pool.
+    """
+    if workers <= 1:
+        return _run_sequential(spec, stream, gov)
+    return _run_pool(spec, stream, gov, workers)
+
+
+def _run_sequential(
+    spec: TaskSpec, stream: UnitStream, gov: Budget
+) -> EnumerationOutcome:
+    checker = _CHECKERS[spec.procedure]
+    cache: dict = {}
+    out = EnumerationOutcome()
+    try:
+        for unit in stream:
+            result = checker(spec, unit, gov, cache)
+            if result.status == VIOLATED:
+                merge_unit_stats(out.unit_stats, result.stats)
+                out.violation = result
+                return out
+            out.completed.append(unit.cursor)
+            merge_unit_stats(out.unit_stats, result.stats)
+    except VerificationBudgetExceeded as exc:
+        out.interrupted = exc
+        out.pending = [stream.cursor]
+    return out
+
+
+def _run_pool(
+    spec: TaskSpec, stream: UnitStream, gov: Budget, workers: int
+) -> EnumerationOutcome:
+    out = EnumerationOutcome()
+    window = max(2 * workers, workers + 2)
+    units = iter(stream)
+    exhausted = False
+    stop_submitting = False
+    in_flight: dict[Future, WorkUnit] = {}
+    best: UnitOutcome | None = None
+    # Per-unit stats, folded into out.unit_stats only once the verdict
+    # is known: on a violation the aggregate must cover exactly the
+    # prefix of units at or below the winning cursor (what a sequential
+    # run charges), not whatever speculative units happened to finish
+    # before cancellation — stats stay worker-count-independent.
+    stats_by_cursor: dict[tuple[int, int], Mapping[str, Any]] = {}
+
+    def interrupt(exc: VerificationBudgetExceeded) -> None:
+        nonlocal stop_submitting
+        if out.interrupted is None:
+            out.interrupted = exc
+        stop_submitting = True
+
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(spec,)
+    ) as pool:
+        while True:
+            # Keep the submission window full.  The stream itself can
+            # raise (database cap, deadline during enumeration) — that
+            # interrupts submission but outstanding units still drain.
+            while not stop_submitting and not exhausted and len(in_flight) < window:
+                try:
+                    unit = next(units)
+                except StopIteration:
+                    exhausted = True
+                    break
+                except VerificationBudgetExceeded as exc:
+                    interrupt(exc)
+                    break
+                fut = pool.submit(_pool_check, unit, gov.remaining_time())
+                in_flight[fut] = unit
+
+            if not in_flight:
+                break
+
+            done, _ = wait(
+                in_flight, timeout=0.1, return_when=FIRST_COMPLETED
+            )
+            for fut in done:
+                unit = in_flight.pop(fut)
+                if fut.cancelled():
+                    out.pending.append(unit.cursor)
+                    continue
+                result = fut.result()
+                if result.status == BUDGET:
+                    out.pending.append(unit.cursor)
+                    stats_by_cursor[unit.cursor] = result.stats
+                    interrupt(
+                        VerificationBudgetExceeded(
+                            result.message,
+                            limit=result.limit,
+                            stats=result.stats,
+                        )
+                    )
+                    continue
+                out.completed.append(unit.cursor)
+                stats_by_cursor[unit.cursor] = result.stats
+                if result.status == VIOLATED and (
+                    best is None or result.cursor < best.cursor
+                ):
+                    best = result
+                try:
+                    gov.absorb(result.stats)
+                except VerificationBudgetExceeded as exc:
+                    interrupt(exc)
+            if best is not None:
+                # Units beyond the best violation cannot change the
+                # answer: cancel what hasn't started, stop submitting,
+                # and only await the units below the best cursor.
+                stop_submitting = True
+                for fut, unit in list(in_flight.items()):
+                    if unit.cursor > best.cursor and fut.cancel():
+                        del in_flight[fut]
+            if not done and not stop_submitting:
+                # Idle tick: let the parent deadline fire even when no
+                # unit completed in this window.
+                try:
+                    gov.check_deadline()
+                except VerificationBudgetExceeded as exc:
+                    interrupt(exc)
+            if stop_submitting and best is None:
+                # Interrupted: anything not yet started is pending; the
+                # already-running units drain (their own deadline mirrors
+                # the parent's, so this does not hang).
+                for fut, unit in list(in_flight.items()):
+                    if fut.cancel():
+                        out.pending.append(unit.cursor)
+                        del in_flight[fut]
+
+    if best is not None:
+        below = sorted(c for c in set(out.pending) if c < best.cursor)
+        if below:
+            # A unit below the winning violation was itself interrupted:
+            # the sequential order would have stopped there before ever
+            # reaching this violation.  Resolve INCONCLUSIVE at that
+            # frontier so the verdict stays worker-count-independent;
+            # the violation is rediscovered on resume.
+            out.pending = below
+            for cursor, unit_stats in stats_by_cursor.items():
+                merge_unit_stats(out.unit_stats, unit_stats)
+            if out.interrupted is None:  # pragma: no cover - defensive
+                out.interrupted = VerificationBudgetExceeded(
+                    "a unit below the first violation was interrupted",
+                    limit="budget",
+                )
+            return out
+        out.violation = best
+        out.interrupted = None
+        out.pending = []
+        for cursor, unit_stats in stats_by_cursor.items():
+            if cursor <= best.cursor:
+                merge_unit_stats(out.unit_stats, unit_stats)
+        stream.clamp_db_stats(best.db_index)
+        return out
+    for cursor, unit_stats in stats_by_cursor.items():
+        merge_unit_stats(out.unit_stats, unit_stats)
+    if out.interrupted is not None:
+        if not out.pending:
+            out.pending = [stream.cursor]
+        else:
+            out.pending = sorted(set(out.pending))
+    return out

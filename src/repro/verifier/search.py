@@ -9,7 +9,9 @@ that proof means small search graphs suffice, so this module enumerates
 databases (search graph + unary type relations + ``i0``) over a bounded
 domain and model checks each configuration Kripke structure — the same
 small-model schema as the rest of the verifier, specialised with the
-IDS shape check.
+IDS shape check.  Each database is one work unit of
+:mod:`repro.verifier.parallel` (the same unit as :func:`verify_ctl`),
+so ``workers=N`` parallelises the enumeration deterministically.
 """
 
 from __future__ import annotations
@@ -26,6 +28,14 @@ from repro.verifier.branching import (
 )
 from repro.verifier.budget import Budget, Checkpoint, degrade
 from repro.verifier.linear import _candidate_databases
+from repro.verifier.parallel import (
+    TaskSpec,
+    UnitStream,
+    frontier_checkpoint,
+    merge_unit_stats,
+    resolve_workers,
+    run_units,
+)
 from repro.verifier.results import (
     UndecidableInstanceError,
     Verdict,
@@ -45,6 +55,7 @@ def verify_input_driven_search(
     timeout_s: float | None = None,
     strict: bool = False,
     resume: Checkpoint | None = None,
+    workers: int | None = None,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for input-driven-search services (Theorem 4.9).
 
@@ -53,7 +64,9 @@ def verify_input_driven_search(
     ``domain_size`` anonymous nodes is exhaustive but grows quickly with
     the number of unary relations.  A blown budget returns
     ``Verdict.INCONCLUSIVE`` with a resumable database cursor unless
-    ``strict=True`` (see :mod:`repro.verifier.budget`).
+    ``strict=True`` (see :mod:`repro.verifier.budget`); ``workers``
+    fans the databases out to a process pool with deterministic
+    verdicts (see :mod:`repro.verifier.parallel`).
     """
     if check_restrictions:
         report = classify(service)
@@ -64,6 +77,7 @@ def verify_input_driven_search(
                 "(Definition 4.7)",
             )
 
+    n_workers = resolve_workers(workers)
     gov = Budget.ensure(
         budget, max_states=max_states, timeout_s=timeout_s, strict=strict
     )
@@ -71,6 +85,11 @@ def verify_input_driven_search(
         service, None, databases, domain_size, up_to_iso=True,
         on_step=gov.check_deadline,
     )
+    iso_used = True if databases is None else None
+    if resume is not None:
+        resume.ensure_compatible(
+            domain_size=used_size, up_to_iso=iso_used, workers=n_workers
+        )
     total_dbs = len(dbs) if isinstance(dbs, list) else None
     fragment = "CTL" if is_ctl(formula) else "CTL*"
     method = f"input-driven search {fragment} (Theorem 4.9)"
@@ -80,42 +99,48 @@ def verify_input_driven_search(
         "kripke_states": 0,
         "formula_size": ctl_size(formula),
         "domain_size": used_size,
+        "workers": n_workers,
     }
-    from repro.ctl.modelcheck import satisfying_states
 
-    skip_db = resume.db_index if resume is not None else 0
-    cursor_db = skip_db
-    try:
-        for db_index, db in enumerate(dbs):
-            if db_index < skip_db:
-                stats["databases_skipped"] += 1
-                continue
-            cursor_db = db_index
-            gov.charge_database()
-            stats["databases_checked"] += 1
-            kripke = build_snapshot_kripke(service, db, budget=gov)
-            stats["kripke_states"] = max(stats["kripke_states"], kripke.n_states)
-            sat = satisfying_states(kripke, formula)
-            if not kripke.initial <= sat:
-                return VerificationResult(
-                    verdict=Verdict.VIOLATED,
-                    property_name=str(formula),
-                    method=method,
-                    counterexample_database=db,
-                    stats=stats,
-                )
-    except VerificationBudgetExceeded as exc:
+    # The per-database work is identical to verify_ctl's (build the
+    # configuration Kripke structure, model check), so the same unit
+    # checker serves both procedures.
+    spec = TaskSpec(
+        procedure="verify_ctl",
+        service=service,
+        payload={"formula": formula},
+        unit_limits={"max_states": gov.max_states},
+    )
+    stream = UnitStream(dbs, gov, stats, resume=resume)
+    outcome = run_units(spec, stream, gov, n_workers)
+    merge_unit_stats(stats, outcome.unit_stats)
+
+    if outcome.violation is not None:
+        detail = outcome.violation.detail
+        stats["counterexample_db_index"] = outcome.violation.db_index
+        stats["violating_initial_states"] = detail["violating_initial_states"]
+        return VerificationResult(
+            verdict=Verdict.VIOLATED,
+            property_name=str(formula),
+            method=method,
+            counterexample_database=detail["database"],
+            stats=stats,
+        )
+    if outcome.interrupted is not None:
         return degrade(
-            exc,
+            outcome.interrupted,
             budget=gov,
             property_name=str(formula),
             method=method,
             stats=stats,
-            checkpoint=Checkpoint(
+            checkpoint=frontier_checkpoint(
+                outcome,
                 procedure="verify_input_driven_search",
                 property_name=str(formula),
-                db_index=cursor_db,
                 domain_size=used_size,
+                up_to_iso=iso_used,
+                workers=n_workers,
+                resume=resume,
             ),
             phase="search-graph Kripke construction / model checking",
             total_databases=total_dbs,

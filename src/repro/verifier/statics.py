@@ -43,7 +43,8 @@ def verify(
 
     ``options`` are forwarded to the underlying procedure
     (``databases=``, ``domain_size=``, ``budget=``, ``timeout_s=``,
-    ``strict=``, ``resume=``, ...).  Every procedure shares the
+    ``strict=``, ``resume=``, ``workers=``, ...).  Every procedure
+    shares the
     resource-governor semantics of :mod:`repro.verifier.budget`: with
     the default non-strict settings a blown budget never raises — it
     returns a ``Verdict.INCONCLUSIVE`` result with partial stats, a
@@ -59,7 +60,7 @@ def verify(
         if report.is_in(ServiceClass.FULLY_PROPOSITIONAL) and "databases" not in options and "domain_size" not in options:
             fp_options = {
                 k: v for k, v in options.items()
-                if k in ("max_states", "budget", "timeout_s", "strict")
+                if k in ("max_states", "budget", "timeout_s", "strict", "workers")
             }
             return verify_fully_propositional(
                 service, prop, check_restrictions=not force, **fp_options
