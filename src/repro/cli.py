@@ -16,6 +16,8 @@ properties are written in the temporal text syntaxes of
         --checkpoint ck.json          # bounded run, resumable
     python -m repro verify spec.json --ltl 'G !ERROR' --resume ck.json
     python -m repro verify spec.json --ltl 'G !ERROR' --workers 4
+    python -m repro verify spec.json --ltl 'G !ERROR' \
+        --trace trace.jsonl --progress
     python -m repro simulate spec.json --db catalog.json --steps 12 --seed 7
 
 Exit codes: 0 property holds, 1 property violated, 2 usage error,
@@ -40,6 +42,7 @@ from repro.io import (
     service_to_text,
 )
 from repro.ltl.parser import parse_ltlfo
+from repro.obs import JsonlTracer, ProgressTracer, TeeTracer
 from repro.service.classify import classify
 from repro.service.runs import RunContext, random_run
 from repro.verifier import (
@@ -121,6 +124,18 @@ def _explain_budget_exceeded(exc: VerificationBudgetExceeded) -> str:
     return "\n".join(lines)
 
 
+def _make_tracer(args):
+    """Build the tracer requested by --trace/--progress (None = default)."""
+    children = []
+    if args.trace:
+        children.append(JsonlTracer(args.trace))
+    if args.progress:
+        children.append(ProgressTracer())
+    if not children:
+        return None
+    return children[0] if len(children) == 1 else TeeTracer(children)
+
+
 def _cmd_verify(args) -> int:
     service = load_service(args.spec)
     databases = _load_databases(service, args.db)
@@ -130,6 +145,19 @@ def _cmd_verify(args) -> int:
     if args.domain_size is not None:
         options["domain_size"] = args.domain_size
     options["budget"] = _make_budget(args)
+    tracer = _make_tracer(args)
+    if tracer is not None:
+        options["tracer"] = tracer
+    try:
+        return _run_verify(args, service, options)
+    finally:
+        if tracer is not None:
+            tracer.close()
+            if args.trace:
+                print(f"trace written to {args.trace}", file=sys.stderr)
+
+
+def _run_verify(args, service, options) -> int:
     checkpoint = None
     if args.resume:
         try:
@@ -289,6 +317,12 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--checkpoint", metavar="PATH",
                      help="where to write the resume checkpoint when the "
                           "budget runs out")
+    ver.add_argument("--trace", metavar="FILE",
+                     help="stream structured trace events (JSONL) to FILE; "
+                          "see the repro.obs event taxonomy")
+    ver.add_argument("--progress", action="store_true",
+                     help="print coarse progress events to stderr while "
+                          "the verification runs")
     ver.set_defaults(func=_cmd_verify)
 
     sim = sub.add_parser("simulate", help="random run over a database")

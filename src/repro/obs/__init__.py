@@ -1,0 +1,51 @@
+"""Observability for the verifier: structured tracing, metrics, progress.
+
+The verifier's decision procedures are worst-case exponential searches;
+when one takes minutes, "it is still running" is not an answer.  This
+package gives every entry point a structured-event layer — *which*
+database/valuation/unit is being explored, *how long* the hot phases
+(sigma enumeration, Büchi compilation, Kripke construction) take, and
+*why* a verdict cost what it did — in the tradition of the progress and
+statistics reporting of explicit-state model checkers (SPIN's
+``-DSTATS``-style output) and of the database-backed verification line
+(WAVE) that followed the paper.
+
+Usage::
+
+    from repro.obs import CollectingTracer, JsonlTracer
+    tr = CollectingTracer()
+    result = verify(service, prop, tracer=tr)
+    result.timings      # {"unit.finish": {"count": 12, "total_s": ...}, ...}
+    tr.events           # the full typed-event stream
+
+or, from the CLI, ``--trace FILE`` / ``--progress``, or ``REPRO_TRACE``
+in the environment to trace a whole test run.  The default
+:data:`~repro.obs.tracer.NULL_TRACER` path is zero-overhead and leaves
+verdicts, counterexamples and stats byte-identical.
+"""
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CollectingTracer,
+    JsonlTracer,
+    NullTracer,
+    ProgressTracer,
+    TeeTracer,
+    TraceEvent,
+    Tracer,
+    finalize_result,
+    resolve_tracer,
+)
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "CollectingTracer",
+    "JsonlTracer",
+    "TeeTracer",
+    "ProgressTracer",
+    "resolve_tracer",
+    "finalize_result",
+]

@@ -23,9 +23,11 @@ are expressible as ``CAtom(("button", ("login",)))``.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Hashable, Iterable
 
 from repro.ctl.kripke import KripkeStructure
+from repro.obs import Tracer, finalize_result, resolve_tracer
 from repro.ctl.modelcheck import satisfying_states
 from repro.ctl.syntax import StateFormula, ctl_size, is_ctl
 from repro.fol.evaluation import MissingInputConstantError
@@ -89,6 +91,7 @@ def build_snapshot_kripke(
     """
     gov = Budget.ensure(budget, max_states=max_states)
     gov.begin_structure()
+    build_started = time.monotonic()
     contexts: dict[SigmaItems, RunContext] = {}
 
     def ctx_for(sig: SigmaItems) -> RunContext:
@@ -222,6 +225,11 @@ def build_snapshot_kripke(
     states.insert(0, ROOT_STATE)
     edges[ROOT_STATE] = list(initial)
     labels[ROOT_STATE] = frozenset()
+    if gov.tracer.active:
+        gov.tracer.emit(
+            "kripke.built",
+            dur=time.monotonic() - build_started, n_states=len(states),
+        )
     return KripkeStructure(states, [ROOT_STATE], edges, labels)
 
 
@@ -272,6 +280,7 @@ def verify_ctl(
     strict: bool = False,
     resume: Checkpoint | None = None,
     workers: int | None = None,
+    tracer: Tracer | None = None,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for propositional input-bounded services
     (Theorem 4.4; Corollary 4.5 is the fixed-parameter special case).
@@ -280,7 +289,10 @@ def verify_ctl(
     database cursor unless ``strict=True`` (see
     :mod:`repro.verifier.budget`).  Each database is one work unit;
     ``workers`` fans them out to a process pool with deterministic
-    verdicts (see :mod:`repro.verifier.parallel`).
+    verdicts (see :mod:`repro.verifier.parallel`); ``tracer`` receives
+    the structured event stream (``database.enumerated``,
+    ``kripke.built``, ``unit.start/finish``, ``verdict``; see
+    :mod:`repro.obs`).
     """
     if check_restrictions:
         report = classify(service)
@@ -291,9 +303,11 @@ def verify_ctl(
             )
 
     n_workers = resolve_workers(workers)
+    tr = resolve_tracer(tracer)
     gov = Budget.ensure(
         budget, max_states=max_states, timeout_s=timeout_s, strict=strict
     )
+    gov.tracer = tr
     dbs, used_size = _candidate_databases(
         service, None, databases, domain_size, up_to_iso=True,
         on_step=gov.check_deadline,
@@ -320,6 +334,7 @@ def verify_ctl(
         service=service,
         payload={"formula": formula},
         unit_limits={"max_states": gov.max_states},
+        traced=tr.active,
     )
     stream = UnitStream(dbs, gov, stats, resume=resume)
     outcome = run_units(spec, stream, gov, n_workers)
@@ -328,7 +343,7 @@ def verify_ctl(
     if outcome.violation is not None:
         detail = outcome.violation.detail
         stats["counterexample_db_index"] = outcome.violation.db_index
-        return VerificationResult(
+        return finalize_result(tr, VerificationResult(
             verdict=Verdict.VIOLATED,
             property_name=str(formula),
             method=method,
@@ -337,9 +352,10 @@ def verify_ctl(
                 **stats,
                 "violating_initial_states": detail["violating_initial_states"],
             },
-        )
+            procedure="verify_ctl",
+        ))
     if outcome.interrupted is not None:
-        return degrade(
+        return finalize_result(tr, degrade(
             outcome.interrupted,
             budget=gov,
             property_name=str(formula),
@@ -356,13 +372,15 @@ def verify_ctl(
             ),
             phase="Kripke construction / model checking",
             total_databases=total_dbs,
-        )
-    return VerificationResult(
+            procedure="verify_ctl",
+        ))
+    return finalize_result(tr, VerificationResult(
         verdict=Verdict.HOLDS,
         property_name=str(formula),
         method=method,
         stats=stats,
-    )
+        procedure="verify_ctl",
+    ))
 
 
 def verify_fully_propositional(
@@ -374,6 +392,7 @@ def verify_fully_propositional(
     timeout_s: float | None = None,
     strict: bool = False,
     workers: int | None = None,
+    tracer: Tracer | None = None,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for fully propositional services (Theorem 4.6).
 
@@ -384,7 +403,9 @@ def verify_fully_propositional(
     enumeration cursor to resume: a blown budget yields INCONCLUSIVE
     with partial stats but no checkpoint.  ``workers`` is accepted for
     API symmetry — the single structure is one work unit, so it buys no
-    parallelism here.
+    parallelism here.  ``tracer`` receives the structured event stream
+    (``kripke.built``, ``unit.start/finish``, ``verdict``; see
+    :mod:`repro.obs`).
     """
     if check_restrictions:
         report = classify(service)
@@ -394,9 +415,11 @@ def verify_fully_propositional(
                 "Theorem 4.6 requires a fully propositional service",
             )
     n_workers = resolve_workers(workers)
+    tr = resolve_tracer(tracer)
     gov = Budget.ensure(
         budget, max_states=max_states, timeout_s=timeout_s, strict=strict
     )
+    gov.tracer = tr
     fragment = "CTL" if is_ctl(formula) else "CTL*"
     method = f"fully propositional {fragment} (Theorem 4.6)"
     empty_db = Database(service.schema.database)
@@ -412,32 +435,36 @@ def verify_fully_propositional(
         service=service,
         payload={"formula": formula},
         unit_limits={"max_states": gov.max_states},
+        traced=tr.active,
     )
     stream = UnitStream([empty_db], gov, stats)
     outcome = run_units(spec, stream, gov, n_workers)
     merge_unit_stats(stats, outcome.unit_stats)
     if outcome.interrupted is not None:
-        return degrade(
+        return finalize_result(tr, degrade(
             outcome.interrupted,
             budget=gov,
             property_name=str(formula),
             method=method,
             stats=stats,
             phase="Kripke construction",
-        )
+            procedure="verify_fully_propositional",
+        ))
     if outcome.violation is not None:
         stats["violating_initial_states"] = (
             outcome.violation.detail["violating_initial_states"]
         )
-        return VerificationResult(
+        return finalize_result(tr, VerificationResult(
             verdict=Verdict.VIOLATED,
             property_name=str(formula),
             method=method,
             stats=stats,
-        )
-    return VerificationResult(
+            procedure="verify_fully_propositional",
+        ))
+    return finalize_result(tr, VerificationResult(
         verdict=Verdict.HOLDS,
         property_name=str(formula),
         method=method,
         stats=stats,
-    )
+        procedure="verify_fully_propositional",
+    ))

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.obs import NULL_TRACER, Tracer
 from repro.verifier.results import (
     Verdict,
     VerificationBudgetExceeded,
@@ -177,6 +178,13 @@ class Budget:
         When True the entry points re-raise
         :class:`VerificationBudgetExceeded` (enriched with partial stats
         and a checkpoint) instead of returning INCONCLUSIVE.
+
+    ``tracer`` (attribute, not a constructor parameter) is the
+    :class:`~repro.obs.Tracer` the governor and the code it threads
+    through report to.  Entry points install theirs; worker processes
+    install a collecting tracer per unit.  Emission happens only at
+    *coarse* charges (per database, per absorbed unit) — never per
+    snapshot/state/valuation, so the hot loops stay untouched.
     """
 
     def __init__(
@@ -199,6 +207,7 @@ class Budget:
         self.snapshots_total = 0
         self.pair_snapshots = 0
         self.structure_states = 0
+        self.tracer: Tracer = NULL_TRACER
         self._deadline: float | None = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -256,6 +265,10 @@ class Budget:
         """One candidate database is about to be examined."""
         self.check_deadline()
         self.databases += 1
+        if self.tracer.active:
+            self.tracer.emit(
+                "budget.charge", counter="databases", value=self.databases
+            )
         if self.max_databases is not None and self.databases > self.max_databases:
             raise VerificationBudgetExceeded(
                 f"more than {self.max_databases} candidate databases examined",
@@ -321,6 +334,11 @@ class Budget:
         """
         self.valuations += int(unit_stats.get("valuations_checked", 0))
         self.snapshots_total += int(unit_stats.get("snapshots_explored", 0))
+        if self.tracer.active:
+            self.tracer.emit(
+                "budget.charge", counter="absorbed",
+                valuations=self.valuations, snapshots=self.snapshots_total,
+            )
         if self.max_valuations is not None and self.valuations > self.max_valuations:
             raise VerificationBudgetExceeded(
                 f"more than {self.max_valuations} valuations checked",
@@ -407,6 +425,7 @@ def degrade(
     checkpoint: Checkpoint | None = None,
     phase: str = "",
     total_databases: int | None = None,
+    procedure: str = "",
 ) -> VerificationResult:
     """Turn a blown budget into an INCONCLUSIVE result (or re-raise).
 
@@ -424,6 +443,10 @@ def degrade(
     )
     exc.stats = merged
     exc.checkpoint = checkpoint
+    if budget.tracer.active:
+        budget.tracer.emit(
+            "budget.exhausted", limit=exc.limit or "budget", phase=phase
+        )
     if budget.strict:
         raise exc
     return VerificationResult(
@@ -433,4 +456,5 @@ def degrade(
         stats=merged,
         coverage=coverage,
         checkpoint=checkpoint,
+        procedure=procedure,
     )

@@ -24,6 +24,7 @@ from repro.fol.analysis import input_constants_of
 from repro.fol.formulas import And, Atom, Formula, Not, Or, TRUE
 from repro.fol.transforms import simplify
 from repro.ltl.ltlfo import G, LTLFOSentence
+from repro.obs import Tracer, finalize_result, resolve_tracer
 from repro.schema.database import Database
 from repro.schema.schema import RelationalSchema, ServiceSchema
 from repro.schema.symbols import state_relation
@@ -142,6 +143,7 @@ def verify_error_free(
     strict: bool = False,
     resume: Checkpoint | None = None,
     workers: int | None = None,
+    tracer: Tracer | None = None,
 ) -> VerificationResult:
     """Decide error-freeness over the small-model database space.
 
@@ -150,7 +152,9 @@ def verify_error_free(
     A blown budget returns ``Verdict.INCONCLUSIVE`` with a resumable
     checkpoint unless ``strict=True`` (see :mod:`repro.verifier.budget`).
     ``workers`` fans the (database, sigma) pairs out to a process pool
-    with deterministic verdicts (see :mod:`repro.verifier.parallel`).
+    with deterministic verdicts (see :mod:`repro.verifier.parallel`);
+    ``tracer`` receives the structured event stream (see
+    :mod:`repro.obs`).
     """
     property_name = f"error-free({service.name})"
     if method == "reduction":
@@ -168,9 +172,11 @@ def verify_error_free(
             strict=strict,
             resume=resume,
             workers=workers,
+            tracer=tracer,
         )
         result.method = "error-freeness via Lemma A.5 reduction + Theorem 3.5"
         result.property_name = property_name
+        result.procedure = "verify_error_free"
         if result.checkpoint is not None:
             result.checkpoint.procedure = "verify_error_free"
             result.checkpoint.property_name = property_name
@@ -180,9 +186,11 @@ def verify_error_free(
         raise ValueError(f"unknown method {method!r}; use 'direct' or 'reduction'")
 
     n_workers = resolve_workers(workers)
+    tr = resolve_tracer(tracer)
     gov = Budget.ensure(
         budget, max_snapshots=max_snapshots, timeout_s=timeout_s, strict=strict
     )
+    gov.tracer = tr
     dbs, used_size = _candidate_databases(
         service, None, databases, domain_size, up_to_iso=True,
         on_step=gov.check_deadline,
@@ -213,6 +221,7 @@ def verify_error_free(
         service=service,
         payload={},
         unit_limits={"max_snapshots": gov.max_snapshots},
+        traced=tr.active,
     )
     snap_base = gov.snapshots_total
     stream = UnitStream(dbs, gov, stats, sigma_fn=sigma_fn, resume=resume)
@@ -223,18 +232,19 @@ def verify_error_free(
         trace: Run = outcome.violation.detail["run"]
         stats["counterexample_db_index"] = outcome.violation.db_index
         stats["counterexample_sigma_index"] = outcome.violation.sigma_index
-        return VerificationResult(
+        return finalize_result(tr, VerificationResult(
             verdict=Verdict.VIOLATED,
             property_name=property_name,
             method="error-page reachability (direct)",
             counterexample=trace,
             counterexample_database=trace.database,
             stats=stats,
-        )
+            procedure="verify_error_free",
+        ))
     if outcome.interrupted is not None:
         if n_workers == 1:
             stats["snapshots_explored"] = gov.snapshots_total - snap_base
-        return degrade(
+        return finalize_result(tr, degrade(
             outcome.interrupted,
             budget=gov,
             property_name=property_name,
@@ -252,13 +262,15 @@ def verify_error_free(
             ),
             phase="error-page reachability",
             total_databases=total_dbs,
-        )
-    return VerificationResult(
+            procedure="verify_error_free",
+        ))
+    return finalize_result(tr, VerificationResult(
         verdict=Verdict.HOLDS,
         property_name=property_name,
         method="error-page reachability (direct)",
         stats=stats,
-    )
+        procedure="verify_error_free",
+    ))
 
 
 # ---------------------------------------------------------------------------

@@ -36,10 +36,12 @@ larger bounds trade time for extra assurance.
 from __future__ import annotations
 
 import itertools
+import time
 from collections import deque
 from typing import Callable, Hashable, Iterable, Iterator, Mapping
 
 from repro.fol.evaluation import EvalContext
+from repro.obs import Tracer, finalize_result, resolve_tracer
 from repro.ltl.buchi import find_accepting_lasso, ltl_to_buchi
 from repro.ltl.ltlfo import (
     LTLFOSentence,
@@ -341,6 +343,7 @@ def verify_ltlfo(
     strict: bool = False,
     resume: Checkpoint | None = None,
     workers: int | None = None,
+    tracer: Tracer | None = None,
 ) -> VerificationResult:
     """Decide ``service ⊨ sentence`` for input-bounded instances.
 
@@ -385,14 +388,24 @@ def verify_ltlfo(
         sequential).  Verdicts and counterexamples are deterministic
         regardless of ``N`` — the lowest-cursor violation is reported,
         not the first to finish.
+    tracer:
+        A :class:`repro.obs.Tracer` receiving the structured event
+        stream (``buchi.compiled``, ``database.enumerated``,
+        ``sigma.batch``, ``unit.start/finish``, ``budget.charge``,
+        ``verdict``; see :mod:`repro.obs`).  Default: the ``REPRO_TRACE``
+        environment variable (a JSONL path), else the zero-overhead null
+        tracer.  Tracing never changes verdicts, counterexamples or
+        stats; the summary lands in ``result.timings``.
     """
     if check_restrictions:
         _require_input_bounded(service, sentence)
 
     n_workers = resolve_workers(workers)
+    tr = resolve_tracer(tracer)
     gov = Budget.ensure(
         budget, max_snapshots=max_snapshots, timeout_s=timeout_s, strict=strict
     )
+    gov.tracer = tr
     dbs, used_size = _candidate_databases(
         service, sentence, databases, domain_size, up_to_iso,
         on_step=gov.check_deadline,
@@ -408,7 +421,13 @@ def verify_ltlfo(
 
     # One automaton per verification call: the negated *symbolic*
     # skeleton, with valuations supplied at labelling time.
+    compile_started = time.monotonic()
     ba = ltl_to_buchi(LNot(sentence.skeleton))
+    if tr.active:
+        tr.emit(
+            "buchi.compiled",
+            dur=time.monotonic() - compile_started, n_states=ba.n_states,
+        )
     sentence_literals = frozenset(sentence.literals())
     stats: dict = {
         "databases_checked": 0,
@@ -440,6 +459,7 @@ def verify_ltlfo(
             "max_snapshots": gov.max_snapshots,
             "max_valuations": gov.max_valuations,
         },
+        traced=tr.active,
     )
     snap_base = gov.snapshots_total
     stream = UnitStream(
@@ -456,14 +476,15 @@ def verify_ltlfo(
         stats["counterexample_sigma_index"] = outcome.violation.sigma_index
         if "confirmed" in detail:
             stats["counterexample_confirmed"] = detail["confirmed"]
-        return VerificationResult(
+        return finalize_result(tr, VerificationResult(
             verdict=Verdict.VIOLATED,
             property_name=property_name,
             method=method,
             counterexample=run,
             counterexample_database=run.database,
             stats=stats,
-        )
+            procedure="verify_ltlfo",
+        ))
     if outcome.interrupted is not None:
         if n_workers == 1:
             # Sequential parity: include the interrupted pair's partial
@@ -475,7 +496,7 @@ def verify_ltlfo(
             if exc.limit in ("max_snapshots", "max_valuations")
             else "database enumeration"
         )
-        return degrade(
+        return finalize_result(tr, degrade(
             exc,
             budget=gov,
             property_name=property_name,
@@ -492,13 +513,15 @@ def verify_ltlfo(
             ),
             phase=phase,
             total_databases=total_dbs,
-        )
-    return VerificationResult(
+            procedure="verify_ltlfo",
+        ))
+    return finalize_result(tr, VerificationResult(
         verdict=Verdict.HOLDS,
         property_name=property_name,
         method=method,
         stats=stats,
-    )
+        procedure="verify_ltlfo",
+    ))
 
 
 def _violation_confirmed_holds(

@@ -31,6 +31,13 @@ Guarantees, regardless of worker count:
   lowest incomplete cursor plus the out-of-order completions beyond it
   (``extra["completed_units"]``), so a resume — sequential or parallel —
   re-runs exactly the incomplete units.
+- **Deterministic traces.**  When a :mod:`repro.obs` tracer is active,
+  workers collect their unit's events locally and ship the batch back
+  with the :class:`UnitOutcome`; the parent buffers batches and merges
+  them into its tracer in **cursor order**, under the same
+  prefix filter as the stats aggregation — so the traced unit set is
+  identical at every worker count, and per-process timestamps stay
+  monotonic in file order.
 
 The streaming is lazy end-to-end: databases are pulled from the
 canonical enumeration one at a time and shipped to workers in a bounded
@@ -46,6 +53,7 @@ default worker count for entry points called without ``workers=``.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import (
     FIRST_COMPLETED,
     Future,
@@ -55,6 +63,7 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
+from repro.obs import NULL_TRACER, CollectingTracer, TraceEvent, Tracer
 from repro.verifier.budget import Budget, Checkpoint
 from repro.verifier.results import VerificationBudgetExceeded
 
@@ -126,7 +135,10 @@ class UnitOutcome:
     ``status`` is ``clean`` (no violation), ``violated`` (``detail``
     carries the procedure-specific counterexample payload), or
     ``budget`` (the unit's own governor struck; ``limit``/``message``
-    say which, ``stats`` holds the partial counters).
+    say which, ``stats`` holds the partial counters).  ``events`` is the
+    unit's trace-event batch (empty unless the task spec is traced):
+    pool workers collect locally and ship the batch back here, and the
+    parent merges batches into its tracer in cursor order.
     """
 
     db_index: int
@@ -136,6 +148,7 @@ class UnitOutcome:
     limit: str = ""
     message: str = ""
     detail: Any = None
+    events: list[TraceEvent] = field(default_factory=list)
 
     @property
     def cursor(self) -> tuple[int, int]:
@@ -150,13 +163,16 @@ class TaskSpec:
     the procedure's own data (sentence, precompiled automaton, formula,
     flags); ``unit_limits`` are the caps each worker installs in its
     local :class:`Budget` (the per-pair/per-structure caps — the global
-    caps stay with the parent governor).
+    caps stay with the parent governor).  ``traced`` tells workers to
+    collect trace events per unit and ship them back with the outcome;
+    when False (the default) workers run with the null tracer.
     """
 
     procedure: str
     service: Any
     payload: Mapping[str, Any]
     unit_limits: Mapping[str, Any]
+    traced: bool = False
 
     def make_unit_budget(self, timeout_s: float | None) -> Budget:
         return Budget(
@@ -213,13 +229,18 @@ def _pool_check(unit: WorkUnit, timeout_s: float | None) -> UnitOutcome:
     spec = _WORKER_SPEC
     assert spec is not None, "worker used before initialization"
     gov = spec.make_unit_budget(timeout_s)
+    tracer: Tracer = CollectingTracer() if spec.traced else NULL_TRACER
+    gov.tracer = tracer
+    started = time.monotonic()
+    if tracer.active:
+        tracer.emit("unit.start", cursor=unit.cursor)
     try:
-        return _CHECKERS[spec.procedure](spec, unit, gov, _WORKER_CACHE)
+        outcome = _CHECKERS[spec.procedure](spec, unit, gov, _WORKER_CACHE)
     except VerificationBudgetExceeded as exc:
         stats = dict(exc.stats)
         stats.setdefault("snapshots_explored", gov.snapshots_total)
         stats.setdefault("valuations_checked", gov.valuations)
-        return UnitOutcome(
+        outcome = UnitOutcome(
             unit.db_index,
             unit.sigma_index,
             BUDGET,
@@ -227,6 +248,13 @@ def _pool_check(unit: WorkUnit, timeout_s: float | None) -> UnitOutcome:
             limit=exc.limit,
             message=str(exc),
         )
+    if tracer.active:
+        tracer.emit(
+            "unit.finish", cursor=unit.cursor,
+            dur=time.monotonic() - started, status=outcome.status,
+        )
+        outcome.events = tracer.events
+    return outcome
 
 
 # -- the unit stream --------------------------------------------------------
@@ -263,6 +291,7 @@ class UnitStream:
         self.cursor: tuple[int, int] = (self._skip_db, self._skip_sigma)
 
     def __iter__(self) -> Iterator[WorkUnit]:
+        tracer = self._gov.tracer
         for db_index, db in enumerate(self._databases):
             if db_index < self._skip_db or (
                 self._sigma_fn is None and (db_index, 0) in self._done
@@ -276,18 +305,29 @@ class UnitStream:
                 self._stats["databases_checked"],
                 self._stats["databases_skipped"],
             )
+            if tracer.active:
+                tracer.emit(
+                    "database.enumerated", cursor=(db_index, 0),
+                    db_index=db_index, domain=len(db.domain),
+                )
             if self._on_database is not None:
                 self._on_database(db)
             if self._sigma_fn is None:
                 yield WorkUnit(db_index, 0, db, None)
                 continue
+            n_sigmas = 0
             for sigma_index, sigma in enumerate(self._sigma_fn(db)):
+                n_sigmas += 1
                 if db_index == self._skip_db and sigma_index < self._skip_sigma:
                     continue
                 if (db_index, sigma_index) in self._done:
                     continue
                 self.cursor = (db_index, sigma_index)
                 yield WorkUnit(db_index, sigma_index, db, dict(sigma))
+            if tracer.active:
+                tracer.emit(
+                    "sigma.batch", cursor=(db_index, 0), count=n_sigmas
+                )
 
     def clamp_db_stats(self, db_index: int) -> None:
         """Rewind the database counters to their values when ``db_index``
@@ -393,12 +433,32 @@ def run_units(
 def _run_sequential(
     spec: TaskSpec, stream: UnitStream, gov: Budget
 ) -> EnumerationOutcome:
+    """The classic in-process loop; trace events stream live, in cursor
+    order, straight into the parent tracer (no batching needed — units
+    complete in the order the stream yields them)."""
     checker = _CHECKERS[spec.procedure]
+    tracer = gov.tracer
     cache: dict = {}
     out = EnumerationOutcome()
     try:
         for unit in stream:
-            result = checker(spec, unit, gov, cache)
+            if tracer.active:
+                tracer.emit("unit.start", cursor=unit.cursor)
+                started = time.monotonic()
+            try:
+                result = checker(spec, unit, gov, cache)
+            except VerificationBudgetExceeded:
+                if tracer.active:
+                    tracer.emit(
+                        "unit.finish", cursor=unit.cursor,
+                        dur=time.monotonic() - started, status=BUDGET,
+                    )
+                raise
+            if tracer.active:
+                tracer.emit(
+                    "unit.finish", cursor=unit.cursor,
+                    dur=time.monotonic() - started, status=result.status,
+                )
             if result.status == VIOLATED:
                 merge_unit_stats(out.unit_stats, result.stats)
                 out.violation = result
@@ -427,6 +487,20 @@ def _run_pool(
     # run charges), not whatever speculative units happened to finish
     # before cancellation — stats stay worker-count-independent.
     stats_by_cursor: dict[tuple[int, int], Mapping[str, Any]] = {}
+    # Trace-event batches shipped back by workers, buffered until the
+    # verdict is known and then merged into the parent tracer in cursor
+    # order under the same filter as the stats — the trace covers the
+    # same unit set at every worker count.
+    events_by_cursor: dict[tuple[int, int], list[TraceEvent]] = {}
+
+    def flush_events(limit_cursor: tuple[int, int] | None) -> None:
+        if not gov.tracer.active:
+            return
+        for cursor in sorted(events_by_cursor):
+            if limit_cursor is not None and cursor > limit_cursor:
+                continue
+            for event in events_by_cursor[cursor]:
+                gov.tracer.emit_event(event)
 
     def interrupt(exc: VerificationBudgetExceeded) -> None:
         nonlocal stop_submitting
@@ -465,6 +539,8 @@ def _run_pool(
                     out.pending.append(unit.cursor)
                     continue
                 result = fut.result()
+                if result.events:
+                    events_by_cursor[unit.cursor] = result.events
                 if result.status == BUDGET:
                     out.pending.append(unit.cursor)
                     stats_by_cursor[unit.cursor] = result.stats
@@ -521,6 +597,7 @@ def _run_pool(
             out.pending = below
             for cursor, unit_stats in stats_by_cursor.items():
                 merge_unit_stats(out.unit_stats, unit_stats)
+            flush_events(None)
             if out.interrupted is None:  # pragma: no cover - defensive
                 out.interrupted = VerificationBudgetExceeded(
                     "a unit below the first violation was interrupted",
@@ -533,10 +610,12 @@ def _run_pool(
         for cursor, unit_stats in stats_by_cursor.items():
             if cursor <= best.cursor:
                 merge_unit_stats(out.unit_stats, unit_stats)
+        flush_events(best.cursor)
         stream.clamp_db_stats(best.db_index)
         return out
     for cursor, unit_stats in stats_by_cursor.items():
         merge_unit_stats(out.unit_stats, unit_stats)
+    flush_events(None)
     if out.interrupted is not None:
         if not out.pending:
             out.pending = [stream.cursor]

@@ -85,6 +85,15 @@ class VerificationResult:
     got — and ``checkpoint``, a resumable
     :class:`~repro.verifier.budget.Checkpoint` cursor (None when the
     procedure has nothing to resume).
+
+    ``procedure`` names the entry point that actually ran (e.g.
+    ``"verify_ctl"``) — ``method`` is the human-readable theorem label,
+    ``procedure`` the machine-checkable dispatch record, so a caller can
+    tell when :func:`~repro.verifier.statics.verify` routed a fully
+    propositional service through the Theorem 4.4 enumeration because
+    ``databases=``/``domain_size=`` were given.  ``timings`` is the
+    per-event-name phase-timing summary from :mod:`repro.obs` (empty
+    with the default null tracer).
     """
 
     verdict: Verdict
@@ -95,6 +104,8 @@ class VerificationResult:
     stats: dict[str, Any] = field(default_factory=dict)
     coverage: str = ""
     checkpoint: Any = None
+    procedure: str = ""
+    timings: dict[str, Any] = field(default_factory=dict)
 
     @property
     def holds(self) -> bool:
@@ -114,6 +125,15 @@ class VerificationResult:
             f"method   : {self.method}",
             f"verdict  : {self.verdict.value.upper()}",
         ]
+        if self.procedure:
+            lines.insert(2, f"procedure: {self.procedure}")
+        if self.timings:
+            lines.append(
+                "timings  : " + ", ".join(
+                    f"{name}×{agg['count']}={agg['total_s']:.3f}s"
+                    for name, agg in self.timings.items()
+                )
+            )
         interesting = (
             "databases_checked", "sigmas_checked", "valuations_checked",
             "snapshots_explored", "buchi_states", "kripke_states",

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.ctl.syntax import StateFormula, ctl_size, is_ctl
+from repro.obs import Tracer, finalize_result, resolve_tracer
 from repro.schema.database import Database
 from repro.service.classify import ServiceClass, classify
 from repro.service.webservice import WebService
@@ -56,6 +57,7 @@ def verify_input_driven_search(
     strict: bool = False,
     resume: Checkpoint | None = None,
     workers: int | None = None,
+    tracer: Tracer | None = None,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for input-driven-search services (Theorem 4.9).
 
@@ -66,7 +68,8 @@ def verify_input_driven_search(
     ``Verdict.INCONCLUSIVE`` with a resumable database cursor unless
     ``strict=True`` (see :mod:`repro.verifier.budget`); ``workers``
     fans the databases out to a process pool with deterministic
-    verdicts (see :mod:`repro.verifier.parallel`).
+    verdicts (see :mod:`repro.verifier.parallel`); ``tracer`` receives
+    the structured event stream (see :mod:`repro.obs`).
     """
     if check_restrictions:
         report = classify(service)
@@ -78,9 +81,11 @@ def verify_input_driven_search(
             )
 
     n_workers = resolve_workers(workers)
+    tr = resolve_tracer(tracer)
     gov = Budget.ensure(
         budget, max_states=max_states, timeout_s=timeout_s, strict=strict
     )
+    gov.tracer = tr
     dbs, used_size = _candidate_databases(
         service, None, databases, domain_size, up_to_iso=True,
         on_step=gov.check_deadline,
@@ -110,6 +115,7 @@ def verify_input_driven_search(
         service=service,
         payload={"formula": formula},
         unit_limits={"max_states": gov.max_states},
+        traced=tr.active,
     )
     stream = UnitStream(dbs, gov, stats, resume=resume)
     outcome = run_units(spec, stream, gov, n_workers)
@@ -119,15 +125,16 @@ def verify_input_driven_search(
         detail = outcome.violation.detail
         stats["counterexample_db_index"] = outcome.violation.db_index
         stats["violating_initial_states"] = detail["violating_initial_states"]
-        return VerificationResult(
+        return finalize_result(tr, VerificationResult(
             verdict=Verdict.VIOLATED,
             property_name=str(formula),
             method=method,
             counterexample_database=detail["database"],
             stats=stats,
-        )
+            procedure="verify_input_driven_search",
+        ))
     if outcome.interrupted is not None:
-        return degrade(
+        return finalize_result(tr, degrade(
             outcome.interrupted,
             budget=gov,
             property_name=str(formula),
@@ -144,10 +151,12 @@ def verify_input_driven_search(
             ),
             phase="search-graph Kripke construction / model checking",
             total_databases=total_dbs,
-        )
-    return VerificationResult(
+            procedure="verify_input_driven_search",
+        ))
+    return finalize_result(tr, VerificationResult(
         verdict=Verdict.HOLDS,
         property_name=str(formula),
         method=method,
         stats=stats,
-    )
+        procedure="verify_input_driven_search",
+    ))

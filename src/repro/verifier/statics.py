@@ -12,6 +12,7 @@ search anyway (sound for violations found, no completeness claim).
 
 from __future__ import annotations
 
+import inspect
 from typing import Any
 
 from repro.ctl.syntax import StateFormula
@@ -22,6 +23,15 @@ from repro.verifier.branching import verify_ctl, verify_fully_propositional
 from repro.verifier.linear import verify_ltlfo
 from repro.verifier.results import UndecidableInstanceError, VerificationResult
 from repro.verifier.search import verify_input_driven_search
+
+#: Options verify_fully_propositional actually accepts, derived from its
+#: signature so the dispatcher can never drift out of sync with the
+#: procedure.  Anything outside this set must not be silently dropped on
+#: the fully propositional fast path — ``resume=`` in particular used to
+#: be discarded, turning a resumed verification into a silent no-op.
+_FP_PARAMS = frozenset(
+    inspect.signature(verify_fully_propositional).parameters
+) - {"service", "formula", "check_restrictions"}
 
 
 def verify(
@@ -43,13 +53,20 @@ def verify(
 
     ``options`` are forwarded to the underlying procedure
     (``databases=``, ``domain_size=``, ``budget=``, ``timeout_s=``,
-    ``strict=``, ``resume=``, ``workers=``, ...).  Every procedure
-    shares the
+    ``strict=``, ``resume=``, ``workers=``, ``tracer=``, ...).  Every
+    procedure shares the
     resource-governor semantics of :mod:`repro.verifier.budget`: with
     the default non-strict settings a blown budget never raises — it
     returns a ``Verdict.INCONCLUSIVE`` result with partial stats, a
     coverage summary, and (where the enumeration has a cursor) a
     resumable checkpoint.
+
+    An option the dispatched procedure does not accept raises
+    ``TypeError`` naming it — nothing is silently dropped.  For a fully
+    propositional service the default route is the single-structure
+    Theorem 4.6 procedure; passing ``databases=`` or ``domain_size=``
+    explicitly requests the Theorem 4.4 enumeration instead, and the
+    returned result's ``procedure`` field records which one actually ran.
     """
     if isinstance(prop, LTLFOSentence):
         return verify_ltlfo(
@@ -58,12 +75,17 @@ def verify(
     if isinstance(prop, StateFormula):
         report = classify(service)
         if report.is_in(ServiceClass.FULLY_PROPOSITIONAL) and "databases" not in options and "domain_size" not in options:
-            fp_options = {
-                k: v for k, v in options.items()
-                if k in ("max_states", "budget", "timeout_s", "strict", "workers")
-            }
+            unsupported = sorted(set(options) - _FP_PARAMS)
+            if unsupported:
+                raise TypeError(
+                    "verify() routed this fully propositional service to "
+                    "verify_fully_propositional (Theorem 4.6), which does "
+                    f"not accept: {', '.join(unsupported)}.  Pass "
+                    "databases= or domain_size= to request the Theorem 4.4 "
+                    "enumeration instead, or drop the option(s)."
+                )
             return verify_fully_propositional(
-                service, prop, check_restrictions=not force, **fp_options
+                service, prop, check_restrictions=not force, **options
             )
         if report.is_in(ServiceClass.PROPOSITIONAL):
             return verify_ctl(
@@ -96,7 +118,7 @@ def decidability_report(
     if isinstance(prop, LTLFOSentence):
         ib = check_ltlfo_input_bounded(prop, service.schema, service.page_names)
         mark = "yes" if ib.ok else "no "
-        lines.append(f"property classification:")
+        lines.append("property classification:")
         lines.append(f"  [{mark}] input-bounded LTL-FO sentence")
         for reason in ib.reasons[:4]:
             lines.append(f"        - {reason}")
@@ -112,7 +134,7 @@ def decidability_report(
         fragment = "CTL" if is_ctl(prop) else "CTL*"
         lines.append(f"property: a {fragment} state formula")
         if report.is_in(ServiceClass.FULLY_PROPOSITIONAL):
-            lines.append(f"=> decidable: Theorem 4.6 (PSPACE)")
+            lines.append("=> decidable: Theorem 4.6 (PSPACE)")
         elif report.is_in(ServiceClass.PROPOSITIONAL):
             bound = "co-NEXPTIME" if fragment == "CTL" else "EXPSPACE"
             lines.append(f"=> decidable: Theorem 4.4 ({bound})")

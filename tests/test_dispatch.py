@@ -1,0 +1,107 @@
+"""Regression tests for the verify() front-door dispatcher.
+
+Two silent-behaviour bugs are pinned here: (1) the fully propositional
+fast path used to filter ``options`` down to a hard-coded allowlist, so
+``resume=`` (and any misspelled option) was dropped without a word,
+turning a resumed verification into a silent no-op; (2) the reroute to
+the Theorem 4.4 enumeration when ``databases=``/``domain_size=`` are
+given was invisible — ``decidability_report`` advertises Theorem 4.6
+for the same instance.  Now unsupported options raise ``TypeError``
+naming them, and ``VerificationResult.procedure`` records which
+procedure actually ran.
+"""
+
+import pytest
+
+from repro.ctl import AG, CAtom, EF
+from repro.verifier import (
+    Budget,
+    Verdict,
+    VerificationBudgetExceeded,
+    decidability_report,
+    verify,
+)
+
+
+@pytest.fixture()
+def prop():
+    return AG(EF(CAtom("HP")))
+
+
+class TestFullyPropositionalOptionForwarding:
+    def test_resume_raises_instead_of_silently_dropping(self, prop_service,
+                                                        prop):
+        # Before the fix this returned a fresh full verification, ignoring
+        # the checkpoint entirely.
+        with pytest.raises(TypeError, match="resume"):
+            verify(prop_service, prop, resume=object())
+
+    def test_misspelled_option_raises(self, prop_service, prop):
+        with pytest.raises(TypeError, match="max_statez"):
+            verify(prop_service, prop, max_statez=10)
+
+    def test_error_message_offers_the_enumeration_route(self, prop_service,
+                                                        prop):
+        with pytest.raises(TypeError, match="domain_size="):
+            verify(prop_service, prop, resume=object())
+
+    def test_supported_options_still_forwarded(self, prop_service, prop):
+        # strict+tiny budget only bites if the budget actually reaches the
+        # procedure — a dropped option would return HOLDS here.
+        with pytest.raises(VerificationBudgetExceeded):
+            verify(prop_service, prop,
+                   budget=Budget(max_states=1, strict=True))
+
+    def test_tracer_forwarded_on_fast_path(self, prop_service, prop):
+        from repro.obs import CollectingTracer
+        tr = CollectingTracer()
+        result = verify(prop_service, prop, tracer=tr)
+        assert result.holds
+        assert any(e.name == "kripke.built" for e in tr.events)
+
+
+class TestExplicitProcedureRecord:
+    def test_default_route_is_theorem_46(self, prop_service, prop):
+        result = verify(prop_service, prop)
+        assert result.holds
+        assert result.procedure == "verify_fully_propositional"
+        assert "Theorem 4.6" in result.method
+
+    def test_domain_size_reroutes_to_theorem_44_and_says_so(
+            self, prop_service, prop):
+        # decidability_report advertises 4.6 for this instance...
+        assert "Theorem 4.6" in decidability_report(prop_service, prop)
+        # ...but databases=/domain_size= explicitly request the 4.4
+        # enumeration, and the result now records that dispatch.
+        result = verify(prop_service, prop, domain_size=1)
+        assert result.holds
+        assert result.procedure == "verify_ctl"
+        assert "Theorem 4.4" in result.method
+
+    def test_rerouted_enumeration_accepts_resume(self, prop_service, prop):
+        # The options rejected on the fast path are honoured on the
+        # enumeration route: run under a one-database budget, then resume
+        # from the checkpoint to completion.
+        first = verify(prop_service, prop, domain_size=1,
+                       budget=Budget(max_databases=1))
+        if first.verdict is Verdict.INCONCLUSIVE:
+            assert first.checkpoint is not None
+            resumed = verify(prop_service, prop, domain_size=1,
+                             resume=first.checkpoint)
+            assert resumed.holds
+            assert resumed.stats["databases_skipped"] >= 1
+        else:
+            # a single database covered the space — the budget was still
+            # forwarded (no TypeError, verdict intact)
+            assert first.holds
+
+    def test_ltlfo_and_ids_paths_record_procedure(self, toy_service, toy_db,
+                                                  ids_service):
+        from repro.fol import Atom, Not
+        from repro.ltl import G, LTLFOSentence
+        ltl = verify(toy_service,
+                     LTLFOSentence((), G(Not(Atom("ERROR", ())))),
+                     databases=[toy_db])
+        assert ltl.procedure == "verify_ltlfo"
+        ids = verify(ids_service, AG(EF(CAtom("HP"))), domain_size=2)
+        assert ids.procedure == "verify_input_driven_search"
