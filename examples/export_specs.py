@@ -1,0 +1,42 @@
+"""Export the demo specifications to ``examples/specs/*.json``.
+
+The committed JSON files are what CI's self-lint job runs ``repro
+lint`` over; re-run this script after changing a demo module and commit
+the result so the checked-in specs never drift from the code.
+
+::
+
+    PYTHONPATH=src python examples/export_specs.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.demo import (
+    core_service,
+    ecommerce_service,
+    propositional_service,
+    search_service,
+)
+from repro.io import save_service
+
+SPECS = {
+    "ecommerce": ecommerce_service,
+    "core": core_service,
+    "propositional": propositional_service,
+    "search_site": search_service,
+}
+
+
+def main() -> None:
+    out_dir = Path(__file__).parent / "specs"
+    out_dir.mkdir(exist_ok=True)
+    for name, build in SPECS.items():
+        path = out_dir / f"{name}.json"
+        save_service(build(), path)
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

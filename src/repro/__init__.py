@@ -36,6 +36,13 @@ from repro.service import (
     classify,
     ServiceClass,
 )
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    SpecLintError,
+    lint_service,
+)
 from repro.ltl import LTLFOSentence, X, U, G, F, B
 from repro.ctl import (
     CAtom,
@@ -69,6 +76,8 @@ __all__ = [
     "check_input_bounded",
     "ServiceBuilder", "WebService", "WebPageSchema", "Session",
     "RunContext", "Run", "classify", "ServiceClass",
+    "Diagnostic", "LintReport", "Severity", "SpecLintError",
+    "lint_service",
     "LTLFOSentence", "X", "U", "G", "F", "B",
     "CAtom", "EX", "AX", "EF", "AF", "EG", "AG", "EU", "AU",
     "KripkeStructure", "check_ctl", "check_ctl_star",

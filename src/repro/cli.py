@@ -9,6 +9,9 @@ properties are written in the temporal text syntaxes of
     python -m repro show spec.json
     python -m repro classify spec.json
     python -m repro audit spec.json
+    python -m repro lint spec.json
+    python -m repro lint spec.json --format sarif -o report.sarif
+    python -m repro lint spec.json --fail-on warning
     python -m repro verify spec.json --ltl 'G !ERROR' --db catalog.json
     python -m repro verify spec.json --ctl 'AG EF HP'
     python -m repro verify spec.json --error-free --db catalog.json
@@ -20,15 +23,19 @@ properties are written in the temporal text syntaxes of
         --trace trace.jsonl --progress
     python -m repro simulate spec.json --db catalog.json --steps 12 --seed 7
 
-Exit codes: 0 property holds, 1 property violated, 2 usage error,
-3 undecidable instance, 4 budget exceeded under ``--strict``,
-5 inconclusive (budget exhausted, non-strict).
+Exit codes (verify): 0 property holds, 1 property violated, 2 usage
+error, 3 undecidable instance, 4 budget exceeded under ``--strict``,
+5 inconclusive (budget exhausted, non-strict), 6 refused by the lint
+pre-flight under ``--lint strict``.  For ``lint``: 0 clean (below the
+``--fail-on`` threshold), 1 findings at/above the threshold, 2 usage
+error.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -41,9 +48,11 @@ from repro.io import (
     save_checkpoint,
     service_to_text,
 )
+from repro.lint import LintReport, Severity, SpecLintError, render
 from repro.ltl.parser import parse_ltlfo
 from repro.obs import JsonlTracer, ProgressTracer, TeeTracer
 from repro.service.classify import classify
+from repro.service.webservice import SpecificationError
 from repro.service.runs import RunContext, random_run
 from repro.verifier import (
     Budget,
@@ -63,6 +72,11 @@ EXIT_USAGE = 2
 EXIT_UNDECIDABLE = 3
 EXIT_BUDGET_STRICT = 4
 EXIT_INCONCLUSIVE = 5
+EXIT_LINT = 6
+
+# repro lint exit codes
+EXIT_LINT_CLEAN = 0
+EXIT_LINT_FINDINGS = 1
 
 
 def _load_databases(service, paths):
@@ -89,6 +103,41 @@ def _cmd_audit(args) -> int:
     service = load_service(args.spec)
     print(audit_service(service))
     return 0
+
+
+def _emit_lint_report(report: LintReport, args) -> None:
+    rendered = render(report, args.format)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+        print(f"lint report written to {args.output}", file=sys.stderr)
+    else:
+        print(rendered)
+
+
+def _cmd_lint(args) -> int:
+    try:
+        service = load_service(args.spec)
+    except SpecificationError as exc:
+        # Structurally invalid spec: render its S0xx diagnostics as the
+        # report.  Structural problems are always errors, so any
+        # --fail-on threshold is met.
+        report = LintReport(
+            service_name=Path(args.spec).stem, diagnostics=exc.diagnostics
+        )
+        _emit_lint_report(report, args)
+        return EXIT_LINT_FINDINGS
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load {args.spec}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    from repro.lint import lint_service
+
+    report = lint_service(service)
+    _emit_lint_report(report, args)
+    threshold = Severity(args.fail_on)
+    return (
+        EXIT_LINT_FINDINGS if report.at_least(threshold) else EXIT_LINT_CLEAN
+    )
 
 
 def _make_budget(args) -> Budget:
@@ -145,6 +194,7 @@ def _cmd_verify(args) -> int:
     if args.domain_size is not None:
         options["domain_size"] = args.domain_size
     options["budget"] = _make_budget(args)
+    options["lint"] = args.lint
     tracer = _make_tracer(args)
     if tracer is not None:
         options["tracer"] = tracer
@@ -240,6 +290,14 @@ def _run_verify(args, service, options) -> int:
             save_checkpoint(exc.checkpoint, args.checkpoint)
             print(f"checkpoint written to {args.checkpoint}", file=sys.stderr)
         return EXIT_BUDGET_STRICT
+    except SpecLintError as exc:
+        print(str(exc), file=sys.stderr)
+        print(
+            "hint: `repro lint` prints the full report; --lint warn "
+            "proceeds anyway, attaching the findings to the result",
+            file=sys.stderr,
+        )
+        return EXIT_LINT
 
     print(result.describe(service))
     if result.inconclusive:
@@ -283,6 +341,21 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("spec")
     audit.set_defaults(func=_cmd_audit)
 
+    lint = sub.add_parser(
+        "lint", help="static analysis with coded, located diagnostics"
+    )
+    lint.add_argument("spec")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
+                      help="report format (default: text)")
+    lint.add_argument("--fail-on", choices=("error", "warning"),
+                      default="error", dest="fail_on",
+                      help="exit 1 when findings at or above this severity "
+                           "exist (default: error)")
+    lint.add_argument("--output", "-o", metavar="FILE",
+                      help="write the report to FILE instead of stdout")
+    lint.set_defaults(func=_cmd_lint)
+
     ver = sub.add_parser("verify", help="verify a temporal property")
     ver.add_argument("spec")
     ver.add_argument("--ltl", help="LTL-FO sentence (text syntax)")
@@ -323,6 +396,11 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--progress", action="store_true",
                      help="print coarse progress events to stderr while "
                           "the verification runs")
+    ver.add_argument("--lint", choices=("warn", "strict", "off"),
+                     default="warn",
+                     help="static pre-flight: warn attaches findings to the "
+                          "result (default), strict refuses on lint errors "
+                          "(exit 6) before any enumeration, off skips it")
     ver.set_defaults(func=_cmd_verify)
 
     sim = sub.add_parser("simulate", help="random run over a database")
@@ -339,7 +417,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); exit quietly the
+        # way POSIX filters do instead of dumping a traceback
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,6 +6,11 @@
   ``→``/``↔`` eliminated);
 - :func:`simplify` — constant folding (true/false absorption, trivial
   equalities, flattening of nested conjunctions/disjunctions);
+- :func:`constant_fold` — deeper static folding on top of
+  :func:`simplify`: complementary literals and conflicting equality
+  bindings inside a conjunction fold to *false* (dually for
+  disjunctions), used by the spec linter to detect statically dead
+  rules;
 - :func:`ground` — expand quantifiers over an explicit finite domain
   (used by the reference evaluator in tests and by the LTL-FO grounding
   step of the verifier);
@@ -222,6 +227,70 @@ def simplify(f: Formula) -> Formula:
         cls = Exists if isinstance(f, Exists) else Forall
         return cls(f.variables, body)
     raise TypeError(f"cannot simplify {f!r}")
+
+
+def constant_fold(f: Formula) -> Formula:
+    """Static folding beyond :func:`simplify`.
+
+    Normalises to NNF, simplifies, and then folds contradictions and
+    tautologies that :func:`simplify` leaves alone: a conjunction
+    containing a part and its complement (``φ ∧ ¬φ``), or two equality
+    bindings of the same variable to distinct literals
+    (``x = "a" ∧ x = "b"``), folds to *false*; a disjunction containing
+    a part and its complement folds to *true*.  Quantifiers over a
+    constant body collapse to the body.
+
+    Sound but not complete: a ``FALSE`` result proves the formula
+    unsatisfiable; any other result proves nothing.  The linter uses it
+    to flag statically dead rules — in particular input rules whose
+    options are statically empty.
+    """
+    return _fold(simplify(nnf(f)))
+
+
+def _complement(f: Formula) -> Formula:
+    return _nnf(f, positive=False)
+
+
+def _fold(f: Formula) -> Formula:
+    if isinstance(f, And):
+        folded = simplify(And(tuple(_fold(p) for p in f.parts)))
+        if not isinstance(folded, And):
+            return folded
+        parts = set(folded.parts)
+        bindings: dict[str, Value] = {}
+        for p in folded.parts:
+            if _complement(p) in parts:
+                return FALSE
+            if isinstance(p, Eq):
+                var = lit = None
+                if isinstance(p.left, Var) and isinstance(p.right, Lit):
+                    var, lit = p.left.name, p.right.value
+                elif isinstance(p.right, Var) and isinstance(p.left, Lit):
+                    var, lit = p.right.name, p.left.value
+                if var is not None:
+                    if var in bindings and bindings[var] != lit:
+                        return FALSE
+                    bindings[var] = lit
+        return folded
+    if isinstance(f, Or):
+        folded = simplify(Or(tuple(_fold(p) for p in f.parts)))
+        if not isinstance(folded, Or):
+            return folded
+        parts = set(folded.parts)
+        for p in folded.parts:
+            if _complement(p) in parts:
+                return TRUE
+        return folded
+    if isinstance(f, Not):
+        return simplify(Not(_fold(f.body)))
+    if isinstance(f, (Exists, Forall)):
+        body = _fold(f.body)
+        if isinstance(body, (Top, Bottom)):
+            return body
+        cls = Exists if isinstance(f, Exists) else Forall
+        return cls(f.variables, body)
+    return f
 
 
 def ground(f: Formula, domain: Iterable[Value]) -> Formula:

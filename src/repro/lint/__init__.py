@@ -1,0 +1,79 @@
+"""Static analysis of Web service specifications.
+
+A pass-based linter in the tradition of the syntactic front ends of the
+data-centric verification line: the paper's whole decidability map
+(Theorems 3.5–4.9) rests on *syntactic* properties of the
+specification, so a static analyzer can check — and explain, with
+locations and codes — everything the verifier would otherwise discover
+the expensive way, before any state enumeration runs.
+
+- :mod:`repro.lint.diagnostics` — :class:`Severity`,
+  :class:`Diagnostic`, :class:`LintReport`, :class:`SpecLintError`;
+- :mod:`repro.lint.catalog` — the diagnostic-code registry
+  (``S0xx`` structural, ``P1xx`` page-graph, ``U2xx`` schema-usage,
+  ``R3xx`` rule-level, ``F4xx`` decidability-frontier);
+- :mod:`repro.lint.passes` / :mod:`repro.lint.engine` — the four
+  analysis passes and :func:`lint_service`;
+- :mod:`repro.lint.emit` — text / JSON / SARIF 2.1.0 emitters.
+
+Usage::
+
+    from repro.lint import lint_service, render_text
+    report = lint_service(service)
+    print(render_text(report))
+    report.has_errors        # gate on it, or use verify(..., lint="strict")
+
+Import structure: only the pure diagnostic types load eagerly, so the
+service layer can raise coded diagnostics without a cycle; the passes
+(which import the service and analysis layers) resolve lazily on first
+use via PEP 562.
+"""
+
+from repro.lint.catalog import CODES, CodeInfo, diag
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    SpecLintError,
+)
+
+__all__ = [
+    "CODES",
+    "CodeInfo",
+    "diag",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "SpecLintError",
+    "LintPass",
+    "PASSES",
+    "lint_service",
+    "render",
+    "render_text",
+    "report_to_json",
+    "report_to_sarif",
+]
+
+#: lazy exports (PEP 562): name -> defining submodule
+_LAZY = {
+    "LintPass": "repro.lint.engine",
+    "PASSES": "repro.lint.engine",
+    "lint_service": "repro.lint.engine",
+    "render": "repro.lint.emit",
+    "render_text": "repro.lint.emit",
+    "report_to_json": "repro.lint.emit",
+    "report_to_sarif": "repro.lint.emit",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

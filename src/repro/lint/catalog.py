@@ -1,0 +1,156 @@
+"""The diagnostic-code catalog.
+
+Every code the linter (or the structural validator) can emit is
+registered here with a stable identifier, a short title, the pass that
+owns it, a default severity, and — where applicable — the theorem of
+the paper it rests on.  Codes are grouped by hundreds:
+
+- ``S0xx`` — structural validity (Definition 2.1), emitted by
+  ``WebService`` construction;
+- ``P1xx`` — page-graph pass (navigation + Definition 2.3 protocol);
+- ``U2xx`` — schema-usage pass (dead relations, broken dataflow);
+- ``R3xx`` — rule-level pass (constant folding, head variables);
+- ``F4xx`` — decidability-frontier pass (Theorems 3.7/3.8/3.9/4.2).
+
+Like :mod:`repro.lint.diagnostics`, this module imports nothing from
+``repro`` so the service layer can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.diagnostics import Diagnostic, Severity
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Catalog entry for one diagnostic code."""
+
+    code: str
+    title: str
+    owner: str  # "structural" or the lint pass name
+    default_severity: Severity
+    theorem_ref: str | None = None
+
+
+_ERR = Severity.ERROR
+_WARN = Severity.WARNING
+_NOTE = Severity.NOTE
+
+_CATALOG: tuple[CodeInfo, ...] = (
+    # -- structural (Definition 2.1, WebService construction) ------------
+    CodeInfo("S001", "duplicate page name", "structural", _ERR,
+             "Definition 2.1"),
+    CodeInfo("S002", "home page not declared", "structural", _ERR,
+             "Definition 2.1"),
+    CodeInfo("S003", "error page is a member of W", "structural", _ERR,
+             "Definition 2.1"),
+    CodeInfo("S004", "page input not in the input schema", "structural",
+             _ERR, "Definition 2.1"),
+    CodeInfo("S005", "input relation without an options rule", "structural",
+             _ERR, "Definition 2.1"),
+    CodeInfo("S006", "undeclared input constant requested", "structural",
+             _ERR, "Definition 2.1"),
+    CodeInfo("S007", "page action not in the action schema", "structural",
+             _ERR, "Definition 2.1"),
+    CodeInfo("S008", "target is not a declared page", "structural", _ERR,
+             "Definition 2.1"),
+    CodeInfo("S009", "rule head not declared in its schema", "structural",
+             _ERR, "Definition 2.1"),
+    CodeInfo("S010", "rule for a symbol the page does not declare",
+             "structural", _ERR, "Definition 2.1"),
+    CodeInfo("S011", "rule head arity mismatch", "structural", _ERR,
+             "Definition 2.1"),
+    CodeInfo("S012", "unknown relation in a rule body", "structural", _ERR,
+             "Definition 2.1"),
+    CodeInfo("S013", "atom arity mismatch", "structural", _ERR,
+             "Definition 2.1"),
+    CodeInfo("S014", "rule body reads an action relation", "structural",
+             _ERR, "Definition 2.1"),
+    CodeInfo("S015", "input rule reads current inputs", "structural", _ERR,
+             "Definition 2.1"),
+    CodeInfo("S016", "atom over an input the page does not declare",
+             "structural", _ERR, "Definition 2.1"),
+    CodeInfo("S017", "prev atom over an unknown input", "structural", _ERR,
+             "Definition 2.1"),
+    CodeInfo("S018", "unknown input constant in a rule body", "structural",
+             _ERR, "Definition 2.1"),
+    CodeInfo("S019", "unknown database constant in a rule body",
+             "structural", _ERR, "Definition 2.1"),
+    # -- page-graph pass --------------------------------------------------
+    CodeInfo("P101", "page unreachable from the home page", "page-graph",
+             _WARN),
+    CodeInfo("P102", "sink page: no outgoing target rule", "page-graph",
+             _NOTE),
+    CodeInfo("P103", "target rules not statically exclusive", "page-graph",
+             _WARN, "Definition 2.3(iii)"),
+    CodeInfo("P104", "dead target rule (condition folds to false)",
+             "page-graph", _WARN),
+    CodeInfo("P105", "input constant read before any path provides it",
+             "page-graph", _ERR, "Definition 2.3(i)"),
+    CodeInfo("P106", "input-constant protocol may-violation", "page-graph",
+             _WARN, "Definition 2.3(i)/(ii)"),
+    CodeInfo("P107", "input constant re-requested on every path",
+             "page-graph", _ERR, "Definition 2.3(ii)"),
+    # -- schema-usage pass ------------------------------------------------
+    CodeInfo("U201", "state relation written but never read",
+             "schema-usage", _WARN),
+    CodeInfo("U202", "state relation read but never written",
+             "schema-usage", _WARN),
+    CodeInfo("U203", "input relation no page offers", "schema-usage",
+             _WARN),
+    CodeInfo("U204", "database relation never read", "schema-usage", _NOTE),
+    CodeInfo("U205", "prev input read but no predecessor provides it",
+             "schema-usage", _WARN),
+    # -- rule-level pass --------------------------------------------------
+    CodeInfo("R301", "input rule statically unsatisfiable: empty options",
+             "rule-level", _ERR, "Definition 2.2"),
+    CodeInfo("R302", "rule body constant-folds to false", "rule-level",
+             _WARN),
+    CodeInfo("R303", "head variable unconstrained by the rule body",
+             "rule-level", _WARN),
+    CodeInfo("R304", "state relation inserted but never deleted",
+             "rule-level", _NOTE),
+    # -- decidability-frontier pass ---------------------------------------
+    CodeInfo("F401", "rule outside the input-bounded restriction",
+             "frontier", _WARN, "Theorem 3.7"),
+    CodeInfo("F402", "state-projection rule", "frontier", _WARN,
+             "Theorem 3.8"),
+    CodeInfo("F403", "input rule outside the exists*/ground-state fragment",
+             "frontier", _WARN, "Theorem 3.9"),
+    CodeInfo("F404", "non-propositional state/action schema", "frontier",
+             _NOTE, "Theorem 4.2"),
+    CodeInfo("F405", "rules read prev inputs", "frontier", _NOTE,
+             "Theorem 4.4"),
+)
+
+#: code → catalog entry, the public registry
+CODES: dict[str, CodeInfo] = {info.code: info for info in _CATALOG}
+
+
+def diag(
+    code: str,
+    message: str,
+    *,
+    page: str | None = None,
+    rule_kind: str | None = None,
+    rule_head: str | None = None,
+    severity: Severity | None = None,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic` with catalog defaults for ``code``.
+
+    ``severity`` overrides the catalog default (the protocol audit, for
+    instance, grades the same code error or warning depending on whether
+    the anomaly must or merely may fire).
+    """
+    info = CODES[code]
+    return Diagnostic(
+        code=code,
+        severity=severity if severity is not None else info.default_severity,
+        message=message,
+        page=page,
+        rule_kind=rule_kind,
+        rule_head=rule_head,
+        theorem_ref=info.theorem_ref,
+    )

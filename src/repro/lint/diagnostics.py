@@ -1,0 +1,160 @@
+"""Located, coded diagnostics — the currency of the spec linter.
+
+A :class:`Diagnostic` pins one finding to a place in the specification
+(page, rule kind, rule head), gives it a stable code from the catalog
+(:mod:`repro.lint.catalog`), a :class:`Severity`, and — where the
+finding marks a decidability boundary — the theorem of the paper that
+justifies it.  A :class:`LintReport` is an ordered collection of
+diagnostics with the summary queries the CLI and the verifier pre-flight
+need.
+
+This module is deliberately import-pure (no ``repro`` imports), so the
+service layer can raise diagnostics without creating an import cycle
+with the lint passes that analyse services.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    - ``ERROR`` — the specification is statically broken: an error
+      condition of Definition 2.3 always fires, an interaction is
+      statically dead (empty options), or the structure violates
+      Definition 2.1.  ``verify(..., lint="strict")`` refuses on these.
+    - ``WARNING`` — a may-happen anomaly or dead weight: the static
+      over-approximation cannot rule the problem out, or a rule can
+      never contribute to a run.
+    - ``NOTE`` — informational: decidability-frontier facts and style
+      observations that do not indicate a defect.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    #: numeric rank, higher = more severe (for --fail-on comparisons)
+    @property
+    def rank(self) -> int:
+        return {"error": 3, "warning": 2, "note": 1}[self.value]
+
+    def at_least(self, other: "Severity") -> bool:
+        return self.rank >= other.rank
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One located finding.
+
+    ``page``/``rule_kind``/``rule_head`` locate the finding inside the
+    specification (any may be None for schema- or service-level
+    findings); ``rule_kind`` is one of ``"input"``, ``"state"``,
+    ``"action"``, ``"target"``, ``"page"`` or ``"schema"``.
+    ``theorem_ref`` cites the statement of the paper the finding rests
+    on, when there is one.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    page: str | None = None
+    rule_kind: str | None = None
+    rule_head: str | None = None
+    theorem_ref: str | None = None
+
+    @property
+    def location(self) -> str:
+        """Human-readable location, e.g. ``page UPP, input rule pay``."""
+        if self.page is None:
+            return "schema" if self.rule_kind == "schema" else "service"
+        bits = [f"page {self.page}"]
+        if self.rule_kind and self.rule_kind not in ("page",):
+            head = f" {self.rule_head}" if self.rule_head else ""
+            bits.append(f"{self.rule_kind} rule{head}")
+        return ", ".join(bits)
+
+    def __str__(self) -> str:
+        cite = f" [{self.theorem_ref}]" if self.theorem_ref else ""
+        return (
+            f"{self.severity.value}[{self.code}] {self.location}: "
+            f"{self.message}{cite}"
+        )
+
+
+@dataclass
+class LintReport:
+    """All diagnostics one lint run produced, in pass order."""
+
+    service_name: str = ""
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def with_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.with_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.with_severity(Severity.WARNING)
+
+    @property
+    def notes(self) -> list[Diagnostic]:
+        return self.with_severity(Severity.NOTE)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def at_least(self, threshold: Severity) -> list[Diagnostic]:
+        """Diagnostics at or above a severity (for ``--fail-on``)."""
+        return [d for d in self.diagnostics
+                if d.severity.at_least(threshold)]
+
+    def counts(self) -> dict[str, int]:
+        """``{"error": n, "warning": n, "note": n}`` (zero entries kept)."""
+        out = {s.value: 0 for s in Severity}
+        for d in self.diagnostics:
+            out[d.severity.value] += 1
+        return out
+
+    def summary(self) -> str:
+        """One line: ``3 errors, 2 warnings, 5 notes``."""
+        counts = self.counts()
+        bits = []
+        for sev in Severity:
+            n = counts[sev.value]
+            if n:
+                bits.append(f"{n} {sev.value}{'s' if n != 1 else ''}")
+        return ", ".join(bits) or "no findings"
+
+
+class SpecLintError(Exception):
+    """``verify(..., lint="strict")`` refused: the linter found errors.
+
+    Raised *before* any decision procedure runs — no database is ever
+    enumerated for a spec the linter rejects.  Carries the full
+    :class:`LintReport` so the caller can render or triage it.
+    """
+
+    def __init__(self, report: LintReport) -> None:
+        self.report = report
+        shown = [str(d) for d in report.errors[:8]]
+        super().__init__(
+            "specification rejected by lint pre-flight "
+            f"({report.summary()}):\n  - " + "\n  - ".join(shown)
+        )

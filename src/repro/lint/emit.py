@@ -1,0 +1,153 @@
+"""Report emitters: text, JSON, and SARIF 2.1.0.
+
+The SARIF emitter targets the static-analysis interchange format most
+code-review tooling ingests (GitHub code scanning, VS Code SARIF
+viewers).  Web service specifications have no line numbers, so findings
+are located with SARIF *logical locations* — the page and rule the
+diagnostic points at — rather than physical regions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lint.catalog import CODES
+from repro.lint.diagnostics import Diagnostic, LintReport
+
+#: SARIF 2.1.0 schema URI (the canonical OASIS location)
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+_TOOL_NAME = "repro-lint"
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [f"lint report for {report.service_name!r}:"]
+    if not report.diagnostics:
+        lines.append("  no findings")
+    for d in report.diagnostics:
+        lines.append(f"  {d}")
+    lines.append(f"summary: {report.summary()}")
+    return "\n".join(lines)
+
+
+def report_to_json(report: LintReport) -> dict[str, Any]:
+    """Plain-JSON structure mirroring the :class:`Diagnostic` fields."""
+    return {
+        "service": report.service_name,
+        "summary": report.counts(),
+        "diagnostics": [_diag_to_dict(d) for d in report.diagnostics],
+    }
+
+
+def _diag_to_dict(d: Diagnostic) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "code": d.code,
+        "severity": d.severity.value,
+        "message": d.message,
+        "location": d.location,
+    }
+    if d.page is not None:
+        out["page"] = d.page
+    if d.rule_kind is not None:
+        out["rule_kind"] = d.rule_kind
+    if d.rule_head is not None:
+        out["rule_head"] = d.rule_head
+    if d.theorem_ref is not None:
+        out["theorem_ref"] = d.theorem_ref
+    return out
+
+
+def report_to_sarif(report: LintReport) -> dict[str, Any]:
+    """SARIF 2.1.0 log with one run, one result per diagnostic."""
+    used_codes = sorted({d.code for d in report.diagnostics})
+    rules = []
+    for code in used_codes:
+        info = CODES[code]
+        rule: dict[str, Any] = {
+            "id": code,
+            "name": _rule_name(info.title),
+            "shortDescription": {"text": info.title},
+            "defaultConfiguration": {
+                "level": _sarif_level(info.default_severity.value),
+            },
+            "properties": {"pass": info.owner},
+        }
+        if info.theorem_ref:
+            rule["help"] = {
+                "text": f"{info.title} ({info.theorem_ref}, Deutsch, Sui & "
+                        "Vianu, PODS 2004)"
+            }
+        rules.append(rule)
+
+    results = []
+    for d in report.diagnostics:
+        result: dict[str, Any] = {
+            "ruleId": d.code,
+            "ruleIndex": used_codes.index(d.code),
+            "level": _sarif_level(d.severity.value),
+            "message": {"text": d.message},
+            "locations": [{
+                "logicalLocations": [_logical_location(d)],
+            }],
+        }
+        if d.theorem_ref:
+            result["properties"] = {"theorem_ref": d.theorem_ref}
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": _TOOL_NAME,
+                    "informationUri":
+                        "https://doi.org/10.1145/1055558.1055568",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+            "properties": {"service": report.service_name},
+        }],
+    }
+
+
+def _sarif_level(severity: str) -> str:
+    # Severity values happen to coincide with SARIF levels; keep the
+    # mapping explicit so a future severity never leaks an invalid level.
+    return {"error": "error", "warning": "warning", "note": "note"}[severity]
+
+
+def _rule_name(title: str) -> str:
+    """SARIF rule names are PascalCase identifiers."""
+    words = "".join(c if c.isalnum() else " " for c in title).split()
+    return "".join(w.capitalize() for w in words)
+
+
+def _logical_location(d: Diagnostic) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "fullyQualifiedName": d.location,
+        "kind": "member",
+    }
+    if d.page is not None:
+        out["name"] = d.page
+    elif d.rule_head is not None:
+        out["name"] = d.rule_head
+    return out
+
+
+def render(report: LintReport, fmt: str) -> str:
+    """Render a report in one of ``text`` / ``json`` / ``sarif``."""
+    if fmt == "text":
+        return render_text(report)
+    if fmt == "json":
+        return json.dumps(report_to_json(report), indent=2)
+    if fmt == "sarif":
+        return json.dumps(report_to_sarif(report), indent=2)
+    raise ValueError(f"unknown lint output format {fmt!r}")

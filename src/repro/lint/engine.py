@@ -1,0 +1,87 @@
+"""The lint engine: run the passes, collect the report.
+
+:func:`lint_service` is the one-call entry point — the CLI's
+``repro lint`` and the verifier's pre-flight both go through it.  The
+pass list is data (:data:`PASSES`), so later work can register
+additional passes without touching the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.passes import (
+    pass_frontier,
+    pass_page_graph,
+    pass_rule_level,
+    pass_schema_usage,
+)
+from repro.service.webservice import WebService
+
+#: severity rank of each code's pass, for ordering within the report
+_SEVERITY_ORDER = {"error": 0, "warning": 1, "note": 2}
+
+
+@dataclass(frozen=True)
+class LintPass:
+    """One registered analysis pass."""
+
+    name: str
+    description: str
+    run: Callable[[WebService], list[Diagnostic]]
+
+
+PASSES: tuple[LintPass, ...] = (
+    LintPass(
+        "page-graph",
+        "navigation structure and the Definition 2.3 error protocol",
+        pass_page_graph,
+    ),
+    LintPass(
+        "schema-usage",
+        "dead relations and broken input/state dataflow",
+        pass_schema_usage,
+    ),
+    LintPass(
+        "rule-level",
+        "constant folding of rule bodies and head-variable hygiene",
+        pass_rule_level,
+    ),
+    LintPass(
+        "frontier",
+        "decidability-frontier triggers (Theorems 3.7/3.8/3.9, §4)",
+        pass_frontier,
+    ),
+)
+
+
+def lint_service(
+    service: WebService,
+    passes: Iterable[LintPass] | None = None,
+) -> LintReport:
+    """Run the analysis passes over a (structurally valid) service.
+
+    Structural validity (the ``S0xx`` codes) is enforced by
+    :class:`~repro.service.webservice.WebService` construction itself —
+    a service object in hand has already passed it; the raised
+    :class:`~repro.service.webservice.SpecificationError` carries those
+    diagnostics for specs that never get this far.
+
+    Diagnostics come back in pass order, errors before warnings before
+    notes within each pass.
+    """
+    diagnostics: list[Diagnostic] = []
+    for lint_pass in (PASSES if passes is None else tuple(passes)):
+        found = lint_pass.run(service)
+        found.sort(key=lambda d: _SEVERITY_ORDER[d.severity.value])
+        diagnostics.extend(found)
+    return LintReport(service_name=service.name, diagnostics=diagnostics)
+
+
+def pass_of(code: str) -> str:
+    """The pass (or ``"structural"``) that owns a diagnostic code."""
+    from repro.lint.catalog import CODES
+
+    return CODES[code].owner

@@ -23,6 +23,11 @@ Event taxonomy (``name`` → meaning, extra fields):
   (``counter``, ``value``; per database / per absorbed unit, never per
   snapshot);
 - ``budget.exhausted`` — a budget limit struck (``limit``, ``phase``);
+- ``lint.finding`` — the static pre-flight of
+  :func:`~repro.verifier.statics.verify` surfaced one diagnostic
+  (``code``, ``severity``, ``location``, ``message``); always precedes
+  every ``database.enumerated`` event of the call, since the linter
+  runs before any decision procedure;
 - ``verdict`` — the verification call finished (``verdict``,
   ``procedure``, ``method``).
 
@@ -219,7 +224,7 @@ class ProgressTracer(_RecordingTracer):
     #: event names worth a progress line (the rest are aggregated only)
     SHOWN = frozenset({
         "database.enumerated", "unit.finish", "buchi.compiled",
-        "kripke.built", "budget.exhausted", "verdict",
+        "kripke.built", "budget.exhausted", "lint.finding", "verdict",
     })
 
     def __init__(self, stream: TextIO | None = None) -> None:

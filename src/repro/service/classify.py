@@ -41,6 +41,29 @@ class ServiceClass(enum.Enum):
     UNRESTRICTED = "unrestricted (verification undecidable in general)"
 
 
+@dataclass(frozen=True)
+class ProjectionSite:
+    """One state-insertion rule that projects a state relation.
+
+    Locates a Theorem 3.8 trigger: on ``page``, the insertion rule for
+    ``head`` contains the state atom ``atom`` with at least one
+    existentially quantified variable — the rule computes a projection
+    of ``atom``'s relation, the extension for which verification is
+    undecidable.
+    """
+
+    page: str
+    head: str
+    atom: str
+    rule: str
+
+    def __str__(self) -> str:
+        return (
+            f"page {self.page}, state rule {self.head}: projects state "
+            f"atom {self.atom} (existentially quantified variable)"
+        )
+
+
 @dataclass
 class ClassificationReport:
     """Which decidable classes a service belongs to, with explanations."""
@@ -49,6 +72,7 @@ class ClassificationReport:
     reasons: dict[ServiceClass, list[str]] = field(default_factory=dict)
     has_state_projections: bool = False
     uses_prev: bool = False
+    state_projections: list[ProjectionSite] = field(default_factory=list)
 
     def is_in(self, cls: ServiceClass) -> bool:
         return cls in self.classes
@@ -70,17 +94,26 @@ class ClassificationReport:
             lines.append(
                 "  note: uses state projections (undecidable extension, Thm 3.8)"
             )
+            for site in self.state_projections[:4]:
+                lines.append(f"        - {site}")
         return "\n".join(lines)
 
 
 def classify(service: WebService) -> ClassificationReport:
     """Classify ``service`` against every decidable class."""
     report = ClassificationReport()
+    # The input-bounded check underlies three of the classes; compute it
+    # once and share (each dependent check copies before extending).
+    ib_problems = _check_input_bounded_service(service)
     checks = {
-        ServiceClass.INPUT_BOUNDED: _check_input_bounded_service(service),
-        ServiceClass.PROPOSITIONAL: _check_propositional(service),
-        ServiceClass.FULLY_PROPOSITIONAL: _check_fully_propositional(service),
-        ServiceClass.INPUT_DRIVEN_SEARCH: _check_input_driven_search(service),
+        ServiceClass.INPUT_BOUNDED: ib_problems,
+        ServiceClass.PROPOSITIONAL: _check_propositional(service, ib_problems),
+        ServiceClass.FULLY_PROPOSITIONAL: _check_fully_propositional(
+            service, ib_problems
+        ),
+        ServiceClass.INPUT_DRIVEN_SEARCH: _check_input_driven_search(
+            service, ib_problems
+        ),
         ServiceClass.SIMPLE: _check_simple(service),
     }
     for cls, problems in checks.items():
@@ -90,7 +123,8 @@ def classify(service: WebService) -> ClassificationReport:
             report.classes.add(cls)
     if not report.classes:
         report.classes.add(ServiceClass.UNRESTRICTED)
-    report.has_state_projections = _has_state_projections(service)
+    report.state_projections = find_state_projections(service)
+    report.has_state_projections = bool(report.state_projections)
     report.uses_prev = _uses_prev(service)
     return report
 
@@ -113,10 +147,16 @@ def _check_input_bounded_service(service: WebService) -> list[str]:
     return problems
 
 
-def _check_propositional(service: WebService) -> list[str]:
+def _check_propositional(
+    service: WebService, ib_problems: list[str] | None = None
+) -> list[str]:
     """Propositional services (§4): input-bounded, propositional states
     and actions, and no ``Prev_I`` atoms in any rule."""
-    problems = _check_input_bounded_service(service)
+    problems = list(
+        ib_problems
+        if ib_problems is not None
+        else _check_input_bounded_service(service)
+    )
     for sym in service.schema.state.relations:
         if sym.arity != 0:
             problems.append(f"state relation {sym} is not propositional")
@@ -128,10 +168,12 @@ def _check_propositional(service: WebService) -> list[str]:
     return problems
 
 
-def _check_fully_propositional(service: WebService) -> list[str]:
+def _check_fully_propositional(
+    service: WebService, ib_problems: list[str] | None = None
+) -> list[str]:
     """Fully propositional services (Theorem 4.6): everything is
     propositional and the database plays no role."""
-    problems = _check_propositional(service)
+    problems = _check_propositional(service, ib_problems)
     for sym in service.schema.input.relations:
         if sym.arity != 0:
             problems.append(f"input relation {sym} is not propositional")
@@ -163,9 +205,15 @@ def _check_simple(service: WebService) -> list[str]:
     return problems
 
 
-def _check_input_driven_search(service: WebService) -> list[str]:
+def _check_input_driven_search(
+    service: WebService, ib_problems: list[str] | None = None
+) -> list[str]:
     """Input-driven-search services (Definition 4.7)."""
-    problems = _check_input_bounded_service(service)
+    problems = list(
+        ib_problems
+        if ib_problems is not None
+        else _check_input_bounded_service(service)
+    )
     schema = service.schema
 
     inputs = sorted(schema.input.relations)
@@ -285,21 +333,57 @@ def _matches_ids_input_rule(
     )
 
 
-def _has_state_projections(service: WebService) -> bool:
-    """Detect insertion rules of the shape ``S(x) ← ∃y S'(x, y)``
-    (the undecidable extension of Theorem 3.8)."""
+def find_state_projections(service: WebService) -> list[ProjectionSite]:
+    """Locate every state-projection insertion rule (Theorem 3.8).
+
+    A projection rule computes ``S(x̄) ← … ∃ȳ(… S'(x̄, ȳ) …) …`` — a
+    state atom with at least one existentially quantified variable.
+    Unlike a bare top-level ``∃y S'(x, y)`` match, this walks the whole
+    body, so projections nested under conjunctions, negations, or
+    multi-variable quantifier blocks are found too, and each finding
+    names the page and rule that triggers the theorem.
+    """
     state_names = {sym.name for sym in service.schema.state.relations}
+    sites: list[ProjectionSite] = []
     for page in service.pages.values():
         for rule in page.state_rules:
-            f = rule.formula
-            if (
-                rule.insert
-                and isinstance(f, Exists)
-                and isinstance(f.body, Atom)
-                and f.body.relation in state_names
-            ):
-                return True
-    return False
+            if not rule.insert:
+                continue
+            for atom in _projected_atoms(rule.formula, state_names, frozenset()):
+                sites.append(
+                    ProjectionSite(page.name, rule.state, str(atom), str(rule))
+                )
+    return sites
+
+
+def _projected_atoms(
+    f: Formula, state_names: set[str], bound: frozenset[str]
+) -> list[Atom]:
+    if isinstance(f, Atom):
+        vars_in = {t.name for t in f.terms if isinstance(t, Var)}
+        if f.relation in state_names and vars_in & bound:
+            return [f]
+        return []
+    if isinstance(f, Exists):
+        return _projected_atoms(f.body, state_names, bound | set(f.variables))
+    out: list[Atom] = []
+    for child in _formula_children(f):
+        out.extend(_projected_atoms(child, state_names, bound))
+    return out
+
+
+def _formula_children(f: Formula) -> tuple[Formula, ...]:
+    if isinstance(f, Not):
+        return (f.body,)
+    if isinstance(f, (And, Or)):
+        return f.parts
+    if hasattr(f, "antecedent"):
+        return (f.antecedent, f.consequent)
+    if hasattr(f, "left") and hasattr(f, "right") and not isinstance(f, Eq):
+        return (f.left, f.right)
+    if hasattr(f, "body"):
+        return (f.body,)
+    return ()
 
 
 def _uses_prev(service: WebService) -> bool:

@@ -19,6 +19,8 @@ from repro.fol.analysis import (
     input_constants_of,
 )
 from repro.fol.formulas import Formula
+from repro.lint.catalog import diag
+from repro.lint.diagnostics import Diagnostic
 from repro.schema.schema import ServiceSchema
 from repro.schema.symbols import RelationKind, unprev_name
 from repro.service.page import WebPageSchema
@@ -31,11 +33,19 @@ class SpecificationError(Exception):
     """A structurally invalid Web service specification.
 
     Carries the full list of problems so an author can fix them in one
-    round trip.
+    round trip.  ``diagnostics`` holds the same findings as coded
+    :class:`~repro.lint.diagnostics.Diagnostic` objects (``S0xx`` codes)
+    when the raiser produced them; ``problems`` remains the plain-string
+    view for backward compatibility.
     """
 
-    def __init__(self, problems: list[str]) -> None:
+    def __init__(
+        self,
+        problems: list[str],
+        diagnostics: list[Diagnostic] | None = None,
+    ) -> None:
         self.problems = problems
+        self.diagnostics: list[Diagnostic] = list(diagnostics or [])
         summary = "\n  - ".join(problems)
         super().__init__(f"invalid Web service specification:\n  - {summary}")
 
@@ -69,14 +79,20 @@ class WebService:
         self.pages: dict[str, WebPageSchema] = {}
         for page in pages:
             if page.name in self.pages:
-                raise SpecificationError([f"duplicate page name {page.name!r}"])
+                message = f"duplicate page name {page.name!r}"
+                raise SpecificationError(
+                    [message],
+                    [diag("S001", message, page=page.name, rule_kind="page")],
+                )
             self.pages[page.name] = page
         self.home = home
         self.error_page = error_page
         self.name = name
-        problems = list(self._validate())
-        if problems:
-            raise SpecificationError(problems)
+        diagnostics = list(self._validate_diagnostics())
+        if diagnostics:
+            raise SpecificationError(
+                [d.message for d in diagnostics], diagnostics
+            )
 
     # -- access ------------------------------------------------------------
 
@@ -128,105 +144,160 @@ class WebService:
     # -- validation ----------------------------------------------------------
 
     def _validate(self) -> Iterator[str]:
+        """Backward-compatible string view of the structural validation."""
+        return (d.message for d in self._validate_diagnostics())
+
+    def _validate_diagnostics(self) -> Iterator[Diagnostic]:
         if self.home not in self.pages:
-            yield f"home page {self.home!r} is not among the declared pages"
+            yield diag(
+                "S002",
+                f"home page {self.home!r} is not among the declared pages",
+            )
         if self.error_page in self.pages:
-            yield f"error page {self.error_page!r} must not be a member of W"
+            yield diag(
+                "S003",
+                f"error page {self.error_page!r} must not be a member of W",
+                page=self.error_page, rule_kind="page",
+            )
 
         for page in self.pages.values():
             yield from self._validate_page(page)
 
-    def _validate_page(self, page: WebPageSchema) -> Iterator[str]:
+    def _validate_page(self, page: WebPageSchema) -> Iterator[Diagnostic]:
         where = f"page {page.name}"
+
+        def here(code, message, *, kind="page", head=None):
+            return diag(code, message, page=page.name, rule_kind=kind,
+                        rule_head=head)
+
         input_rel_names = set()
         for input_name in page.inputs:
             sym = self.schema.input.get(input_name)
             if sym is None:
-                yield f"{where}: input {input_name!r} is not in the input schema"
+                yield here(
+                    "S004",
+                    f"{where}: input {input_name!r} is not in the input schema",
+                )
                 continue
             input_rel_names.add(input_name)
             if sym.arity > 0 and page.input_rule_for(input_name) is None:
-                yield (
+                yield here(
+                    "S005",
                     f"{where}: input relation {input_name!r} has arity "
-                    f"{sym.arity} > 0 but no input rule"
+                    f"{sym.arity} > 0 but no input rule",
+                    kind="input", head=input_name,
                 )
         for const in page.input_constants:
             if const not in self.schema.input_constants:
-                yield (
+                yield here(
+                    "S006",
                     f"{where}: input constant {const!r} is not declared in the "
-                    "input schema"
+                    "input schema",
                 )
         for action_name in page.actions:
             if self.schema.action.get(action_name) is None:
-                yield f"{where}: action {action_name!r} is not in the action schema"
+                yield here(
+                    "S007",
+                    f"{where}: action {action_name!r} is not in the action schema",
+                )
         for target in page.targets:
             if target not in self.pages:
-                yield f"{where}: target {target!r} is not a declared page"
+                yield here(
+                    "S008", f"{where}: target {target!r} is not a declared page"
+                )
 
         declared_targets = set(page.targets)
         for rule in page.target_rules:
             if rule.target not in declared_targets:
-                yield (
+                yield here(
+                    "S010",
                     f"{where}: target rule for {rule.target!r} but "
-                    f"{rule.target!r} is not among the page's targets"
+                    f"{rule.target!r} is not among the page's targets",
+                    kind="target", head=rule.target,
                 )
             yield from self._check_formula(
                 rule.formula, page, f"{where}, target rule {rule.target}",
-                allow_page_inputs=True,
+                "target", rule.target, allow_page_inputs=True,
             )
 
         for rule in page.input_rules:
             sym = self.schema.input.get(rule.input)
             if sym is None:
-                yield f"{where}: input rule for undeclared input {rule.input!r}"
+                yield here(
+                    "S009",
+                    f"{where}: input rule for undeclared input {rule.input!r}",
+                    kind="input", head=rule.input,
+                )
             else:
                 if rule.input not in input_rel_names:
-                    yield (
+                    yield here(
+                        "S010",
                         f"{where}: input rule for {rule.input!r}, which is not "
-                        "among the page's inputs"
+                        "among the page's inputs",
+                        kind="input", head=rule.input,
                     )
                 if len(rule.variables) != sym.arity:
-                    yield (
+                    yield here(
+                        "S011",
                         f"{where}: input rule for {rule.input!r} has "
-                        f"{len(rule.variables)} head variables, arity is {sym.arity}"
+                        f"{len(rule.variables)} head variables, arity is "
+                        f"{sym.arity}",
+                        kind="input", head=rule.input,
                     )
             yield from self._check_formula(
                 rule.formula, page, f"{where}, input rule {rule.input}",
-                allow_page_inputs=False,
+                "input", rule.input, allow_page_inputs=False,
             )
 
         for srule in page.state_rules:
             sym = self.schema.state.get(srule.state)
             if sym is None:
-                yield f"{where}: state rule for undeclared state {srule.state!r}"
+                yield here(
+                    "S009",
+                    f"{where}: state rule for undeclared state {srule.state!r}",
+                    kind="state", head=srule.state,
+                )
             elif len(srule.variables) != sym.arity:
-                yield (
+                yield here(
+                    "S011",
                     f"{where}: state rule for {srule.state!r} has "
-                    f"{len(srule.variables)} head variables, arity is {sym.arity}"
+                    f"{len(srule.variables)} head variables, arity is "
+                    f"{sym.arity}",
+                    kind="state", head=srule.state,
                 )
             yield from self._check_formula(
                 srule.formula, page, f"{where}, state rule {srule.state}",
-                allow_page_inputs=True,
+                "state", srule.state, allow_page_inputs=True,
             )
 
         for arule in page.action_rules:
             sym = self.schema.action.get(arule.action)
             if sym is None:
-                yield f"{where}: action rule for undeclared action {arule.action!r}"
+                yield here(
+                    "S009",
+                    f"{where}: action rule for undeclared action "
+                    f"{arule.action!r}",
+                    kind="action", head=arule.action,
+                )
             else:
                 if arule.action not in page.actions:
-                    yield (
+                    yield here(
+                        "S010",
                         f"{where}: action rule for {arule.action!r}, which is "
-                        "not among the page's actions"
+                        "not among the page's actions",
+                        kind="action", head=arule.action,
                     )
                 if len(arule.variables) != sym.arity:
-                    yield (
+                    yield here(
+                        "S011",
                         f"{where}: action rule for {arule.action!r} has "
-                        f"{len(arule.variables)} head variables, arity is {sym.arity}"
+                        f"{len(arule.variables)} head variables, arity is "
+                        f"{sym.arity}",
+                        kind="action", head=arule.action,
                     )
             yield from self._check_formula(
                 arule.formula, page, f"{where}, action rule {arule.action}",
-                allow_page_inputs=True,
+                "action", arule.action, allow_page_inputs=True,
             )
 
     def _check_formula(
@@ -234,48 +305,69 @@ class WebService:
         formula: Formula,
         page: WebPageSchema,
         where: str,
+        rule_kind: str,
+        rule_head: str,
         allow_page_inputs: bool,
-    ) -> Iterator[str]:
+    ) -> Iterator[Diagnostic]:
         """Check vocabulary and arities of a rule body (Definition 2.1).
 
         Input rules may use ``D ∪ S ∪ Prev_I ∪ const(I)``; state, action
         and target rules may additionally use the page's own inputs
         ``I_W``.
         """
+
+        def here(code, message):
+            return diag(code, message, page=page.name, rule_kind=rule_kind,
+                        rule_head=rule_head)
+
         page_inputs = set(page.inputs)
         for a in atoms_of(formula):
             sym = self.schema.resolve(a.relation)
             if sym is None:
-                yield f"{where}: unknown relation {a.relation!r}"
+                yield here("S012", f"{where}: unknown relation {a.relation!r}")
                 continue
             if len(a.terms) != sym.arity:
-                yield (
+                yield here(
+                    "S013",
                     f"{where}: atom {a} has {len(a.terms)} arguments, "
-                    f"{a.relation} has arity {sym.arity}"
+                    f"{a.relation} has arity {sym.arity}",
                 )
             if sym.kind is RelationKind.ACTION:
-                yield f"{where}: rule bodies may not read action relation {a.relation!r}"
+                yield here(
+                    "S014",
+                    f"{where}: rule bodies may not read action relation "
+                    f"{a.relation!r}",
+                )
             elif sym.kind is RelationKind.INPUT:
                 if not allow_page_inputs:
-                    yield (
+                    yield here(
+                        "S015",
                         f"{where}: input rules may not read current inputs "
-                        f"({a.relation!r})"
+                        f"({a.relation!r})",
                     )
                 elif a.relation not in page_inputs:
-                    yield (
+                    yield here(
+                        "S016",
                         f"{where}: atom over input {a.relation!r}, which is not "
-                        f"an input of page {page.name}"
+                        f"an input of page {page.name}",
                     )
             elif sym.kind is RelationKind.PREV:
                 base = unprev_name(sym)
                 if self.schema.input.get(base) is None:
-                    yield f"{where}: prev atom {a.relation!r} over unknown input"
+                    yield here(
+                        "S017",
+                        f"{where}: prev atom {a.relation!r} over unknown input",
+                    )
         for const in input_constants_of(formula):
             if const not in self.schema.input_constants:
-                yield f"{where}: unknown input constant @{const}"
+                yield here(
+                    "S018", f"{where}: unknown input constant @{const}"
+                )
         for const in db_constants_of(formula):
             if const not in self.schema.database.constants:
-                yield f"{where}: unknown database constant #{const}"
+                yield here(
+                    "S019", f"{where}: unknown database constant #{const}"
+                )
 
     def __repr__(self) -> str:
         return (

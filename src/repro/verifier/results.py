@@ -93,7 +93,11 @@ class VerificationResult:
     propositional service through the Theorem 4.4 enumeration because
     ``databases=``/``domain_size=`` were given.  ``timings`` is the
     per-event-name phase-timing summary from :mod:`repro.obs` (empty
-    with the default null tracer).
+    with the default null tracer).  ``diagnostics`` carries the lint
+    pre-flight findings (:class:`~repro.lint.diagnostics.Diagnostic`)
+    when :func:`~repro.verifier.statics.verify` ran with
+    ``lint="warn"``/``"strict"`` — empty with ``lint="off"`` or a clean
+    spec.
     """
 
     verdict: Verdict
@@ -106,6 +110,7 @@ class VerificationResult:
     checkpoint: Any = None
     procedure: str = ""
     timings: dict[str, Any] = field(default_factory=dict)
+    diagnostics: list[Any] = field(default_factory=list)
 
     @property
     def holds(self) -> bool:
@@ -146,6 +151,19 @@ class VerificationResult:
             )
         if self.coverage:
             lines.append(f"coverage : {self.coverage}")
+        if self.diagnostics:
+            counts: dict[str, int] = {}
+            for d in self.diagnostics:
+                key = getattr(d.severity, "value", str(d.severity))
+                counts[key] = counts.get(key, 0) + 1
+            summary = ", ".join(
+                f"{n} {sev}{'s' if n != 1 else ''}"
+                for sev, n in counts.items()
+            )
+            lines.append(
+                f"lint     : {summary} (see result.diagnostics, or run "
+                "`repro lint`)"
+            )
         if self.inconclusive:
             lines.append(
                 "note     : budget exhausted before the search space — no "

@@ -17,12 +17,16 @@ from typing import Any
 
 from repro.ctl.syntax import StateFormula
 from repro.ltl.ltlfo import LTLFOSentence, check_ltlfo_input_bounded
+from repro.obs import resolve_tracer
 from repro.service.classify import ServiceClass, classify
 from repro.service.webservice import WebService
 from repro.verifier.branching import verify_ctl, verify_fully_propositional
 from repro.verifier.linear import verify_ltlfo
 from repro.verifier.results import UndecidableInstanceError, VerificationResult
 from repro.verifier.search import verify_input_driven_search
+
+#: accepted values of verify()'s ``lint=`` option
+_LINT_MODES = ("off", "warn", "strict")
 
 #: Options verify_fully_propositional actually accepts, derived from its
 #: signature so the dispatcher can never drift out of sync with the
@@ -67,7 +71,58 @@ def verify(
     Theorem 4.6 procedure; passing ``databases=`` or ``domain_size=``
     explicitly requests the Theorem 4.4 enumeration instead, and the
     returned result's ``procedure`` field records which one actually ran.
+
+    ``lint=`` controls the static pre-flight (:mod:`repro.lint`), which
+    runs *before* any decision procedure — in particular before any
+    database is enumerated:
+
+    - ``"warn"`` (default) — run the linter, emit one ``lint.finding``
+      trace event per diagnostic, attach the findings to
+      ``result.diagnostics``, and proceed;
+    - ``"strict"`` — additionally refuse with
+      :class:`~repro.lint.diagnostics.SpecLintError` when the linter
+      finds error-severity diagnostics (a statically empty input rule,
+      a protocol violation that always fires, ...) instead of spending
+      the verification budget on a broken spec;
+    - ``"off"`` — skip the pre-flight entirely.
     """
+    lint_mode = options.pop("lint", "warn")
+    if lint_mode not in _LINT_MODES:
+        raise ValueError(
+            f"lint={lint_mode!r} is not one of {', '.join(_LINT_MODES)}"
+        )
+    diagnostics = []
+    if lint_mode != "off":
+        from repro.lint import SpecLintError, lint_service
+
+        report = lint_service(service)
+        diagnostics = report.diagnostics
+        if diagnostics:
+            tracer = resolve_tracer(options.get("tracer"))
+            if tracer.active:
+                for d in diagnostics:
+                    tracer.emit(
+                        "lint.finding",
+                        code=d.code,
+                        severity=d.severity.value,
+                        location=d.location,
+                        message=d.message,
+                    )
+        if lint_mode == "strict" and report.has_errors:
+            raise SpecLintError(report)
+
+    result = _dispatch(service, prop, force, options)
+    if diagnostics:
+        result.diagnostics = list(diagnostics)
+    return result
+
+
+def _dispatch(
+    service: WebService,
+    prop: "LTLFOSentence | StateFormula",
+    force: bool,
+    options: dict[str, Any],
+) -> VerificationResult:
     if isinstance(prop, LTLFOSentence):
         return verify_ltlfo(
             service, prop, check_restrictions=not force, **options
