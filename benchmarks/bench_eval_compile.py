@@ -1,0 +1,214 @@
+"""E13 — compiled evaluation core: interpreted vs compiled throughput.
+
+Measures the formula→plan compiler of :mod:`repro.fol.compile` on the
+E12 registration workload, in two regimes:
+
+- **evaluation phase** — every rule formula of every page, solved or
+  checked against the evaluation context of each reachable snapshot
+  (the inner loop of run-semantics and snapshot labelling).  This is
+  the phase the compiler targets: plans are built once and re-run, so
+  per-call analysis (variable resolution, guard-atom selection, join
+  order) drops out of the loop.
+- **end to end** — a full :func:`verify_ltlfo` call with compilation on
+  vs off.  Smaller ratio, honestly recorded: BFS bookkeeping and the
+  product construction are unaffected by the evaluator.
+
+Run as a script to emit ``BENCH_compile.json``::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_eval_compile.py
+
+Parity is asserted, not assumed: both regimes compare results between
+the engines, and the record keeps the verdict/stats equality flags next
+to the timings.  The traced run surfaces the ``plan.compiled`` phase
+timing so the cost of compilation itself stays visible.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+
+import pytest
+
+from repro.fol import Atom, Not, Var, compilation, evaluate, evaluate_query
+from repro.fol.compile import clear_compile_cache
+from repro.ltl import B, LTLFOSentence
+from repro.obs import CollectingTracer
+from repro.service import RunContext, initial_snapshots, successors
+from repro.verifier import verify_ltlfo
+
+from workloads import registration_database, registration_service
+
+EVAL_PHASE_REPS = 3
+MAX_TIMED_SNAPSHOTS = 800
+
+
+def _workload():
+    """The E12 registration service (arity 2) and its safety property."""
+    service = registration_service(2)
+    variables = ("x0", "x1")
+    terms = tuple(Var(v) for v in variables)
+    prop = LTLFOSentence(
+        variables,
+        B(Atom("record", terms), Not(Atom("stored", terms))),
+        name="stored only after recorded",
+    )
+    return service, prop
+
+
+def _reachable_snapshots(service, db):
+    """All reachable snapshots of the (service, db) configuration graph."""
+    ctx = RunContext(service, db)
+    seen = set()
+    queue = deque(initial_snapshots(ctx))
+    while queue:
+        snap = queue.popleft()
+        if snap in seen:
+            continue
+        seen.add(snap)
+        for nxt in successors(ctx, snap):
+            if nxt not in seen:
+                queue.append(nxt)
+    ordered = [s for s in sorted(seen, key=repr) if not s.is_error]
+    return ordered[:MAX_TIMED_SNAPSHOTS]
+
+
+def _eval_phase(service, db, snaps, compiled: bool, reps: int = EVAL_PHASE_REPS):
+    """Time every rule formula against every snapshot context.
+
+    Returns (seconds, checksum) — the checksum (total solve-set sizes
+    plus target-rule truth count) must be identical between engines.
+    """
+    with compilation(compiled):
+        clear_compile_cache()
+        ctx = RunContext(service, db)
+        ectxs = []
+        for snap in snaps:
+            page = service.page(snap.page)
+            ectxs.append((page, ctx.make_eval_context(
+                snap.state, snap.inputs, snap.prev, snap.actions,
+                gamma=snap.provided_before, page=snap.page,
+            )))
+        started = time.perf_counter()
+        checksum = 0
+        for _ in range(reps):
+            for page, ectx in ectxs:
+                for rule in page.input_rules:
+                    checksum += len(
+                        evaluate_query(rule.formula, rule.variables, ectx)
+                    )
+                for rule in page.state_rules:
+                    checksum += len(
+                        evaluate_query(rule.formula, rule.variables, ectx)
+                    )
+                for rule in page.action_rules:
+                    checksum += len(
+                        evaluate_query(rule.formula, rule.variables, ectx)
+                    )
+                for rule in page.target_rules:
+                    checksum += evaluate(rule.formula, ectx)
+        return time.perf_counter() - started, checksum
+
+
+def _verify(compiled: bool, tracer=None):
+    service, prop = _workload()
+    with compilation(compiled):
+        clear_compile_cache()
+        started = time.perf_counter()
+        result = verify_ltlfo(
+            service, prop, domain_size=2, workers=1, tracer=tracer
+        )
+        return time.perf_counter() - started, result
+
+
+def _comparable_stats(result) -> dict:
+    return dict(sorted(result.stats.items()))
+
+
+def collect() -> dict:
+    service, _ = _workload()
+    db = registration_database(service, 2)
+    snaps = _reachable_snapshots(service, db)
+
+    # warm both engines, then measure
+    _eval_phase(service, db, snaps, True, reps=1)
+    _eval_phase(service, db, snaps, False, reps=1)
+    interp_s, interp_sum = _eval_phase(service, db, snaps, False)
+    compiled_s, compiled_sum = _eval_phase(service, db, snaps, True)
+
+    e2e_interp_s, interp_res = _verify(False)
+    e2e_compiled_s, compiled_res = _verify(True)
+    traced_s, traced_res = _verify(True, tracer=CollectingTracer())
+
+    record = {
+        "benchmark": (
+            "compiled evaluation core (registration arity 2, domain 2)"
+        ),
+        "snapshots_timed": len(snaps),
+        "eval_phase_reps": EVAL_PHASE_REPS,
+        "eval_phase_interpreted_s": round(interp_s, 4),
+        "eval_phase_compiled_s": round(compiled_s, 4),
+        "speedup_eval_phase": (
+            round(interp_s / compiled_s, 3) if compiled_s > 0 else None
+        ),
+        "eval_phase_checksums_equal": interp_sum == compiled_sum,
+        "end_to_end_interpreted_s": round(e2e_interp_s, 4),
+        "end_to_end_compiled_s": round(e2e_compiled_s, 4),
+        "speedup_end_to_end": (
+            round(e2e_interp_s / e2e_compiled_s, 3)
+            if e2e_compiled_s > 0 else None
+        ),
+        "verdicts_equal": interp_res.verdict == compiled_res.verdict,
+        "stats_equal": (
+            _comparable_stats(interp_res) == _comparable_stats(compiled_res)
+        ),
+        "verdict": interp_res.verdict.name,
+        "phase_timings": traced_res.timings,
+        "traced_end_to_end_s": round(traced_s, 4),
+        "traced_verdict_equal": traced_res.verdict == interp_res.verdict,
+    }
+    return record
+
+
+def main() -> int:
+    record = collect()
+    out = Path(__file__).resolve().parent.parent / "BENCH_compile.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    ok = (
+        record["eval_phase_checksums_equal"]
+        and record["verdicts_equal"]
+        and record["stats_equal"]
+    )
+    if not ok:
+        print("PARITY CHECK FAILED: engines disagree")
+        return 1
+    return 0
+
+
+# -- pytest smoke (runs in CI with --benchmark-disable) ---------------------
+
+@pytest.mark.benchmark(group="E13 compiled evaluation")
+@pytest.mark.parametrize("compiled", [False, True])
+def test_eval_phase_sweep(benchmark, compiled):
+    service, _ = _workload()
+    db = registration_database(service, 2)
+    snaps = _reachable_snapshots(service, db)[:100]
+    _, ref = _eval_phase(service, db, snaps, False, reps=1)
+    _, got = benchmark(
+        lambda: _eval_phase(service, db, snaps, compiled, reps=1)
+    )
+    assert got == ref
+
+
+def test_engines_agree_end_to_end():
+    _, interp = _verify(False)
+    _, compiled = _verify(True)
+    assert interp.verdict == compiled.verdict
+    assert _comparable_stats(interp) == _comparable_stats(compiled)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

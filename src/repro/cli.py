@@ -60,6 +60,7 @@ from repro.verifier import (
     UndecidableInstanceError,
     VerificationBudgetExceeded,
     decidability_report,
+    lint_preflight,
     verify,
     verify_error_free,
 )
@@ -235,7 +236,12 @@ def _run_verify(args, service, options) -> int:
                     file=sys.stderr,
                 )
                 return EXIT_USAGE
+            # the same static pre-flight verify() runs — before any
+            # database is enumerated, with strict-mode refusal (exit 6)
+            diagnostics = lint_preflight(service, options)
             result = verify_error_free(service, **options)
+            if diagnostics:
+                result.diagnostics = list(diagnostics)
         else:
             if args.ltl:
                 prop = parse_ltlfo(

@@ -34,7 +34,17 @@ from repro.fol.evaluation import (
     MissingInputConstantError,
     UnknownRelationError,
     evaluate,
+    evaluate_interpreted,
     evaluate_query,
+    evaluate_query_interpreted,
+)
+from repro.fol.compile import (
+    CompiledFormula,
+    CompiledQuery,
+    compilation,
+    compilation_enabled,
+    compile_formula,
+    compile_query,
 )
 from repro.fol.parser import parse_formula, parse_term, FormulaSyntaxError
 from repro.fol.analysis import (
@@ -74,6 +84,9 @@ __all__ = [
     "Not", "And", "Or", "Implies", "Iff", "Exists", "Forall", "atom", "neq",
     "EvalContext", "MissingInputConstantError", "UnknownRelationError",
     "evaluate", "evaluate_query",
+    "evaluate_interpreted", "evaluate_query_interpreted",
+    "CompiledFormula", "CompiledQuery", "compile_formula", "compile_query",
+    "compilation", "compilation_enabled",
     "parse_formula", "parse_term", "FormulaSyntaxError",
     "free_variables", "all_variables", "atoms_of", "relation_names",
     "input_constants_of", "db_constants_of", "literals_of",

@@ -193,7 +193,25 @@ def eval_term(term: Term, ctx: EvalContext, env: Env) -> Value:
 
 
 def evaluate(formula: Formula, ctx: EvalContext, env: Env | None = None) -> bool:
-    """Truth value of ``formula`` in ``ctx`` under ``env``."""
+    """Truth value of ``formula`` in ``ctx`` under ``env``.
+
+    Thin wrapper: when plan compilation is enabled (the default), the
+    formula is compiled once into a :class:`~repro.fol.compile.Plan`
+    (cached on the formula and the environment's key set) and the plan
+    runs; otherwise the reference interpreter below runs.  Both paths
+    produce identical results and exceptions.
+    """
+    base = dict(env or {})
+    if _compile_mod.compilation_enabled():
+        plan = _compile_mod.compile_formula(formula, frozenset(base))
+        return plan.check(ctx, base)
+    return _eval(formula, ctx, base)
+
+
+def evaluate_interpreted(
+    formula: Formula, ctx: EvalContext, env: Env | None = None
+) -> bool:
+    """The reference interpreter, bypassing compiled plans entirely."""
     return _eval(formula, ctx, dict(env or {}))
 
 
@@ -354,18 +372,17 @@ def _solve_conjunctive(
         if not remaining:
             yield dict(bound)
             return
-        # 1. equality propagation
+        # 1. equality propagation — ``bound`` is mutated in place: every
+        # caller hands over ownership of the dict and returns right after
+        # this branch, so the copy the interpreter used to make here was
+        # pure overhead.
         for eq in equalities:
             for this, other in ((eq.left, eq.right), (eq.right, eq.left)):
                 if isinstance(this, Var) and this.name in remaining:
-                    try:
-                        value = _term_value_or_none(other, ctx, bound)
-                    except MissingInputConstantError:
-                        raise
+                    value = _term_value_or_none(other, ctx, bound)
                     if value is not None:
-                        bound2 = dict(bound)
-                        bound2[this.name] = value
-                        yield from helper(bound2)
+                        bound[this.name] = value
+                        yield from helper(bound)
                         return
         # 2. atom enumeration
         best: Atom | None = None
@@ -434,9 +451,34 @@ def evaluate_query(
 ) -> frozenset[tuple]:
     """All valuations of ``free_vars`` over the active domain satisfying
     ``formula`` (the semantics of input-option rules, Definition 2.1).
+
+    Thin wrapper over a cached :class:`~repro.fol.compile.CompiledQuery`
+    plan when compilation is enabled; the interpreter otherwise.
     """
+    base = dict(env or {})
+    if _compile_mod.compilation_enabled():
+        plan = _compile_mod.compile_query(
+            formula, tuple(free_vars), frozenset(base)
+        )
+        return plan.solve(ctx, base)
+    return evaluate_query_interpreted(formula, free_vars, ctx, base)
+
+
+def evaluate_query_interpreted(
+    formula: Formula,
+    free_vars: tuple[str, ...],
+    ctx: EvalContext,
+    env: Env | None = None,
+) -> frozenset[tuple]:
+    """The reference query interpreter, bypassing compiled plans."""
     base = dict(env or {})
     results: set[tuple] = set()
     for sat in _satisfying_envs(tuple(free_vars), formula, ctx, base):
         results.add(tuple(sat[v] for v in free_vars))
     return frozenset(results)
+
+
+# Imported last: compile.py needs the error classes and ``_flatten_and``
+# defined above, and this module routes ``evaluate``/``evaluate_query``
+# through it — a deliberate, order-safe cycle.
+from repro.fol import compile as _compile_mod  # noqa: E402

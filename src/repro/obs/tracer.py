@@ -17,6 +17,11 @@ Event taxonomy (``name`` → meaning, extra fields):
   were enumerated (``count``);
 - ``buchi.compiled`` — the negated property's Büchi automaton was built
   (``dur``, ``n_states``; once per ``verify_ltlfo`` call);
+- ``plan.compiled`` — the service's rule formulas were compiled to
+  evaluation plans (``dur``, ``n_plans``; once per verification call,
+  emitted parent-side so traces stay worker-count independent —
+  workers re-warm their own copy silently in the pool initialiser;
+  ``n_plans`` is 0 when compilation is toggled off);
 - ``kripke.built`` — one configuration Kripke structure was constructed
   (``dur``, ``n_states``);
 - ``budget.charge`` — the resource governor charged a coarse counter
@@ -224,7 +229,8 @@ class ProgressTracer(_RecordingTracer):
     #: event names worth a progress line (the rest are aggregated only)
     SHOWN = frozenset({
         "database.enumerated", "unit.finish", "buchi.compiled",
-        "kripke.built", "budget.exhausted", "lint.finding", "verdict",
+        "plan.compiled", "kripke.built", "budget.exhausted",
+        "lint.finding", "verdict",
     })
 
     def __init__(self, stream: TextIO | None = None) -> None:

@@ -135,6 +135,16 @@ class Instance:
             self._hash = hash(frozenset(self._relations.items()))
         return self._hash
 
+    def __getstate__(self):
+        # Only the relations travel: the cached hash is process-local
+        # (string hashing is seeded per interpreter), so shipping it to
+        # a worker would poison that worker's hash-based containers.
+        return self._relations
+
+    def __setstate__(self, state) -> None:
+        self._relations = state
+        self._hash = None
+
     def __bool__(self) -> bool:
         return bool(self._relations)
 

@@ -32,6 +32,14 @@ from repro.service.runs import (
     error_snapshot,
     random_run,
 )
+from repro.service.compiled import (
+    CompiledPage,
+    CompiledService,
+    SnapshotInterner,
+    compile_service,
+    compiled_service,
+    warm_service_plans,
+)
 from repro.service.session import Session
 from repro.service.builder import ServiceBuilder, PageBuilder
 from repro.service.classify import ServiceClass, classify, ClassificationReport
@@ -44,6 +52,8 @@ __all__ = [
     "Snapshot", "UserChoice", "RunContext", "Run",
     "initial_snapshots", "successors", "enumerate_choices", "page_options",
     "error_snapshot", "random_run",
+    "CompiledPage", "CompiledService", "SnapshotInterner",
+    "compile_service", "compiled_service", "warm_service_plans",
     "Session",
     "ServiceBuilder", "PageBuilder",
     "ServiceClass", "classify", "ClassificationReport",

@@ -1,0 +1,168 @@
+"""Precompiled rule plans and hash-consing for one Web service.
+
+A :class:`CompiledService` holds, for every page, the compiled
+:class:`~repro.fol.compile.CompiledQuery` /
+:class:`~repro.fol.compile.CompiledFormula` plans of its input-option,
+state, action and target rules — compiled once per (service, process)
+and shared by every :class:`~repro.service.runs.RunContext` over the
+service, including one compilation per worker process in the parallel
+backend (the service object is unpickled once per worker, so the
+weak-keyed cache below makes "compile once per worker per TaskSpec"
+automatic).
+
+Rule order is preserved exactly (declaration order within a kind;
+state rules grouped by sorted state name as in ``_updated_state``), so
+evaluation order — and therefore the timing of
+:class:`~repro.fol.evaluation.MissingInputConstantError`, error
+condition (i) — is identical to the interpreted path.
+
+:class:`SnapshotInterner` hash-conses the :class:`Instance`s and
+:class:`Snapshot`s produced while exploring one run context: equal
+configurations collapse to one object, so the BFS ``seen`` sets and
+successor caches hash each distinct snapshot once (snapshots memoise
+their hash) and equality checks usually short-circuit on identity.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING
+
+from repro.fol.compile import (
+    CompiledFormula,
+    CompiledQuery,
+    compilation_enabled,
+    compile_formula,
+    compile_query,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runs.py)
+    from repro.service.webservice import WebService
+
+__all__ = [
+    "CompiledPage",
+    "CompiledService",
+    "SnapshotInterner",
+    "compile_service",
+    "compiled_service",
+    "warm_service_plans",
+]
+
+
+class CompiledPage:
+    """The compiled rule set of one page, in evaluation order."""
+
+    __slots__ = (
+        "name", "input_rules", "state_updates", "action_rules", "target_rules",
+    )
+
+    def __init__(self, page) -> None:
+        self.name: str = page.name
+        # Rule formulas are evaluated with an empty environment, so every
+        # plan below is compiled against the empty scope.
+        self.input_rules: tuple[tuple[str, CompiledQuery], ...] = tuple(
+            (rule.input, compile_query(rule.formula, rule.variables))
+            for rule in page.input_rules
+        )
+        # Grouped exactly as _updated_state walks them: state names in
+        # sorted order, each state's rules in declaration order.
+        updates = []
+        for state_name in sorted(page.updated_states()):
+            plans = tuple(
+                (rule.insert, compile_query(rule.formula, rule.variables))
+                for rule in page.state_rules
+                if rule.state == state_name
+            )
+            updates.append((state_name, plans))
+        self.state_updates: tuple = tuple(updates)
+        self.action_rules: tuple[tuple[str, CompiledQuery], ...] = tuple(
+            (rule.action, compile_query(rule.formula, rule.variables))
+            for rule in page.action_rules
+        )
+        self.target_rules: tuple[tuple[str, CompiledFormula], ...] = tuple(
+            (rule.target, compile_formula(rule.formula))
+            for rule in page.target_rules
+        )
+
+    @property
+    def n_plans(self) -> int:
+        return (
+            len(self.input_rules)
+            + sum(len(plans) for _, plans in self.state_updates)
+            + len(self.action_rules)
+            + len(self.target_rules)
+        )
+
+
+class CompiledService:
+    """All rule plans of a service, keyed by page name."""
+
+    __slots__ = ("service", "pages", "n_plans")
+
+    def __init__(self, service: "WebService") -> None:
+        self.service = service
+        self.pages: dict[str, CompiledPage] = {
+            name: CompiledPage(page) for name, page in service.pages.items()
+        }
+        self.n_plans: int = sum(p.n_plans for p in self.pages.values())
+
+    def page(self, name: str) -> CompiledPage | None:
+        return self.pages.get(name)
+
+
+def compile_service(service: "WebService") -> CompiledService:
+    """Compile every rule of ``service``, bypassing cache and toggle."""
+    return CompiledService(service)
+
+
+# One compiled form per live service object per process.  Weak keys:
+# a discarded service drops its plans with it.
+_CACHE: "weakref.WeakKeyDictionary[WebService, CompiledService]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compiled_service(service: "WebService") -> CompiledService | None:
+    """The cached compiled form of ``service`` — None when the global
+    compilation toggle is off (callers then take the interpreted path).
+    """
+    if not compilation_enabled():
+        return None
+    compiled = _CACHE.get(service)
+    if compiled is None:
+        compiled = CompiledService(service)
+        _CACHE[service] = compiled
+    return compiled
+
+
+def warm_service_plans(service: "WebService") -> int:
+    """Ensure the service's plans exist; the number of plans (0 = off).
+
+    Called by the verification entry points (next to the Büchi/Kripke
+    construction, under the ``plan.compiled`` trace event) and by the
+    parallel backend's worker initialiser, so units never pay compile
+    time.
+    """
+    compiled = compiled_service(service)
+    return compiled.n_plans if compiled is not None else 0
+
+
+class SnapshotInterner:
+    """Hash-consing for the instances and snapshots of one exploration."""
+
+    __slots__ = ("_snapshots", "_instances")
+
+    def __init__(self) -> None:
+        self._snapshots: dict = {}
+        self._instances: dict = {}
+
+    def snapshot(self, snap):
+        """The canonical representative of ``snap``."""
+        return self._snapshots.setdefault(snap, snap)
+
+    def instance(self, inst):
+        """The canonical representative of ``inst``."""
+        return self._instances.setdefault(inst, inst)
+
+    def __len__(self) -> int:
+        return len(self._snapshots) + len(self._instances)

@@ -39,6 +39,7 @@ from repro.fol.evaluation import (
     evaluate,
     evaluate_query,
 )
+from repro.service.compiled import SnapshotInterner, compiled_service
 from repro.schema.database import Database
 from repro.schema.instances import Instance
 from repro.schema.symbols import prev_symbol
@@ -108,6 +109,25 @@ class Snapshot:
         page = service.page(self.page)
         return self.provided_before | frozenset(page.input_constants)
 
+    def __hash__(self) -> int:
+        # Snapshots are the keys of every BFS ``seen`` set and successor
+        # cache; memoising the hash makes re-probing an interned snapshot
+        # O(1) instead of re-hashing five instances.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((
+                self.page, self.state, self.inputs, self.prev, self.actions,
+                self.provided_before, self.is_error, self.pending_error,
+            ))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        # Process-local (seeded string hashing) — never ship it.
+        state.pop("_hash", None)
+        return state
+
     def describe(self, service: WebService | None = None) -> str:
         """One-line human-readable rendering."""
         bits = [self.page]
@@ -148,7 +168,10 @@ class RunContext:
         cutoff for values that do not occur in the database).
     """
 
-    __slots__ = ("service", "database", "sigma", "extra_domain", "_decl_names")
+    __slots__ = (
+        "service", "database", "sigma", "extra_domain", "_decl_names",
+        "compiled", "interner",
+    )
 
     def __init__(
         self,
@@ -160,6 +183,10 @@ class RunContext:
         self.service = service
         self.database = database
         self.sigma = dict(sigma or {})
+        # Precompiled rule plans (None when plan compilation is off) and
+        # the hash-consing pool for this exploration's configurations.
+        self.compiled = compiled_service(service)
+        self.interner = SnapshotInterner()
         # Active-domain semantics: the specification's literal constants
         # belong to every structure's domain (schemas share constant
         # symbols, paper §2), so quantifiers must range over them too.
@@ -203,6 +230,12 @@ class RunContext:
         ctx.declare_empty(self._decl_names)
         return ctx
 
+    def compiled_page(self, name: str):
+        """The page's precompiled rules, or None on the interpreted path."""
+        if self.compiled is None:
+            return None
+        return self.compiled.pages.get(name)
+
 
 def error_snapshot(service: WebService) -> Snapshot:
     """The absorbing error-page snapshot."""
@@ -231,6 +264,11 @@ def page_options(
     """
     ectx = ctx.make_eval_context(state, Instance.empty(), prev, gamma=gamma)
     options: dict[str, frozenset] = {}
+    cpage = ctx.compiled_page(page.name)
+    if cpage is not None:
+        for input_name, plan in cpage.input_rules:
+            options[input_name] = options.get(input_name, frozenset()) | plan.solve(ectx)
+        return options
     for rule in page.input_rules:
         tuples = evaluate_query(rule.formula, rule.variables, ectx)
         options[rule.input] = options.get(rule.input, frozenset()) | tuples
@@ -298,7 +336,7 @@ def initial_snapshots(ctx: RunContext) -> list[Snapshot]:
         choices = list(enumerate_choices(ctx, home, empty, empty, gamma0))
     except MissingInputConstantError:
         return [
-            Snapshot(
+            ctx.interner.snapshot(Snapshot(
                 page=home.name,
                 state=empty,
                 inputs=empty,
@@ -306,17 +344,17 @@ def initial_snapshots(ctx: RunContext) -> list[Snapshot]:
                 actions=empty,
                 provided_before=frozenset(),
                 pending_error=True,
-            )
+            ))
         ]
     return [
-        Snapshot(
+        ctx.interner.snapshot(Snapshot(
             page=home.name,
             state=empty,
-            inputs=_inputs_instance(service, home, choice),
+            inputs=ctx.interner.instance(_inputs_instance(service, home, choice)),
             prev=empty,
             actions=empty,
             provided_before=frozenset(),
-        )
+        ))
         for choice in choices
     ]
 
@@ -329,17 +367,34 @@ def _updated_state(
 ) -> Instance:
     """Apply the three-disjunct state update of Definition 2.3."""
     new_contents: dict = {sym: rel for sym, rel in state}
-    for state_name in sorted(page.updated_states()):
+    cpage = ctx.compiled_page(page.name)
+    if cpage is not None:
+        groups = cpage.state_updates
+    else:
+        # Several rules with the same head act as the disjunction of
+        # their bodies (equivalent to Definition 2.1's single rule).
+        groups = tuple(
+            (
+                state_name,
+                tuple(
+                    (rule.insert, (rule.formula, rule.variables))
+                    for rule in page.state_rules
+                    if rule.state == state_name
+                ),
+            )
+            for state_name in sorted(page.updated_states())
+        )
+    for state_name, rules in groups:
         sym = ctx.service.schema.state[state_name]
         inserted: frozenset = frozenset()
         deleted: frozenset = frozenset()
-        # Several rules with the same head act as the disjunction of
-        # their bodies (equivalent to Definition 2.1's single rule).
-        for rule in page.state_rules:
-            if rule.state != state_name:
-                continue
-            tuples = evaluate_query(rule.formula, rule.variables, ectx)
-            if rule.insert:
+        for insert, plan in rules:
+            if cpage is not None:
+                tuples = plan.solve(ectx)
+            else:
+                formula, variables = plan
+                tuples = evaluate_query(formula, variables, ectx)
+            if insert:
                 inserted |= tuples
             else:
                 deleted |= tuples
@@ -351,17 +406,25 @@ def _updated_state(
             new_contents[sym] = new_rel
         else:
             new_contents.pop(sym, None)
-    return Instance(new_contents)
+    return ctx.interner.instance(Instance(new_contents))
 
 
 def _fired_actions(page: WebPageSchema, ectx: EvalContext, ctx: RunContext) -> Instance:
     contents: dict = {}
-    for rule in page.action_rules:
-        sym = ctx.service.schema.action[rule.action]
-        tuples = evaluate_query(rule.formula, rule.variables, ectx)
-        if tuples:
-            contents[sym] = contents.get(sym, frozenset()) | tuples
-    return Instance(contents)
+    cpage = ctx.compiled_page(page.name)
+    if cpage is not None:
+        for action_name, plan in cpage.action_rules:
+            sym = ctx.service.schema.action[action_name]
+            tuples = plan.solve(ectx)
+            if tuples:
+                contents[sym] = contents.get(sym, frozenset()) | tuples
+    else:
+        for rule in page.action_rules:
+            sym = ctx.service.schema.action[rule.action]
+            tuples = evaluate_query(rule.formula, rule.variables, ectx)
+            if tuples:
+                contents[sym] = contents.get(sym, frozenset()) | tuples
+    return ctx.interner.instance(Instance(contents))
 
 
 def _next_prev(ctx: RunContext, page: WebPageSchema, inputs: Instance) -> Instance:
@@ -372,7 +435,7 @@ def _next_prev(ctx: RunContext, page: WebPageSchema, inputs: Instance) -> Instan
         tuples = inputs.tuples(sym)
         if tuples:
             contents[prev_symbol(sym)] = tuples
-    return Instance(contents)
+    return ctx.interner.instance(Instance(contents))
 
 
 @dataclass(frozen=True)
@@ -412,12 +475,20 @@ def deterministic_step(ctx: RunContext, snapshot: Snapshot) -> StepResult:
         snapshot.state, snapshot.inputs, snapshot.prev, gamma=gamma
     )
 
+    cpage = ctx.compiled_page(page.name)
     try:
-        fired = [
-            rule.target
-            for rule in page.target_rules
-            if evaluate(rule.formula, ectx)
-        ]
+        if cpage is not None:
+            fired = [
+                target
+                for target, plan in cpage.target_rules
+                if plan.check(ectx)
+            ]
+        else:
+            fired = [
+                rule.target
+                for rule in page.target_rules
+                if evaluate(rule.formula, ectx)
+            ]
         # Error condition (iii): ambiguous next page.
         if len(set(fired)) > 1:
             return StepResult(error=True)
@@ -446,11 +517,11 @@ def successors(ctx: RunContext, snapshot: Snapshot) -> list[Snapshot]:
     if snapshot.is_error:
         return [snapshot]
     if snapshot.pending_error:
-        return [error_snapshot(service)]
+        return [ctx.interner.snapshot(error_snapshot(service))]
 
     step = deterministic_step(ctx, snapshot)
     if step.error:
-        return [error_snapshot(service)]
+        return [ctx.interner.snapshot(error_snapshot(service))]
     next_page_name = step.next_page
     next_state = step.next_state
     next_actions = step.next_actions
@@ -467,7 +538,7 @@ def successors(ctx: RunContext, snapshot: Snapshot) -> list[Snapshot]:
         # Condition (i) against the next page's input rules: the next
         # snapshot exists but its own successor is forced to the error page.
         return [
-            Snapshot(
+            ctx.interner.snapshot(Snapshot(
                 page=next_page_name,
                 state=next_state,
                 inputs=Instance.empty(),
@@ -475,18 +546,18 @@ def successors(ctx: RunContext, snapshot: Snapshot) -> list[Snapshot]:
                 actions=next_actions,
                 provided_before=gamma,
                 pending_error=True,
-            )
+            ))
         ]
 
     return [
-        Snapshot(
+        ctx.interner.snapshot(Snapshot(
             page=next_page_name,
             state=next_state,
-            inputs=_inputs_instance(service, next_page, choice),
+            inputs=ctx.interner.instance(_inputs_instance(service, next_page, choice)),
             prev=next_prev,
             actions=next_actions,
             provided_before=gamma,
-        )
+        ))
         for choice in choices
     ]
 

@@ -55,7 +55,7 @@ from repro.verifier.branching import (
     verify_fully_propositional,
 )
 from repro.verifier.search import verify_input_driven_search
-from repro.verifier.statics import verify, decidability_report
+from repro.verifier.statics import verify, decidability_report, lint_preflight
 
 __all__ = [
     "Verdict",
@@ -80,5 +80,6 @@ __all__ = [
     "verify_fully_propositional",
     "verify_input_driven_search",
     "verify",
+    "lint_preflight",
     "decidability_report",
 ]

@@ -42,6 +42,7 @@ from repro.service.runs import (
     enumerate_choices,
     error_snapshot,
 )
+from repro.service.compiled import warm_service_plans
 from repro.service.webservice import WebService
 from repro.verifier.budget import Budget, Checkpoint, degrade
 from repro.verifier.linear import _candidate_databases, fresh_value_pool
@@ -137,6 +138,7 @@ def build_snapshot_kripke(
         out: list[KripkeState] = []
         for sig2 in constant_assignments(sig, page.input_constants):
             ctx2 = ctx_for(sig2)
+            intern = ctx2.interner
             try:
                 choices = list(
                     enumerate_choices(ctx2, page, state, prev, gamma)
@@ -144,13 +146,15 @@ def build_snapshot_kripke(
             except MissingInputConstantError:
                 out.append(
                     (
-                        Snapshot(
+                        intern.snapshot(Snapshot(
                             page=page_name, state=state,
-                            inputs=_inputs_instance(service, page, UserChoice()),
+                            inputs=intern.instance(
+                                _inputs_instance(service, page, UserChoice())
+                            ),
                             prev=prev, actions=actions,
                             provided_before=provided_before,
                             pending_error=True,
-                        ),
+                        )),
                         sig2,
                     )
                 )
@@ -158,12 +162,14 @@ def build_snapshot_kripke(
             for choice in choices:
                 out.append(
                     (
-                        Snapshot(
+                        intern.snapshot(Snapshot(
                             page=page_name, state=state,
-                            inputs=_inputs_instance(service, page, choice),
+                            inputs=intern.instance(
+                                _inputs_instance(service, page, choice)
+                            ),
                             prev=prev, actions=actions,
                             provided_before=provided_before,
-                        ),
+                        )),
                         sig2,
                     )
                 )
@@ -173,12 +179,12 @@ def build_snapshot_kripke(
         snap, sig = node
         if snap.is_error:
             return [node]
-        if snap.pending_error:
-            return [(error_snapshot(service), sig)]
         ctx = ctx_for(sig)
+        if snap.pending_error:
+            return [(ctx.interner.snapshot(error_snapshot(service)), sig)]
         step = deterministic_step(ctx, snap)
         if step.error:
-            return [(error_snapshot(service), sig)]
+            return [(ctx.interner.snapshot(error_snapshot(service)), sig)]
         next_page = service.page(step.next_page)
         gamma_next = step.gamma | frozenset(next_page.input_constants)
         return entries_for(
@@ -329,6 +335,17 @@ def verify_ctl(
         "workers": n_workers,
     }
 
+    # Warm the rule plans in the parent (workers re-warm their own copy
+    # in the pool initialiser), so traces stay worker-count independent.
+    plan_started = time.monotonic()
+    n_plans = warm_service_plans(service)
+    if tr.active:
+        tr.emit(
+            "plan.compiled",
+            dur=time.monotonic() - plan_started,
+            n_plans=n_plans,
+        )
+
     spec = TaskSpec(
         procedure="verify_ctl",
         service=service,
@@ -430,6 +447,14 @@ def verify_fully_propositional(
         "formula_size": ctl_size(formula),
         "workers": n_workers,
     }
+    plan_started = time.monotonic()
+    n_plans = warm_service_plans(service)
+    if tr.active:
+        tr.emit(
+            "plan.compiled",
+            dur=time.monotonic() - plan_started,
+            n_plans=n_plans,
+        )
     spec = TaskSpec(
         procedure="verify_ctl",
         service=service,

@@ -17,6 +17,7 @@ A Web service is *error free* when no run reaches the error page
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Hashable, Iterable
 
@@ -30,6 +31,7 @@ from repro.schema.schema import RelationalSchema, ServiceSchema
 from repro.schema.symbols import state_relation
 from repro.service.page import WebPageSchema
 from repro.service.rules import StateRule, TargetRule
+from repro.service.compiled import warm_service_plans
 from repro.service.runs import (
     Run,
     RunContext,
@@ -215,6 +217,17 @@ def verify_error_free(
         sigma_fn = lambda db: sigma_list  # noqa: E731
     else:
         sigma_fn = lambda db: enumerate_sigmas(service, db)  # noqa: E731
+
+    # Warm the rule plans in the parent (workers re-warm their own copy
+    # in the pool initialiser), so traces stay worker-count independent.
+    plan_started = time.monotonic()
+    n_plans = warm_service_plans(service)
+    if tr.active:
+        tr.emit(
+            "plan.compiled",
+            dur=time.monotonic() - plan_started,
+            n_plans=n_plans,
+        )
 
     spec = TaskSpec(
         procedure="verify_error_free",

@@ -40,6 +40,8 @@ import time
 from collections import deque
 from typing import Callable, Hashable, Iterable, Iterator, Mapping
 
+from repro.fol.analysis import input_constants_of
+from repro.fol.compile import compilation_enabled, compile_formula
 from repro.fol.evaluation import EvalContext
 from repro.obs import Tracer, finalize_result, resolve_tracer
 from repro.ltl.buchi import find_accepting_lasso, ltl_to_buchi
@@ -52,6 +54,7 @@ from repro.ltl.syntax import LNot
 from repro.schema.database import Database
 from repro.schema.enumerate import canonical_domain, enumerate_databases
 from repro.service.classify import ServiceClass, classify
+from repro.service.compiled import warm_service_plans
 from repro.service.runs import (
     Run,
     RunContext,
@@ -206,12 +209,26 @@ class _SnapshotLabeller:
     ``env`` carries the universal-closure valuation: payloads stay
     symbolic (one compiled automaton per call) and are evaluated under
     the environment instead of being grounded by substitution.
+
+    Each distinct payload formula is analysed once — its input-constant
+    set for the §3 gamma check, and (when plan compilation is on) a
+    compiled check plan at scope ``variables`` — so the product-search
+    hot path pays no per-call formula analysis.  ``variables`` must be
+    the key set of every non-empty ``env`` passed to :meth:`__call__`.
     """
 
-    def __init__(self, ctx: RunContext, extra_domain: frozenset) -> None:
+    def __init__(
+        self,
+        ctx: RunContext,
+        extra_domain: frozenset,
+        variables: tuple[str, ...] = (),
+    ) -> None:
         self.ctx = ctx
         self.extra_domain = extra_domain
+        self.variables = tuple(variables)
         self._cache: dict[Snapshot, tuple[EvalContext, frozenset[str]]] = {}
+        # id-keyed with a strong payload reference, so ids stay valid.
+        self._plans: dict[int, tuple[object, frozenset[str], object]] = {}
 
     def _context(self, snap: Snapshot) -> tuple[EvalContext, frozenset[str]]:
         entry = self._cache.get(snap)
@@ -225,10 +242,29 @@ class _SnapshotLabeller:
             self._cache[snap] = entry
         return entry
 
+    def _plan(self, payload) -> tuple[object, frozenset[str], object]:
+        entry = self._plans.get(id(payload))
+        if entry is None:
+            needed = input_constants_of(payload)
+            plan = (
+                compile_formula(payload, self.variables)
+                if compilation_enabled()
+                else None
+            )
+            entry = (payload, needed, plan)
+            self._plans[id(payload)] = entry
+        return entry
+
     def __call__(
         self, snap: Snapshot, payload, env: Mapping[str, Value] | None = None
     ) -> bool:
         ectx, gamma = self._context(snap)
+        _payload, needed, plan = self._plan(payload)
+        if plan is not None:
+            # §3: a component mentioning an unprovided constant is false.
+            if not needed <= gamma:
+                return False
+            return plan.check(ectx, env)
         return fo_component_holds(payload, ectx, gamma, dict(env) if env else None)
 
 
@@ -281,7 +317,7 @@ def _check_ltlfo_unit(
         "buchi_states": ba.n_states,
     }
     ctx = RunContext(service, db, sigma=sigma, extra_domain=literals)
-    labeller = _SnapshotLabeller(ctx, literals)
+    labeller = _SnapshotLabeller(ctx, literals, variables=sentence.variables)
 
     succ_cache: dict[Snapshot, list[Snapshot]] = {}
     explored = 0
@@ -306,9 +342,17 @@ def _check_ltlfo_unit(
         gov.charge_valuation()
         stats["valuations_checked"] += 1
         valuation = dict(zip(names, combo))
+        # Label results are pure per (snapshot, payload) at a fixed
+        # valuation; the lasso search revisits product states, so memoise.
+        memo: dict = {}
 
-        def label(snap: Snapshot, payload, _env=valuation) -> bool:
-            return labeller(snap, payload, _env)
+        def label(snap: Snapshot, payload, _env=valuation, _memo=memo) -> bool:
+            key = (id(payload), snap)
+            value = _memo.get(key)
+            if value is None:
+                value = labeller(snap, payload, _env)
+                _memo[key] = value
+            return value
 
         lasso = find_accepting_lasso(ba, starts, succ, label)
         if lasso is not None:
@@ -427,6 +471,15 @@ def verify_ltlfo(
         tr.emit(
             "buchi.compiled",
             dur=time.monotonic() - compile_started, n_states=ba.n_states,
+        )
+    # Rule plans, likewise once per call (workers re-warm their own copy
+    # in the pool initialiser, so traces stay worker-count independent).
+    plan_started = time.monotonic()
+    n_plans = warm_service_plans(service)
+    if tr.active:
+        tr.emit(
+            "plan.compiled",
+            dur=time.monotonic() - plan_started, n_plans=n_plans,
         )
     sentence_literals = frozenset(sentence.literals())
     stats: dict = {

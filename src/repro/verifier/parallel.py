@@ -222,6 +222,12 @@ def _init_worker(spec: TaskSpec) -> None:
     _load_checkers()
     _WORKER_SPEC = spec
     _WORKER_CACHE = {}
+    # Compile the service's rule plans once per worker per TaskSpec (the
+    # spec's service is unpickled exactly once per worker), so units never
+    # pay plan-compile time.  No-op when compilation is toggled off.
+    from repro.service.compiled import warm_service_plans
+
+    warm_service_plans(spec.service)
 
 
 def _pool_check(unit: WorkUnit, timeout_s: float | None) -> UnitOutcome:

@@ -16,12 +16,14 @@ so ``workers=N`` parallelises the enumeration deterministically.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable
 
 from repro.ctl.syntax import StateFormula, ctl_size, is_ctl
 from repro.obs import Tracer, finalize_result, resolve_tracer
 from repro.schema.database import Database
 from repro.service.classify import ServiceClass, classify
+from repro.service.compiled import warm_service_plans
 from repro.service.webservice import WebService
 from repro.verifier.branching import (
     DEFAULT_KRIPKE_BUDGET,
@@ -106,6 +108,17 @@ def verify_input_driven_search(
         "domain_size": used_size,
         "workers": n_workers,
     }
+
+    # Warm the rule plans in the parent (workers re-warm their own copy
+    # in the pool initialiser), so traces stay worker-count independent.
+    plan_started = time.monotonic()
+    n_plans = warm_service_plans(service)
+    if tr.active:
+        tr.emit(
+            "plan.compiled",
+            dur=time.monotonic() - plan_started,
+            n_plans=n_plans,
+        )
 
     # The per-database work is identical to verify_ctl's (build the
     # configuration Kripke structure, model check), so the same unit

@@ -86,6 +86,23 @@ def verify(
       the verification budget on a broken spec;
     - ``"off"`` — skip the pre-flight entirely.
     """
+    diagnostics = lint_preflight(service, options)
+    result = _dispatch(service, prop, force, options)
+    if diagnostics:
+        result.diagnostics = list(diagnostics)
+    return result
+
+
+def lint_preflight(service: WebService, options: dict[str, Any]) -> list:
+    """Pop ``lint=`` from ``options`` and run the static pre-flight.
+
+    Shared by :func:`verify` and the CLI's ``--error-free`` path (which
+    calls :func:`~repro.verifier.errors.verify_error_free` directly):
+    the pre-flight runs before *any* decision procedure, whichever door
+    the caller came through.  Returns the diagnostics to attach to the
+    result; raises :class:`~repro.lint.diagnostics.SpecLintError` under
+    ``lint="strict"`` when error-severity findings exist.
+    """
     lint_mode = options.pop("lint", "warn")
     if lint_mode not in _LINT_MODES:
         raise ValueError(
@@ -110,11 +127,7 @@ def verify(
                     )
         if lint_mode == "strict" and report.has_errors:
             raise SpecLintError(report)
-
-    result = _dispatch(service, prop, force, options)
-    if diagnostics:
-        result.diagnostics = list(diagnostics)
-    return result
+    return diagnostics
 
 
 def _dispatch(

@@ -436,3 +436,24 @@ class TestLintCLI:
         code = self.main("verify", broken_path, "--ltl", "G !ERROR",
                          "--domain-size", "1")
         assert code in (0, 1)
+
+    def test_error_free_runs_lint_preflight(self, spec_path, capsys):
+        # Regression: --error-free used to forward the CLI's lint option
+        # verbatim to verify_error_free(), which crashed with a TypeError
+        # instead of running the pre-flight.
+        code = self.main("verify", spec_path, "--error-free",
+                         "--domain-size", "1")
+        assert code in (0, 1)
+        assert "lint" in capsys.readouterr().out
+
+    def test_error_free_lint_off_suppresses(self, spec_path, capsys):
+        code = self.main("verify", spec_path, "--error-free",
+                         "--domain-size", "1", "--lint", "off")
+        assert code in (0, 1)
+        assert "lint" not in capsys.readouterr().out
+
+    def test_error_free_strict_exits_6(self, broken_path, capsys):
+        code = self.main("verify", broken_path, "--error-free",
+                         "--lint", "strict")
+        assert code == 6
+        assert "lint" in capsys.readouterr().err
