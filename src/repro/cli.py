@@ -19,6 +19,11 @@ properties are written in the temporal text syntaxes of
         --checkpoint ck.json          # bounded run, resumable
     python -m repro verify spec.json --ltl 'G !ERROR' --resume ck.json
     python -m repro verify spec.json --ltl 'G !ERROR' --workers 4
+    python -m repro verify spec.json --ltl 'G !ERROR' --workers 4 \
+        --retry 3 --unit-timeout-s 30 \
+        --checkpoint ck.json --checkpoint-every 50   # fault-tolerant run
+    python -m repro verify spec.json --ltl 'G !ERROR' \
+        --faults '{"faults": [{"kind": "error", "db_index": 0}]}'
     python -m repro verify spec.json --ltl 'G !ERROR' \
         --trace trace.jsonl --progress
     python -m repro simulate spec.json --db catalog.json --steps 12 --seed 7
@@ -26,7 +31,8 @@ properties are written in the temporal text syntaxes of
 Exit codes (verify): 0 property holds, 1 property violated, 2 usage
 error, 3 undecidable instance, 4 budget exceeded under ``--strict``,
 5 inconclusive (budget exhausted, non-strict), 6 refused by the lint
-pre-flight under ``--lint strict``.  For ``lint``: 0 clean (below the
+pre-flight under ``--lint strict``, 130 interrupted by SIGINT/SIGTERM
+(the final checkpoint is flushed first when ``--checkpoint`` is set).  For ``lint``: 0 clean (below the
 ``--fail-on`` threshold), 1 findings at/above the threshold, 2 usage
 error.
 """
@@ -36,6 +42,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 from pathlib import Path
 
@@ -48,6 +55,7 @@ from repro.io import (
     save_checkpoint,
     service_to_text,
 )
+from repro.faults import FaultPlanError
 from repro.lint import LintReport, Severity, SpecLintError, render
 from repro.ltl.parser import parse_ltlfo
 from repro.obs import JsonlTracer, ProgressTracer, TeeTracer
@@ -55,7 +63,9 @@ from repro.service.classify import classify
 from repro.service.webservice import SpecificationError
 from repro.service.runs import RunContext, random_run
 from repro.verifier import (
+    GLOBAL_STOP,
     Budget,
+    CheckpointFormatError,
     CheckpointMismatchError,
     UndecidableInstanceError,
     VerificationBudgetExceeded,
@@ -74,6 +84,9 @@ EXIT_UNDECIDABLE = 3
 EXIT_BUDGET_STRICT = 4
 EXIT_INCONCLUSIVE = 5
 EXIT_LINT = 6
+#: the conventional 128+SIGINT code: the run was interrupted by a signal
+#: (checkpoint flushed first when --checkpoint is set)
+EXIT_INTERRUPTED = 130
 
 # repro lint exit codes
 EXIT_LINT_CLEAN = 0
@@ -186,6 +199,37 @@ def _make_tracer(args):
     return children[0] if len(children) == 1 else TeeTracer(children)
 
 
+def _install_stop_handlers():
+    """Route SIGINT/SIGTERM through the engine's cooperative stop token.
+
+    The handler only sets the token; the supervision loop observes it at
+    its next scheduling step, emits ``run.interrupted``, flushes the
+    final checkpoint, and winds down with an INCONCLUSIVE result —
+    instead of a ``KeyboardInterrupt`` traceback mid-pool.  Returns the
+    previous handlers for restoration.
+    """
+
+    def handler(signum, frame):
+        GLOBAL_STOP.set(signal.Signals(signum).name)
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    return previous
+
+
+def _restore_stop_handlers(previous) -> None:
+    for sig, old in previous.items():
+        try:
+            signal.signal(sig, old)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+    GLOBAL_STOP.clear()
+
+
 def _cmd_verify(args) -> int:
     service = load_service(args.spec)
     databases = _load_databases(service, args.db)
@@ -196,12 +240,25 @@ def _cmd_verify(args) -> int:
         options["domain_size"] = args.domain_size
     options["budget"] = _make_budget(args)
     options["lint"] = args.lint
+    if args.retry is not None:
+        options["retry"] = args.retry
+    if args.unit_timeout_s is not None:
+        options["unit_timeout_s"] = args.unit_timeout_s
+    if args.faults is not None:
+        options["faults"] = args.faults
+    if args.checkpoint and args.checkpoint_every is not None:
+        # the engine rewrites the checkpoint file periodically and on
+        # interruption; the CLI still writes the final one below
+        options["checkpoint_path"] = args.checkpoint
+        options["checkpoint_every"] = args.checkpoint_every
     tracer = _make_tracer(args)
     if tracer is not None:
         options["tracer"] = tracer
+    handlers = _install_stop_handlers()
     try:
         return _run_verify(args, service, options)
     finally:
+        _restore_stop_handlers(handlers)
         if tracer is not None:
             tracer.close()
             if args.trace:
@@ -213,6 +270,11 @@ def _run_verify(args, service, options) -> int:
     if args.resume:
         try:
             checkpoint = load_checkpoint(args.resume)
+        except CheckpointFormatError as exc:
+            field = f" (field: {exc.field})" if exc.field else ""
+            print(f"error: checkpoint {args.resume} is malformed{field}: "
+                  f"{exc}", file=sys.stderr)
+            return EXIT_USAGE
         except (OSError, ValueError, KeyError) as exc:
             print(f"error: cannot read checkpoint {args.resume}: {exc}",
                   file=sys.stderr)
@@ -304,6 +366,14 @@ def _run_verify(args, service, options) -> int:
             file=sys.stderr,
         )
         return EXIT_LINT
+    except FaultPlanError as exc:
+        print(f"error: invalid fault plan: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except TypeError as exc:
+        # e.g. checkpointing options on the fully propositional fast
+        # path, which has no enumeration cursor to checkpoint
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
 
     print(result.describe(service))
     if result.inconclusive:
@@ -311,6 +381,8 @@ def _run_verify(args, service, options) -> int:
             save_checkpoint(result.checkpoint, args.checkpoint)
             print(f"checkpoint written to {args.checkpoint}")
             print(f"resume with: --resume {args.checkpoint}")
+        if result.stats.get("interrupted_by") == "interrupted":
+            return EXIT_INTERRUPTED
         return EXIT_INCONCLUSIVE
     return EXIT_HOLDS if result.holds else EXIT_VIOLATED
 
@@ -395,7 +467,27 @@ def build_parser() -> argparse.ArgumentParser:
                           "previous interrupted run")
     ver.add_argument("--checkpoint", metavar="PATH",
                      help="where to write the resume checkpoint when the "
-                          "budget runs out")
+                          "budget runs out or the run is interrupted")
+    ver.add_argument("--checkpoint-every", type=int, metavar="N",
+                     dest="checkpoint_every",
+                     help="with --checkpoint: atomically rewrite the "
+                          "checkpoint every N completed work units, so a "
+                          "kill at any moment loses at most N units "
+                          "(default: $REPRO_CHECKPOINT_EVERY or off)")
+    ver.add_argument("--retry", type=int, metavar="N",
+                     help="retry a failed work unit up to N times with "
+                          "exponential backoff before quarantining it "
+                          "(default: $REPRO_RETRY or 2)")
+    ver.add_argument("--unit-timeout-s", type=float, metavar="S",
+                     dest="unit_timeout_s",
+                     help="wall-clock allowance per work unit under "
+                          "--workers: a hung unit is killed with its pool "
+                          "and retried (default: $REPRO_UNIT_TIMEOUT_S "
+                          "or off)")
+    ver.add_argument("--faults", metavar="PLAN",
+                     help="deterministic fault-injection plan for testing "
+                          "the fault-tolerance paths: inline JSON or "
+                          "@path/to/plan.json (default: $REPRO_FAULTS)")
     ver.add_argument("--trace", metavar="FILE",
                      help="stream structured trace events (JSONL) to FILE; "
                           "see the repro.obs event taxonomy")

@@ -7,6 +7,7 @@ paper's "Page HP / Inputs / Rules / End Page" layout for review.
 """
 
 from repro.io.json_format import (
+    atomic_write_text,
     service_to_dict,
     service_from_dict,
     save_service,
@@ -21,6 +22,7 @@ from repro.io.json_format import (
 from repro.io.pretty import service_to_text, page_to_text
 
 __all__ = [
+    "atomic_write_text",
     "service_to_dict",
     "service_from_dict",
     "save_service",

@@ -10,6 +10,7 @@ property tests check this).  Domain values must be JSON-representable
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from repro.fol.parser import parse_formula
 from repro.schema.database import Database
@@ -187,6 +188,38 @@ def database_from_dict(data: dict, schema: RelationalSchema) -> Database:
     )
 
 
+#: Checkpoint format tags this build reads.  ``/2`` adds the
+#: retry/quarantine state (``extra["quarantined_units"]``) written by
+#: the supervised engine; ``/1`` files from earlier builds carry the
+#: same cursor/frontier fields and resume unchanged.
+_CHECKPOINT_FORMATS = ("repro.checkpoint/1", "repro.checkpoint/2")
+
+
+def atomic_write_text(path: str | Path, text: str, *, interrupt=None) -> None:
+    """Write ``text`` to ``path`` so that a kill leaves no torn file.
+
+    The classic temp-file + ``fsync`` + ``os.replace`` dance: the data
+    is durably on disk *before* the atomic rename, so at every instant
+    ``path`` holds either the complete previous content or the complete
+    new content — never a truncated mix.  The temp file lives in the
+    destination directory (``os.replace`` must not cross filesystems).
+
+    ``interrupt`` is the fault-injection seam: called between the
+    synced temp write and the rename — the worst possible moment for a
+    kill — it may raise, leaving the temp file behind exactly as a
+    SIGKILL would.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    if interrupt is not None:
+        interrupt()
+    os.replace(tmp, path)
+
+
 def checkpoint_to_dict(checkpoint) -> dict:
     """Serialize a :class:`~repro.verifier.budget.Checkpoint`.
 
@@ -194,27 +227,66 @@ def checkpoint_to_dict(checkpoint) -> dict:
     enumeration parameters); ``procedure`` and ``property_name`` are
     stored so a resuming caller can sanity-check the pairing.
     """
-    return {"format": "repro.checkpoint/1", **checkpoint.to_dict()}
+    return {"format": "repro.checkpoint/2", **checkpoint.to_dict()}
 
 
 def checkpoint_from_dict(data: dict):
-    """Rebuild a checkpoint from :func:`checkpoint_to_dict` output."""
-    from repro.verifier.budget import Checkpoint
+    """Rebuild a checkpoint from :func:`checkpoint_to_dict` output.
 
-    if data.get("format") != "repro.checkpoint/1":
-        raise ValueError(
-            f"unsupported or missing format tag: {data.get('format')!r}"
+    Accepts both the current ``repro.checkpoint/2`` format and ``/1``
+    files written before the fault-tolerance layer.  Malformed input
+    raises :class:`~repro.verifier.budget.CheckpointFormatError` naming
+    the offending field.
+    """
+    from repro.verifier.budget import Checkpoint, CheckpointFormatError
+
+    if not isinstance(data, dict):
+        raise CheckpointFormatError(
+            f"checkpoint must be a JSON object, got {type(data).__name__}",
+            field="",
+        )
+    if data.get("format") not in _CHECKPOINT_FORMATS:
+        raise CheckpointFormatError(
+            f"unsupported or missing checkpoint format tag: "
+            f"{data.get('format')!r} (expected one of "
+            f"{', '.join(_CHECKPOINT_FORMATS)})",
+            field="format",
         )
     return Checkpoint.from_dict(data)
 
 
-def save_checkpoint(checkpoint, path: str | Path) -> None:
-    """Write an interrupted run's checkpoint to a JSON file."""
-    Path(path).write_text(
-        json.dumps(checkpoint_to_dict(checkpoint), indent=2, ensure_ascii=False)
+def save_checkpoint(checkpoint, path: str | Path, *, interrupt=None) -> None:
+    """Atomically write an interrupted run's checkpoint to a JSON file.
+
+    A kill at any instant — including between the write and the rename —
+    leaves the previous checkpoint intact, so a resume file can never be
+    truncated by the very interruption it exists to survive.
+    """
+    atomic_write_text(
+        path,
+        json.dumps(checkpoint_to_dict(checkpoint), indent=2,
+                   ensure_ascii=False),
+        interrupt=interrupt,
     )
 
 
 def load_checkpoint(path: str | Path):
-    """Read a checkpoint written by :func:`save_checkpoint`."""
-    return checkpoint_from_dict(json.loads(Path(path).read_text()))
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Unreadable JSON (a file truncated by pre-atomic writers, or a
+    partial copy) raises
+    :class:`~repro.verifier.budget.CheckpointFormatError` instead of
+    ``JSONDecodeError``.
+    """
+    from repro.verifier.budget import CheckpointFormatError
+
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointFormatError(
+            f"checkpoint file {path} is not valid JSON ({exc}); "
+            "was the file truncated by an interrupted write?",
+            field="",
+        ) from None
+    return checkpoint_from_dict(data)

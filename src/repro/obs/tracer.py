@@ -36,6 +36,27 @@ Event taxonomy (``name`` → meaning, extra fields):
 - ``verdict`` — the verification call finished (``verdict``,
   ``procedure``, ``method``).
 
+Supervision events (the fault-tolerance layer of
+:mod:`repro.verifier.parallel`; all emitted parent-side, since a
+failing worker may die before shipping its own events home):
+
+- ``fault.injected`` — a deterministic test fault from a
+  :mod:`repro.faults` plan is about to be performed (``kind``,
+  ``site``, ``attempt``);
+- ``unit.retry`` — a failed unit was scheduled for re-execution
+  (``attempt``, ``backoff_s``, ``error``);
+- ``unit.timeout`` — a unit exceeded its wall-clock allowance and its
+  pool is being rebuilt (``attempt``, ``timeout_s``);
+- ``unit.quarantined`` — a unit exhausted its retries and was set
+  aside (``attempts``, ``error``); the run continues without it;
+- ``pool.rebuilt`` — the process pool was killed and reconstructed
+  after a crash or timeout (``cause``, ``rebuilds``, ``fallback`` —
+  True when giving up on pools and finishing in-process);
+- ``checkpoint.saved`` — a periodic crash-safe checkpoint was
+  atomically written (``path``, ``completed``);
+- ``run.interrupted`` — a cooperative stop (SIGINT/SIGTERM) was
+  observed; the final checkpoint flush follows (``signal``).
+
 Every event carries a monotonic timestamp ``t`` (``time.monotonic`` of
 the *emitting* process) and the emitting process id ``pid``.  Within one
 process the timestamps are non-decreasing; across processes only the
@@ -231,6 +252,9 @@ class ProgressTracer(_RecordingTracer):
         "database.enumerated", "unit.finish", "buchi.compiled",
         "plan.compiled", "kripke.built", "budget.exhausted",
         "lint.finding", "verdict",
+        "fault.injected", "unit.retry", "unit.timeout",
+        "unit.quarantined", "pool.rebuilt", "checkpoint.saved",
+        "run.interrupted",
     })
 
     def __init__(self, stream: TextIO | None = None) -> None:

@@ -22,6 +22,13 @@
   graceful degradation to ``Verdict.INCONCLUSIVE``, and resumable
   checkpoints;
 - :mod:`repro.verifier.results` — verdicts and counterexamples.
+
+Fault tolerance: the parallel layer supervises its workers — failed
+units are retried with exponential backoff, crashed pools are rebuilt,
+hung units are timed out, and poison units are quarantined (the verdict
+degrades to INCONCLUSIVE rather than the run aborting).  Crash-safe
+periodic checkpoints survive a kill at any instant, and deterministic
+fault injection for testing all of it lives in :mod:`repro.faults`.
 """
 
 from repro.verifier.results import (
@@ -33,6 +40,7 @@ from repro.verifier.results import (
 from repro.verifier.budget import (
     Budget,
     Checkpoint,
+    CheckpointFormatError,
     CheckpointMismatchError,
     coverage_summary,
 )
@@ -43,7 +51,14 @@ from repro.verifier.linear import (
     explore_configuration_graph,
     fresh_value_pool,
 )
-from repro.verifier.parallel import resolve_workers
+from repro.verifier.parallel import (
+    GLOBAL_STOP,
+    RetryPolicy,
+    RunInterrupted,
+    StopToken,
+    Supervisor,
+    resolve_workers,
+)
 from repro.verifier.errors import (
     verify_error_free,
     error_page_reachable,
@@ -64,9 +79,15 @@ __all__ = [
     "VerificationBudgetExceeded",
     "Budget",
     "Checkpoint",
+    "CheckpointFormatError",
     "CheckpointMismatchError",
     "coverage_summary",
     "resolve_workers",
+    "RetryPolicy",
+    "RunInterrupted",
+    "StopToken",
+    "GLOBAL_STOP",
+    "Supervisor",
     "verify_ltlfo",
     "default_domain_size",
     "enumerate_sigmas",

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Hashable, Iterable
+from typing import Any, Hashable, Iterable
 
 from repro.ctl.kripke import KripkeStructure
 from repro.obs import Tracer, finalize_result, resolve_tracer
@@ -49,10 +49,12 @@ from repro.verifier.linear import _candidate_databases, fresh_value_pool
 from repro.verifier.parallel import (
     CLEAN,
     VIOLATED,
+    Supervisor,
     TaskSpec,
     UnitOutcome,
     UnitStream,
     WorkUnit,
+    apply_quarantine,
     frontier_checkpoint,
     merge_unit_stats,
     resolve_workers,
@@ -287,6 +289,11 @@ def verify_ctl(
     resume: Checkpoint | None = None,
     workers: int | None = None,
     tracer: Tracer | None = None,
+    retry: int | None = None,
+    unit_timeout_s: float | None = None,
+    faults: Any = None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int | None = None,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for propositional input-bounded services
     (Theorem 4.4; Corollary 4.5 is the fixed-parameter special case).
@@ -298,7 +305,10 @@ def verify_ctl(
     verdicts (see :mod:`repro.verifier.parallel`); ``tracer`` receives
     the structured event stream (``database.enumerated``,
     ``kripke.built``, ``unit.start/finish``, ``verdict``; see
-    :mod:`repro.obs`).
+    :mod:`repro.obs`).  ``retry``/``unit_timeout_s``/``faults``/
+    ``checkpoint_path``/``checkpoint_every`` configure worker
+    supervision, fault injection and crash-safe periodic checkpoints —
+    see :func:`repro.verifier.linear.verify_ltlfo` for the semantics.
     """
     if check_restrictions:
         report = classify(service)
@@ -346,16 +356,30 @@ def verify_ctl(
             n_plans=n_plans,
         )
 
+    sup = Supervisor.resolve(
+        retry=retry, unit_timeout_s=unit_timeout_s, faults=faults,
+        checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every,
+    )
+    sup.frontier_kwargs = dict(
+        procedure="verify_ctl",
+        property_name=str(formula),
+        domain_size=used_size,
+        up_to_iso=iso_used,
+        workers=n_workers,
+        resume=resume,
+    )
     spec = TaskSpec(
         procedure="verify_ctl",
         service=service,
         payload={"formula": formula},
         unit_limits={"max_states": gov.max_states},
         traced=tr.active,
+        faults=sup.plan,
     )
     stream = UnitStream(dbs, gov, stats, resume=resume)
-    outcome = run_units(spec, stream, gov, n_workers)
+    outcome = run_units(spec, stream, gov, n_workers, supervisor=sup)
     merge_unit_stats(stats, outcome.unit_stats)
+    apply_quarantine(outcome, stats)
 
     if outcome.violation is not None:
         detail = outcome.violation.detail
@@ -410,6 +434,9 @@ def verify_fully_propositional(
     strict: bool = False,
     workers: int | None = None,
     tracer: Tracer | None = None,
+    retry: int | None = None,
+    unit_timeout_s: float | None = None,
+    faults: Any = None,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for fully propositional services (Theorem 4.6).
 
@@ -422,7 +449,10 @@ def verify_fully_propositional(
     API symmetry — the single structure is one work unit, so it buys no
     parallelism here.  ``tracer`` receives the structured event stream
     (``kripke.built``, ``unit.start/finish``, ``verdict``; see
-    :mod:`repro.obs`).
+    :mod:`repro.obs`).  ``retry``/``unit_timeout_s``/``faults``
+    configure worker supervision and fault injection (see
+    :func:`repro.verifier.linear.verify_ltlfo`); there is no periodic
+    checkpointing here because there is no cursor to checkpoint.
     """
     if check_restrictions:
         report = classify(service)
@@ -455,16 +485,21 @@ def verify_fully_propositional(
             dur=time.monotonic() - plan_started,
             n_plans=n_plans,
         )
+    sup = Supervisor.resolve(
+        retry=retry, unit_timeout_s=unit_timeout_s, faults=faults,
+    )
     spec = TaskSpec(
         procedure="verify_ctl",
         service=service,
         payload={"formula": formula},
         unit_limits={"max_states": gov.max_states},
         traced=tr.active,
+        faults=sup.plan,
     )
     stream = UnitStream([empty_db], gov, stats)
-    outcome = run_units(spec, stream, gov, n_workers)
+    outcome = run_units(spec, stream, gov, n_workers, supervisor=sup)
     merge_unit_stats(stats, outcome.unit_stats)
+    apply_quarantine(outcome, stats)
     if outcome.interrupted is not None:
         return finalize_result(tr, degrade(
             outcome.interrupted,

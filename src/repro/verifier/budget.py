@@ -42,9 +42,26 @@ from repro.verifier.results import (
 __all__ = [
     "Budget",
     "Checkpoint",
+    "CheckpointFormatError",
     "CheckpointMismatchError",
     "coverage_summary",
 ]
+
+
+class CheckpointFormatError(ValueError):
+    """A checkpoint file/dict is malformed; the message names the field.
+
+    Raised instead of letting ``KeyError``/``TypeError``/
+    ``JSONDecodeError`` escape from :meth:`Checkpoint.from_dict` or the
+    :mod:`repro.io` loaders: a truncated or hand-edited resume file is
+    an *expected* operational condition (a kill mid-write, a copy that
+    didn't finish), and the operator fixing it needs the field name, not
+    a traceback.  The CLI maps it to the usage exit code (2).
+    """
+
+    def __init__(self, message: str, *, field: str = "") -> None:
+        super().__init__(message)
+        self.field = field
 
 
 class CheckpointMismatchError(ValueError):
@@ -107,15 +124,77 @@ class Checkpoint:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Checkpoint":
+        """Rebuild a checkpoint, validating every field it reads.
+
+        Raises :class:`CheckpointFormatError` naming the offending field
+        on missing keys or wrong types — never ``KeyError``/``TypeError``
+        — so a truncated or hand-edited resume file turns into an
+        actionable refusal instead of a traceback.
+        """
+        if not isinstance(data, Mapping):
+            raise CheckpointFormatError(
+                f"checkpoint must be a JSON object, got {type(data).__name__}",
+                field="",
+            )
+        procedure = data.get("procedure")
+        if not isinstance(procedure, str) or not procedure:
+            raise CheckpointFormatError(
+                "checkpoint field 'procedure' is missing or not a "
+                f"non-empty string (got {procedure!r}); was the file "
+                "truncated?",
+                field="procedure",
+            )
+        property_name = data.get("property_name", "")
+        if not isinstance(property_name, str):
+            raise CheckpointFormatError(
+                "checkpoint field 'property_name' must be a string, got "
+                f"{property_name!r}",
+                field="property_name",
+            )
+        cursors: dict[str, int] = {}
+        for name in ("db_index", "sigma_index"):
+            value = data.get(name, 0)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise CheckpointFormatError(
+                    f"checkpoint field {name!r} must be a non-negative "
+                    f"integer, got {value!r}",
+                    field=name,
+                )
+            cursors[name] = value
+        for name in ("domain_size", "workers"):
+            value = data.get(name)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise CheckpointFormatError(
+                    f"checkpoint field {name!r} must be an integer or null, "
+                    f"got {value!r}",
+                    field=name,
+                )
+        up_to_iso = data.get("up_to_iso")
+        if up_to_iso is not None and not isinstance(up_to_iso, bool):
+            raise CheckpointFormatError(
+                "checkpoint field 'up_to_iso' must be a boolean or null, "
+                f"got {up_to_iso!r}",
+                field="up_to_iso",
+            )
+        extra = data.get("extra", {})
+        if not isinstance(extra, Mapping):
+            raise CheckpointFormatError(
+                f"checkpoint field 'extra' must be an object, got {extra!r}",
+                field="extra",
+            )
+        for key in ("completed_units", "quarantined_units"):
+            _validate_cursor_list(extra.get(key, []), field=f"extra.{key}")
         return cls(
-            procedure=data["procedure"],
-            property_name=data.get("property_name", ""),
-            db_index=int(data.get("db_index", 0)),
-            sigma_index=int(data.get("sigma_index", 0)),
+            procedure=procedure,
+            property_name=property_name,
+            db_index=cursors["db_index"],
+            sigma_index=cursors["sigma_index"],
             domain_size=data.get("domain_size"),
-            up_to_iso=data.get("up_to_iso"),
+            up_to_iso=up_to_iso,
             workers=data.get("workers"),
-            extra=dict(data.get("extra", {})),
+            extra=dict(extra),
         )
 
     def completed_units(self) -> frozenset[tuple[int, int]]:
@@ -123,6 +202,18 @@ class Checkpoint:
         return frozenset(
             (int(db), int(sig))
             for db, sig in self.extra.get("completed_units", ())
+        )
+
+    def quarantined_units(self) -> list[tuple[int, int]]:
+        """Cursors quarantined after repeated failures in the producing run.
+
+        These are *not* in :meth:`completed_units` — a resume retries
+        them with a fresh attempt count (the failure may have been
+        environmental: a bad host, a since-fixed bug, memory pressure).
+        """
+        return sorted(
+            (int(db), int(sig))
+            for db, sig in self.extra.get("quarantined_units", ())
         )
 
     def ensure_compatible(
@@ -152,6 +243,31 @@ class Checkpoint:
                 "index a different enumeration ("
                 + "; ".join(mismatches)
                 + "); rerun with the checkpoint's parameters or start fresh"
+            )
+
+
+def _validate_cursor_list(value: Any, *, field: str) -> None:
+    """Check a ``[[db, sigma], ...]`` list in a checkpoint's extra block."""
+    if not isinstance(value, (list, tuple)):
+        raise CheckpointFormatError(
+            f"checkpoint field {field!r} must be a list of [db_index, "
+            f"sigma_index] pairs, got {type(value).__name__}",
+            field=field,
+        )
+    for i, item in enumerate(value):
+        ok = (
+            isinstance(item, (list, tuple))
+            and len(item) == 2
+            and all(
+                isinstance(x, int) and not isinstance(x, bool) and x >= 0
+                for x in item
+            )
+        )
+        if not ok:
+            raise CheckpointFormatError(
+                f"checkpoint field {field!r}[{i}] must be a pair of "
+                f"non-negative integers, got {item!r}",
+                field=field,
             )
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Hashable, Iterable
+from typing import Any, Hashable, Iterable
 
 from repro.fol.analysis import input_constants_of
 from repro.fol.formulas import And, Atom, Formula, Not, Or, TRUE
@@ -50,10 +50,12 @@ from repro.verifier.linear import (
 from repro.verifier.parallel import (
     CLEAN,
     VIOLATED,
+    Supervisor,
     TaskSpec,
     UnitOutcome,
     UnitStream,
     WorkUnit,
+    apply_quarantine,
     frontier_checkpoint,
     merge_unit_stats,
     resolve_workers,
@@ -146,6 +148,11 @@ def verify_error_free(
     resume: Checkpoint | None = None,
     workers: int | None = None,
     tracer: Tracer | None = None,
+    retry: int | None = None,
+    unit_timeout_s: float | None = None,
+    faults: Any = None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int | None = None,
 ) -> VerificationResult:
     """Decide error-freeness over the small-model database space.
 
@@ -156,7 +163,10 @@ def verify_error_free(
     ``workers`` fans the (database, sigma) pairs out to a process pool
     with deterministic verdicts (see :mod:`repro.verifier.parallel`);
     ``tracer`` receives the structured event stream (see
-    :mod:`repro.obs`).
+    :mod:`repro.obs`).  ``retry``/``unit_timeout_s``/``faults``/
+    ``checkpoint_path``/``checkpoint_every`` configure worker
+    supervision, fault injection and crash-safe periodic checkpoints —
+    see :func:`repro.verifier.linear.verify_ltlfo` for the semantics.
     """
     property_name = f"error-free({service.name})"
     if method == "reduction":
@@ -175,6 +185,11 @@ def verify_error_free(
             resume=resume,
             workers=workers,
             tracer=tracer,
+            retry=retry,
+            unit_timeout_s=unit_timeout_s,
+            faults=faults,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
         )
         result.method = "error-freeness via Lemma A.5 reduction + Theorem 3.5"
         result.property_name = property_name
@@ -229,17 +244,32 @@ def verify_error_free(
             n_plans=n_plans,
         )
 
+    sup = Supervisor.resolve(
+        retry=retry, unit_timeout_s=unit_timeout_s, faults=faults,
+        checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every,
+    )
+    sup.frontier_kwargs = dict(
+        procedure="verify_error_free",
+        property_name=property_name,
+        domain_size=used_size,
+        up_to_iso=iso_used,
+        workers=n_workers,
+        resume=resume,
+        extra={"method": "direct"},
+    )
     spec = TaskSpec(
         procedure="verify_error_free",
         service=service,
         payload={},
         unit_limits={"max_snapshots": gov.max_snapshots},
         traced=tr.active,
+        faults=sup.plan,
     )
     snap_base = gov.snapshots_total
     stream = UnitStream(dbs, gov, stats, sigma_fn=sigma_fn, resume=resume)
-    outcome = run_units(spec, stream, gov, n_workers)
+    outcome = run_units(spec, stream, gov, n_workers, supervisor=sup)
     merge_unit_stats(stats, outcome.unit_stats)
+    apply_quarantine(outcome, stats)
 
     if outcome.violation is not None:
         trace: Run = outcome.violation.detail["run"]

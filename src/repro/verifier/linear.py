@@ -38,7 +38,7 @@ from __future__ import annotations
 import itertools
 import time
 from collections import deque
-from typing import Callable, Hashable, Iterable, Iterator, Mapping
+from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping
 
 from repro.fol.analysis import input_constants_of
 from repro.fol.compile import compilation_enabled, compile_formula
@@ -67,10 +67,12 @@ from repro.verifier.budget import Budget, Checkpoint, degrade
 from repro.verifier.parallel import (
     CLEAN,
     VIOLATED,
+    Supervisor,
     TaskSpec,
     UnitOutcome,
     UnitStream,
     WorkUnit,
+    apply_quarantine,
     frontier_checkpoint,
     merge_unit_stats,
     resolve_workers,
@@ -388,6 +390,11 @@ def verify_ltlfo(
     resume: Checkpoint | None = None,
     workers: int | None = None,
     tracer: Tracer | None = None,
+    retry: int | None = None,
+    unit_timeout_s: float | None = None,
+    faults: Any = None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int | None = None,
 ) -> VerificationResult:
     """Decide ``service ⊨ sentence`` for input-bounded instances.
 
@@ -440,6 +447,26 @@ def verify_ltlfo(
         environment variable (a JSONL path), else the zero-overhead null
         tracer.  Tracing never changes verdicts, counterexamples or
         stats; the summary lands in ``result.timings``.
+    retry, unit_timeout_s:
+        Worker supervision (see :mod:`repro.verifier.parallel`).  A
+        failed unit is retried up to ``retry`` times with exponential
+        backoff and deterministic jitter (default 2; env
+        ``REPRO_RETRY``); with ``unit_timeout_s`` a pool unit exceeding
+        its wall-clock allowance is killed with its pool and retried
+        (env ``REPRO_UNIT_TIMEOUT_S``).  A unit that exhausts its
+        retries is quarantined — recorded in
+        ``stats["quarantined_units"]`` and the checkpoint — and an
+        otherwise-clean verdict degrades to INCONCLUSIVE instead of the
+        run aborting.
+    faults:
+        Deterministic fault-injection plan for testing the supervision
+        paths: a :class:`repro.faults.FaultPlan`, a dict, a JSON
+        string, or ``@path`` to a JSON file (env ``REPRO_FAULTS``).
+    checkpoint_path, checkpoint_every:
+        Crash-safe periodic checkpointing: atomically rewrite
+        ``checkpoint_path`` every ``checkpoint_every`` completed units
+        (env ``REPRO_CHECKPOINT_EVERY``) and on interruption, so a kill
+        at any moment loses bounded work and never corrupts the file.
     """
     if check_restrictions:
         _require_input_bounded(service, sentence)
@@ -499,6 +526,18 @@ def verify_ltlfo(
     else:
         sigma_fn = lambda db: enumerate_sigmas(service, db)  # noqa: E731
 
+    sup = Supervisor.resolve(
+        retry=retry, unit_timeout_s=unit_timeout_s, faults=faults,
+        checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every,
+    )
+    sup.frontier_kwargs = dict(
+        procedure="verify_ltlfo",
+        property_name=property_name,
+        domain_size=used_size,
+        up_to_iso=iso_used,
+        workers=n_workers,
+        resume=resume,
+    )
     spec = TaskSpec(
         procedure="verify_ltlfo",
         service=service,
@@ -513,14 +552,16 @@ def verify_ltlfo(
             "max_valuations": gov.max_valuations,
         },
         traced=tr.active,
+        faults=sup.plan,
     )
     snap_base = gov.snapshots_total
     stream = UnitStream(
         dbs, gov, stats, sigma_fn=sigma_fn, resume=resume,
         on_database=on_database,
     )
-    outcome = run_units(spec, stream, gov, n_workers)
+    outcome = run_units(spec, stream, gov, n_workers, supervisor=sup)
     merge_unit_stats(stats, outcome.unit_stats)
+    apply_quarantine(outcome, stats)
 
     if outcome.violation is not None:
         detail = outcome.violation.detail

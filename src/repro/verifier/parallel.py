@@ -48,11 +48,47 @@ pickled once into each worker (service, property, precompiled Büchi
 automaton, unit budget caps) — the per-unit messages carry only the
 database and sigma.  ``REPRO_WORKERS`` in the environment supplies a
 default worker count for entry points called without ``workers=``.
+
+**Fault tolerance.**  A run that takes hours must survive the failures
+hours bring: a worker segfault, a stuck unit, a SIGTERM from the
+scheduler.  The :class:`Supervisor` wraps both backends with a failure
+model:
+
+- **Retry with backoff.**  A unit whose worker raises (anything that is
+  not a budget verdict) is retried up to ``max_retries`` times with
+  exponential backoff and deterministic jitter; verdicts stay
+  lowest-cursor-deterministic because a unit's *result* is a pure
+  function of ``(db, sigma)`` — retrying changes when it is computed,
+  never what it is.
+- **Crash recovery.**  A dead worker (``BrokenProcessPool``) kills the
+  whole pool; the supervisor rebuilds it and re-runs the in-flight
+  units one at a time (probation) so the culprit identifies itself
+  instead of taking innocent units' retry budget with it.
+- **Unit timeouts.**  With ``unit_timeout_s`` set, a unit that exceeds
+  its wall-clock allowance is treated as hung: the pool is rebuilt
+  (a stuck worker cannot be preempted, only killed) and the unit
+  retried.
+- **Quarantine.**  A unit that exhausts its retries is quarantined —
+  recorded in ``stats["quarantined_units"]`` and the checkpoint — and
+  the run *continues*; an otherwise-clean verdict degrades to
+  INCONCLUSIVE (the quarantined space was never verified) instead of
+  the whole run aborting.
+- **Fallback.**  If the pool cannot be rebuilt (``max_pool_rebuilds``
+  exceeded), the remaining units run in-process — slower, but the run
+  finishes.
+- **Crash-safe checkpoints.**  With ``checkpoint_every=N``, the merged
+  frontier is atomically written every N completed units (and on
+  SIGINT/SIGTERM via :data:`GLOBAL_STOP`), so a kill at any moment
+  loses at most N units of work and can never corrupt the resume file.
+
+Deterministic fault *injection* for testing all of the above lives in
+:mod:`repro.faults`.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -60,9 +96,16 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
+from repro.faults import (
+    CheckpointWriteInterrupted,
+    FaultInjector,
+    FaultPlan,
+    resolve_fault_plan,
+)
 from repro.obs import NULL_TRACER, CollectingTracer, TraceEvent, Tracer
 from repro.verifier.budget import Budget, Checkpoint
 from repro.verifier.results import VerificationBudgetExceeded
@@ -73,6 +116,12 @@ __all__ = [
     "TaskSpec",
     "UnitStream",
     "EnumerationOutcome",
+    "RetryPolicy",
+    "RunInterrupted",
+    "StopToken",
+    "GLOBAL_STOP",
+    "Supervisor",
+    "apply_quarantine",
     "run_units",
     "unit_checker",
     "resolve_workers",
@@ -82,6 +131,14 @@ __all__ = [
     "VIOLATED",
     "BUDGET",
 ]
+
+#: Clock seams: supervision code reads time and sleeps through these
+#: module globals so tests can drive the retry/backoff schedule with a
+#: patched clock instead of real sleeps.  The hot verification paths
+#: keep calling ``time.monotonic`` directly — patching these affects
+#: only supervision decisions.
+_MONOTONIC = time.monotonic
+_SLEEP = time.sleep
 
 CLEAN = "clean"
 VIOLATED = "violated"
@@ -166,6 +223,10 @@ class TaskSpec:
     caps stay with the parent governor).  ``traced`` tells workers to
     collect trace events per unit and ship them back with the outcome;
     when False (the default) workers run with the null tracer.
+    ``faults`` is the deterministic :class:`~repro.faults.FaultPlan`
+    under test, if any — workers perform the matching unit-site faults
+    before running their checker (None, the default, costs one ``is
+    None`` check per unit).
     """
 
     procedure: str
@@ -173,6 +234,7 @@ class TaskSpec:
     payload: Mapping[str, Any]
     unit_limits: Mapping[str, Any]
     traced: bool = False
+    faults: FaultPlan | None = None
 
     def make_unit_budget(self, timeout_s: float | None) -> Budget:
         return Budget(
@@ -230,10 +292,27 @@ def _init_worker(spec: TaskSpec) -> None:
     warm_service_plans(spec.service)
 
 
-def _pool_check(unit: WorkUnit, timeout_s: float | None) -> UnitOutcome:
-    """Run one unit in a worker: local budget, shared per-worker cache."""
-    spec = _WORKER_SPEC
-    assert spec is not None, "worker used before initialization"
+def _execute_unit(
+    spec: TaskSpec,
+    unit: WorkUnit,
+    timeout_s: float | None,
+    cache: dict,
+    injector: FaultInjector | None = None,
+    attempt: int = 0,
+) -> UnitOutcome:
+    """Run one unit under its own local budget (worker or fallback).
+
+    The shared core of the pool worker and the in-process pool-fallback
+    path: a fresh unit budget from the spec's caps, a collecting tracer
+    when the spec is traced, budget strikes converted to a BUDGET
+    outcome.  ``attempt`` is the retry ordinal the supervisor assigned
+    this execution — fault injection is keyed on it, so a transient
+    injected fault fires on attempt 0 and lets the retry through.
+    """
+    if injector is not None:
+        # may raise (a unit failure for the supervisor) or kill this
+        # process outright when in_worker — that is the point
+        injector.fire_unit(unit.cursor, attempt)
     gov = spec.make_unit_budget(timeout_s)
     tracer: Tracer = CollectingTracer() if spec.traced else NULL_TRACER
     gov.tracer = tracer
@@ -241,7 +320,7 @@ def _pool_check(unit: WorkUnit, timeout_s: float | None) -> UnitOutcome:
     if tracer.active:
         tracer.emit("unit.start", cursor=unit.cursor)
     try:
-        outcome = _CHECKERS[spec.procedure](spec, unit, gov, _WORKER_CACHE)
+        outcome = _CHECKERS[spec.procedure](spec, unit, gov, cache)
     except VerificationBudgetExceeded as exc:
         stats = dict(exc.stats)
         stats.setdefault("snapshots_explored", gov.snapshots_total)
@@ -261,6 +340,21 @@ def _pool_check(unit: WorkUnit, timeout_s: float | None) -> UnitOutcome:
         )
         outcome.events = tracer.events
     return outcome
+
+
+def _pool_check(
+    unit: WorkUnit, timeout_s: float | None, attempt: int = 0
+) -> UnitOutcome:
+    """Run one unit in a worker: local budget, shared per-worker cache."""
+    spec = _WORKER_SPEC
+    assert spec is not None, "worker used before initialization"
+    injector = None
+    if spec.faults is not None:
+        injector = FaultInjector(spec.faults, in_worker=True)
+    return _execute_unit(
+        spec, unit, timeout_s, _WORKER_CACHE,
+        injector=injector, attempt=attempt,
+    )
 
 
 # -- the unit stream --------------------------------------------------------
@@ -370,6 +464,10 @@ class EnumerationOutcome:
     Exactly one of three shapes: a ``violation`` (lowest cursor), an
     ``interrupted`` budget exception with the ``pending`` frontier and
     ``completed`` out-of-order cursors, or neither (exhausted — HOLDS).
+    ``quarantined`` is orthogonal: units that exhausted their retry
+    budget, each recorded as ``{"cursor", "attempts", "error"}`` — a
+    non-empty list degrades an otherwise-clean run to INCONCLUSIVE via
+    :func:`apply_quarantine`.
     """
 
     violation: UnitOutcome | None = None
@@ -377,6 +475,7 @@ class EnumerationOutcome:
     pending: list[tuple[int, int]] = field(default_factory=list)
     completed: list[tuple[int, int]] = field(default_factory=list)
     unit_stats: dict = field(default_factory=dict)
+    quarantined: list[dict] = field(default_factory=list)
 
 
 def frontier_checkpoint(
@@ -395,8 +494,15 @@ def frontier_checkpoint(
     The cursor is the lowest incomplete unit; completions beyond it
     (out-of-order parallel finishes, plus any carried over from the
     checkpoint being resumed) are recorded so the next run skips them.
+    Quarantined units count as incomplete — a resume retries them with
+    a fresh attempt budget — and are additionally recorded under
+    ``extra["quarantined_units"]`` (the ``repro.checkpoint/2`` field)
+    so the resuming operator can see what kept failing.
     """
-    pending = sorted(outcome.pending)
+    quarantined = sorted(
+        {tuple(q["cursor"]) for q in outcome.quarantined}
+    )
+    pending = sorted(set(outcome.pending) | set(quarantined))
     cursor = pending[0] if pending else (0, 0)
     done: set[tuple[int, int]] = set(outcome.completed)
     if resume is not None:
@@ -405,6 +511,8 @@ def frontier_checkpoint(
     payload = dict(extra or {})
     if ahead:
         payload["completed_units"] = [list(c) for c in ahead]
+    if quarantined:
+        payload["quarantined_units"] = [list(c) for c in quarantined]
     return Checkpoint(
         procedure=procedure,
         property_name=property_name,
@@ -417,6 +525,355 @@ def frontier_checkpoint(
     )
 
 
+# -- supervision ------------------------------------------------------------
+
+class RunInterrupted(VerificationBudgetExceeded):
+    """A cooperative stop (SIGINT/SIGTERM) interrupted the run.
+
+    A subclass of the budget exception so the whole graceful-degradation
+    machinery — INCONCLUSIVE verdict, partial stats, resumable frontier
+    checkpoint — applies to signals exactly as it does to deadlines;
+    ``limit`` is always ``"interrupted"`` so callers (the CLI exit code)
+    can tell the two apart.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(
+            f"run interrupted by {reason}", limit="interrupted"
+        )
+        self.reason = reason
+
+
+class StopToken:
+    """A latch a signal handler can set from outside the run loop.
+
+    Signal handlers must do almost nothing (they run between arbitrary
+    bytecodes); setting this flag is all the CLI's SIGINT/SIGTERM
+    handlers do.  The supervision loop polls it at every scheduling
+    step and turns it into a :class:`RunInterrupted` — so the engine
+    winds down through its own checkpoint-flushing path instead of a
+    ``KeyboardInterrupt`` unwinding mid-pool.
+    """
+
+    def __init__(self) -> None:
+        self.reason: str | None = None
+
+    def set(self, reason: str = "signal") -> None:
+        self.reason = reason
+
+    def clear(self) -> None:
+        self.reason = None
+
+    def __bool__(self) -> bool:
+        return self.reason is not None
+
+
+#: The process-wide stop token the CLI's signal handlers set.  Library
+#: callers who want their own scoping can pass a private token via
+#: ``Supervisor(stop=...)``.
+GLOBAL_STOP = StopToken()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient unit failures are retried.
+
+    ``max_retries`` bounds the *re*-executions of one unit (0 disables
+    retry: first failure quarantines).  The backoff before retry *n*
+    (0-based) is ``min(backoff_max_s, backoff_base_s * 2**n)`` scaled by
+    ``1 + backoff_jitter * u`` with ``u`` drawn deterministically from
+    the fault-plan seed and the unit cursor — reproducible schedules,
+    but no thundering herd when many units fail at once.
+    ``unit_timeout_s`` is the per-execution wall-clock allowance (pool
+    backend only — an in-process unit cannot be preempted);
+    ``max_pool_rebuilds`` bounds pool reconstruction before the run
+    falls back to the in-process backend.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    backoff_jitter: float = 0.1
+    unit_timeout_s: float | None = None
+    max_pool_rebuilds: int = 8
+
+    def backoff_s(
+        self, cursor: tuple[int, int], attempt: int, seed: int = 0
+    ) -> float:
+        base = min(self.backoff_max_s, self.backoff_base_s * (2 ** attempt))
+        if self.backoff_jitter <= 0:
+            return base
+        u = random.Random(
+            f"{seed}:{cursor[0]}:{cursor[1]}:{attempt}"
+        ).random()
+        return base * (1.0 + self.backoff_jitter * u)
+
+
+def _env_number(name: str, convert, minimum) -> Any:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = convert(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be {'an integer' if convert is int else 'a number'},"
+            f" got {raw!r}"
+        ) from None
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+class Supervisor:
+    """Failure handling for one enumeration run.
+
+    Owns the retry policy, the resolved fault plan, the stop token, the
+    quarantine record, and the periodic-checkpoint sink.  One instance
+    per ``run_units`` call; entry points build it from their
+    ``retry=`` / ``unit_timeout_s=`` / ``faults=`` / ``checkpoint_path=``
+    / ``checkpoint_every=`` keywords (environment fallbacks:
+    ``REPRO_RETRY``, ``REPRO_UNIT_TIMEOUT_S``, ``REPRO_FAULTS``,
+    ``REPRO_CHECKPOINT_EVERY``) and point ``frontier_kwargs`` at their
+    :func:`frontier_checkpoint` parameters so mid-run checkpoints carry
+    the same identity as end-of-run ones.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        *,
+        plan: FaultPlan | None = None,
+        checkpoint_path: Any = None,
+        checkpoint_every: int | None = None,
+        stop: StopToken | None = None,
+    ) -> None:
+        self.policy = policy or RetryPolicy()
+        self.plan = plan
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.stop = stop if stop is not None else GLOBAL_STOP
+        #: set by the entry point: frontier_checkpoint(...) keywords for
+        #: periodic checkpoints (None = periodic checkpointing disabled)
+        self.frontier_kwargs: dict[str, Any] | None = None
+        self.quarantined: list[dict] = []
+        self.retries = 0
+        self.pool_rebuilds = 0
+        self.checkpoints_written = 0
+        self._since_checkpoint = 0
+        self._stop_announced = False
+
+    @classmethod
+    def resolve(
+        cls,
+        *,
+        retry: int | None = None,
+        unit_timeout_s: float | None = None,
+        faults: Any = None,
+        checkpoint_path: Any = None,
+        checkpoint_every: int | None = None,
+        stop: StopToken | None = None,
+    ) -> "Supervisor":
+        """Build the supervisor for one call, applying env fallbacks."""
+        if retry is None:
+            retry = _env_number("REPRO_RETRY", int, 0)
+        if unit_timeout_s is None:
+            unit_timeout_s = _env_number("REPRO_UNIT_TIMEOUT_S", float, 0.0)
+        if checkpoint_every is None:
+            checkpoint_every = _env_number("REPRO_CHECKPOINT_EVERY", int, 1)
+        if retry is not None and retry < 0:
+            raise ValueError(f"retry must be >= 0, got {retry}")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        defaults = RetryPolicy()
+        policy = RetryPolicy(
+            max_retries=defaults.max_retries if retry is None else retry,
+            unit_timeout_s=unit_timeout_s,
+        )
+        return cls(
+            policy,
+            plan=resolve_fault_plan(faults),
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            stop=stop,
+        )
+
+    # -- stop / fault plumbing --------------------------------------------
+
+    def check_stop(self, tracer: Tracer) -> None:
+        """Raise :class:`RunInterrupted` when the stop token is set."""
+        reason = self.stop.reason
+        if reason is None:
+            return
+        if tracer.active and not self._stop_announced:
+            tracer.emit("run.interrupted", signal=reason)
+        self._stop_announced = True
+        raise RunInterrupted(reason)
+
+    def announce_fault(
+        self, tracer: Tracer, site: str,
+        cursor: tuple[int, int], attempt: int,
+    ) -> None:
+        """Emit ``fault.injected`` parent-side for a matching fault.
+
+        The parent announces because the fault may kill the worker
+        before it could ship its own trace events home.
+        """
+        if self.plan is None or not tracer.active:
+            return
+        spec = self.plan.match(site, cursor, attempt)
+        if spec is not None:
+            tracer.emit(
+                "fault.injected", cursor=cursor,
+                kind=spec.kind, site=site, attempt=attempt,
+            )
+
+    def local_injector(self) -> FaultInjector | None:
+        """The in-process injector (sequential backend, checkpoint site)."""
+        if self.plan is None:
+            return None
+        return FaultInjector(self.plan, in_worker=False, _sleep=_SLEEP)
+
+    # -- retry / quarantine ------------------------------------------------
+
+    def should_retry(self, attempt: int) -> bool:
+        return attempt < self.policy.max_retries
+
+    def backoff_for(self, cursor: tuple[int, int], attempt: int) -> float:
+        seed = self.plan.seed if self.plan is not None else 0
+        return self.policy.backoff_s(cursor, attempt, seed)
+
+    def note_retry(
+        self, tracer: Tracer, cursor: tuple[int, int],
+        attempt: int, delay: float, error: BaseException | str,
+    ) -> None:
+        self.retries += 1
+        if tracer.active:
+            tracer.emit(
+                "unit.retry", cursor=cursor, attempt=attempt,
+                backoff_s=round(delay, 6), error=str(error),
+            )
+
+    def quarantine(
+        self, out: EnumerationOutcome, tracer: Tracer,
+        cursor: tuple[int, int], attempts: int, error: BaseException | str,
+    ) -> None:
+        """Record a poison unit; the run continues without it."""
+        record = {
+            "cursor": tuple(cursor),
+            "attempts": attempts,
+            "error": str(error),
+        }
+        self.quarantined.append(record)
+        out.quarantined.append(record)
+        if tracer.active:
+            tracer.emit(
+                "unit.quarantined", cursor=cursor,
+                attempts=attempts, error=str(error),
+            )
+
+    def counters(self) -> dict[str, int]:
+        """Supervision counters folded into the run's stats (only when
+        something actually happened, so fault-free runs keep stats
+        byte-identical to the unsupervised engine)."""
+        out: dict[str, int] = {}
+        if self.retries:
+            out["units_retried"] = self.retries
+        if self.pool_rebuilds:
+            out["pool_rebuilds"] = self.pool_rebuilds
+        if self.checkpoints_written:
+            out["checkpoints_written"] = self.checkpoints_written
+        return out
+
+    # -- periodic checkpoints ----------------------------------------------
+
+    def note_completed(
+        self, tracer: Tracer, out: EnumerationOutcome,
+        incomplete: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        """One unit completed; maybe flush a periodic checkpoint."""
+        if self.checkpoint_path is None or self.checkpoint_every is None:
+            return
+        self._since_checkpoint += 1
+        if self._since_checkpoint < self.checkpoint_every:
+            return
+        self._since_checkpoint = 0
+        self.write_checkpoint(tracer, out, incomplete)
+
+    def write_checkpoint(
+        self, tracer: Tracer, out: EnumerationOutcome,
+        incomplete: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        """Atomically write the current frontier to ``checkpoint_path``.
+
+        ``incomplete`` is the set of cursors known to be in flight,
+        queued for retry, or otherwise unfinished; everything completed
+        is recorded so a resume re-runs exactly the rest.  An injected
+        ``checkpoint`` fault interrupts between the temp write and the
+        rename — the previous file must survive (that is the test).
+        """
+        if self.checkpoint_path is None or self.frontier_kwargs is None:
+            return
+        from repro.io import save_checkpoint
+
+        snapshot = EnumerationOutcome(
+            pending=sorted(set(incomplete)),
+            completed=list(out.completed),
+            quarantined=list(out.quarantined),
+        )
+        ckpt = frontier_checkpoint(snapshot, **self.frontier_kwargs)
+        cursor = (ckpt.db_index, ckpt.sigma_index)
+        interrupt = None
+        injector = self.local_injector()
+        if injector is not None:
+            self.announce_fault(tracer, "checkpoint", cursor, 0)
+            interrupt = lambda: injector.checkpoint_interrupt(cursor)  # noqa: E731
+        try:
+            save_checkpoint(ckpt, self.checkpoint_path, interrupt=interrupt)
+        except CheckpointWriteInterrupted:
+            # the simulated kill: this update is lost, the previous
+            # checkpoint file is intact — exactly what a real SIGKILL
+            # between write and rename leaves behind
+            return
+        self.checkpoints_written += 1
+        if tracer.active:
+            tracer.emit(
+                "checkpoint.saved", cursor=cursor,
+                path=str(self.checkpoint_path),
+                completed=len(snapshot.completed),
+            )
+
+
+def apply_quarantine(outcome: EnumerationOutcome, stats: dict) -> None:
+    """Fold quarantine state into the run's stats and verdict shape.
+
+    Quarantined cursors land in ``stats["quarantined_units"]``
+    regardless of verdict.  A run that would otherwise report HOLDS is
+    marked interrupted instead — the quarantined units were *never
+    verified*, so claiming the property holds over them would be
+    unsound; the standard degradation path then returns INCONCLUSIVE
+    with a checkpoint whose pending frontier retries them.  A VIOLATED
+    verdict stands: the counterexample is genuine whatever happened to
+    other units.
+    """
+    if not outcome.quarantined:
+        return
+    cursors = sorted({tuple(q["cursor"]) for q in outcome.quarantined})
+    stats["quarantined_units"] = [list(c) for c in cursors]
+    if outcome.violation is None and outcome.interrupted is None:
+        preview = "; ".join(
+            f"{tuple(q['cursor'])}: {q['error']}"
+            for q in outcome.quarantined[:3]
+        )
+        outcome.interrupted = VerificationBudgetExceeded(
+            f"{len(cursors)} work unit(s) quarantined after repeated "
+            f"failures ({preview})",
+            limit="quarantined_units",
+        )
+
+
 # -- backends ---------------------------------------------------------------
 
 def run_units(
@@ -424,68 +881,146 @@ def run_units(
     stream: UnitStream,
     gov: Budget,
     workers: int,
+    supervisor: Supervisor | None = None,
 ) -> EnumerationOutcome:
     """Run every pending unit; first confirmed lowest-cursor violation wins.
 
     ``workers <= 1`` is the classic sequential loop sharing the parent
     governor (identical charging order to the pre-parallel verifier);
-    ``workers > 1`` fans units out to a process pool.
+    ``workers > 1`` fans units out to a process pool.  ``supervisor``
+    carries the failure model (retry, quarantine, timeouts, periodic
+    checkpoints, stop token); None builds one from the environment
+    defaults.
     """
+    sup = supervisor if supervisor is not None else Supervisor.resolve()
     if workers <= 1:
-        return _run_sequential(spec, stream, gov)
-    return _run_pool(spec, stream, gov, workers)
+        out = _run_sequential(spec, stream, gov, sup)
+    else:
+        out = _run_pool(spec, stream, gov, workers, sup)
+    for key, value in sup.counters().items():
+        out.unit_stats[key] = out.unit_stats.get(key, 0) + value
+    return out
+
+
+def _attempt_unit_local(
+    spec: TaskSpec,
+    unit: WorkUnit,
+    gov: Budget,
+    cache: dict,
+    sup: Supervisor,
+    out: EnumerationOutcome,
+    first_attempt: int = 0,
+) -> UnitOutcome | None:
+    """Run one unit in-process under the retry policy.
+
+    Returns the outcome, or None when the unit was quarantined.  Budget
+    exhaustion propagates — it is a verdict about the search, not a
+    failure of the machinery.  Injected ``crash`` faults are downgraded
+    to transient errors by the injector (``in_worker=False``): the
+    parent process is not expendable.
+    """
+    checker = _CHECKERS[spec.procedure]
+    tracer = gov.tracer
+    injector = sup.local_injector()
+    attempt = first_attempt
+    while True:
+        sup.check_stop(tracer)
+        sup.announce_fault(tracer, "unit", unit.cursor, attempt)
+        if tracer.active:
+            tracer.emit("unit.start", cursor=unit.cursor)
+        started = time.monotonic()
+        try:
+            if injector is not None:
+                injector.fire_unit(unit.cursor, attempt)
+            return_value = checker(spec, unit, gov, cache)
+        except VerificationBudgetExceeded:
+            if tracer.active:
+                tracer.emit(
+                    "unit.finish", cursor=unit.cursor,
+                    dur=time.monotonic() - started, status=BUDGET,
+                )
+            raise
+        except Exception as exc:
+            if tracer.active:
+                tracer.emit(
+                    "unit.finish", cursor=unit.cursor,
+                    dur=time.monotonic() - started, status="failed",
+                )
+            if not sup.should_retry(attempt):
+                sup.quarantine(out, tracer, unit.cursor, attempt + 1, exc)
+                return None
+            delay = sup.backoff_for(unit.cursor, attempt)
+            sup.note_retry(tracer, unit.cursor, attempt, delay, exc)
+            _SLEEP(delay)
+            attempt += 1
+            continue
+        if tracer.active:
+            tracer.emit(
+                "unit.finish", cursor=unit.cursor,
+                dur=time.monotonic() - started, status=return_value.status,
+            )
+        return return_value
 
 
 def _run_sequential(
-    spec: TaskSpec, stream: UnitStream, gov: Budget
+    spec: TaskSpec, stream: UnitStream, gov: Budget, sup: Supervisor
 ) -> EnumerationOutcome:
     """The classic in-process loop; trace events stream live, in cursor
     order, straight into the parent tracer (no batching needed — units
     complete in the order the stream yields them)."""
-    checker = _CHECKERS[spec.procedure]
     tracer = gov.tracer
     cache: dict = {}
     out = EnumerationOutcome()
     try:
         for unit in stream:
-            if tracer.active:
-                tracer.emit("unit.start", cursor=unit.cursor)
-                started = time.monotonic()
-            try:
-                result = checker(spec, unit, gov, cache)
-            except VerificationBudgetExceeded:
-                if tracer.active:
-                    tracer.emit(
-                        "unit.finish", cursor=unit.cursor,
-                        dur=time.monotonic() - started, status=BUDGET,
-                    )
-                raise
-            if tracer.active:
-                tracer.emit(
-                    "unit.finish", cursor=unit.cursor,
-                    dur=time.monotonic() - started, status=result.status,
-                )
+            result = _attempt_unit_local(spec, unit, gov, cache, sup, out)
+            if result is None:  # quarantined; move on
+                continue
             if result.status == VIOLATED:
                 merge_unit_stats(out.unit_stats, result.stats)
                 out.violation = result
                 return out
             out.completed.append(unit.cursor)
             merge_unit_stats(out.unit_stats, result.stats)
+            sup.note_completed(tracer, out)
     except VerificationBudgetExceeded as exc:
         out.interrupted = exc
         out.pending = [stream.cursor]
+        sup.write_checkpoint(tracer, out, incomplete=out.pending)
     return out
 
 
+@dataclass
+class _Flight:
+    """One submitted pool execution: the unit, the retry ordinal this
+    execution runs at, and its wall-clock deadline (None when no unit
+    timeout is configured)."""
+
+    unit: WorkUnit
+    attempt: int
+    deadline: float | None
+
+
 def _run_pool(
-    spec: TaskSpec, stream: UnitStream, gov: Budget, workers: int
+    spec: TaskSpec, stream: UnitStream, gov: Budget, workers: int,
+    sup: Supervisor,
 ) -> EnumerationOutcome:
     out = EnumerationOutcome()
+    tracer = gov.tracer
+    policy = sup.policy
     window = max(2 * workers, workers + 2)
     units = iter(stream)
     exhausted = False
-    stop_submitting = False
-    in_flight: dict[Future, WorkUnit] = {}
+    stop_stream = False  # no more units pulled from the stream
+    halt = False  # interrupted: nothing new starts, running units drain
+    in_flight: dict[Future, _Flight] = {}
+    #: failed units waiting out their backoff: (release_time, unit, attempt)
+    retry_q: list[tuple[float, WorkUnit, int]] = []
+    #: units to re-run one at a time after a pool break (crash suspects)
+    probation: list[tuple[WorkUnit, int]] = []
+    #: units ready for immediate resubmission (due retries, timeout innocents)
+    pending_submit: list[tuple[WorkUnit, int]] = []
+    seq_cache: dict = {}  # checker cache for the in-process fallback
     best: UnitOutcome | None = None
     # Per-unit stats, folded into out.unit_stats only once the verdict
     # is known: on a violation the aggregate must cover exactly the
@@ -498,6 +1033,7 @@ def _run_pool(
     # order under the same filter as the stats — the trace covers the
     # same unit set at every worker count.
     events_by_cursor: dict[tuple[int, int], list[TraceEvent]] = {}
+    pool: ProcessPoolExecutor | None = None
 
     def flush_events(limit_cursor: tuple[int, int] | None) -> None:
         if not gov.tracer.active:
@@ -509,88 +1045,338 @@ def _run_pool(
                 gov.tracer.emit_event(event)
 
     def interrupt(exc: VerificationBudgetExceeded) -> None:
-        nonlocal stop_submitting
+        nonlocal stop_stream, halt
         if out.interrupted is None:
             out.interrupted = exc
-        stop_submitting = True
+        stop_stream = True
+        halt = True
+        # queued work will not run; record it as pending for the resume
+        out.pending.extend(u.cursor for (_, u, _a) in retry_q)
+        out.pending.extend(u.cursor for (u, _a) in probation)
+        out.pending.extend(u.cursor for (u, _a) in pending_submit)
+        retry_q.clear()
+        probation.clear()
+        pending_submit.clear()
 
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_init_worker, initargs=(spec,)
-    ) as pool:
+    def incomplete_cursors() -> set[tuple[int, int]]:
+        cursors = {flight.unit.cursor for flight in in_flight.values()}
+        cursors.update(u.cursor for (_, u, _a) in retry_q)
+        cursors.update(u.cursor for (u, _a) in probation)
+        cursors.update(u.cursor for (u, _a) in pending_submit)
+        if not exhausted:
+            cursors.add(stream.cursor)
+        return cursors
+
+    def handle_result(unit: WorkUnit, result: UnitOutcome) -> None:
+        nonlocal best
+        if result.events:
+            events_by_cursor[unit.cursor] = result.events
+        if result.status == BUDGET:
+            out.pending.append(unit.cursor)
+            stats_by_cursor[unit.cursor] = result.stats
+            interrupt(
+                VerificationBudgetExceeded(
+                    result.message, limit=result.limit, stats=result.stats,
+                )
+            )
+            return
+        out.completed.append(unit.cursor)
+        stats_by_cursor[unit.cursor] = result.stats
+        if result.status == VIOLATED and (
+            best is None or result.cursor < best.cursor
+        ):
+            best = result
+        try:
+            gov.absorb(result.stats)
+        except VerificationBudgetExceeded as exc:
+            interrupt(exc)
+        sup.note_completed(tracer, out, incomplete=incomplete_cursors())
+
+    def handle_failure(
+        unit: WorkUnit, attempt: int, error: BaseException | str
+    ) -> None:
+        if sup.should_retry(attempt):
+            delay = sup.backoff_for(unit.cursor, attempt)
+            sup.note_retry(tracer, unit.cursor, attempt, delay, error)
+            retry_q.append((_MONOTONIC() + delay, unit, attempt + 1))
+        else:
+            sup.quarantine(out, tracer, unit.cursor, attempt + 1, error)
+
+    def kill_pool() -> None:
+        # a hung or crashed worker cannot be joined; SIGKILL the whole
+        # cohort and abandon the executor without waiting
+        nonlocal pool
+        if pool is None:
+            return
+        procs = getattr(pool, "_processes", None)
+        for proc in list((procs or {}).values()):
+            try:
+                proc.kill()
+            except Exception:
+                pass  # already reaped
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = None
+
+    def rebuild(cause: str) -> None:
+        nonlocal pool
+        kill_pool()
+        sup.pool_rebuilds += 1
+        giving_up = sup.pool_rebuilds > policy.max_pool_rebuilds
+        if tracer.active:
+            tracer.emit(
+                "pool.rebuilt", cursor=stream.cursor, cause=cause,
+                rebuilds=sup.pool_rebuilds, fallback=giving_up,
+            )
+        if giving_up:
+            return  # in-process fallback from here on
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_worker,
+                initargs=(spec,),
+            )
+        except Exception:
+            pool = None
+
+    def on_pool_break() -> None:
+        flights = sorted(in_flight.values(), key=lambda f: f.unit.cursor)
+        in_flight.clear()
+        if len(flights) == 1:
+            # a unit that breaks the pool while running alone is the
+            # proven culprit: charge the failure to its retry budget
+            flight = flights[0]
+            handle_failure(
+                flight.unit, flight.attempt,
+                "worker process died (pool broken)",
+            )
+        else:
+            # cannot tell which in-flight unit killed the pool: re-run
+            # them one at a time so the culprit identifies itself
+            # without charging the innocents' retry budget
+            probation.extend((f.unit, f.attempt) for f in flights)
+        rebuild("worker-crash")
+
+    def scan_timeouts() -> None:
+        if policy.unit_timeout_s is None or not in_flight:
+            return
+        now = _MONOTONIC()
+        expired: list[_Flight] = []
+        innocent: list[_Flight] = []
+        for flight in in_flight.values():
+            if flight.deadline is not None and now >= flight.deadline:
+                expired.append(flight)
+            else:
+                innocent.append(flight)
+        if not expired:
+            return
+        in_flight.clear()
+        for flight in sorted(expired, key=lambda f: f.unit.cursor):
+            if tracer.active:
+                tracer.emit(
+                    "unit.timeout", cursor=flight.unit.cursor,
+                    attempt=flight.attempt,
+                    timeout_s=policy.unit_timeout_s,
+                )
+            handle_failure(
+                flight.unit, flight.attempt,
+                f"unit exceeded {policy.unit_timeout_s}s wall-clock "
+                "timeout",
+            )
+        # the innocents lose their in-progress work with the pool, but
+        # not their retry budget: resubmit at the same attempt
+        pending_submit.extend(
+            (f.unit, f.attempt)
+            for f in sorted(innocent, key=lambda f: f.unit.cursor)
+        )
+        rebuild("unit-timeout")
+
+    def launch(unit: WorkUnit, attempt: int) -> bool:
+        sup.announce_fault(tracer, "unit", unit.cursor, attempt)
+        deadline = None
+        if policy.unit_timeout_s is not None:
+            deadline = _MONOTONIC() + policy.unit_timeout_s
+        try:
+            fut = pool.submit(
+                _pool_check, unit, gov.remaining_time(), attempt
+            )
+        except (BrokenProcessPool, RuntimeError):
+            # the pool died under us mid-submit; this unit never ran
+            pending_submit.insert(0, (unit, attempt))
+            on_pool_break()
+            return False
+        in_flight[fut] = _Flight(unit, attempt, deadline)
+        return True
+
+    try:
+        pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(spec,)
+        )
+    except Exception:
+        pool = None  # cannot even start a pool: run everything in-process
+
+    try:
         while True:
-            # Keep the submission window full.  The stream itself can
-            # raise (database cap, deadline during enumeration) — that
-            # interrupts submission but outstanding units still drain.
-            while not stop_submitting and not exhausted and len(in_flight) < window:
+            # cooperative stop (SIGINT/SIGTERM via the stop token)
+            if sup.stop and out.interrupted is None:
                 try:
-                    unit = next(units)
-                except StopIteration:
-                    exhausted = True
-                    break
-                except VerificationBudgetExceeded as exc:
+                    sup.check_stop(tracer)
+                except RunInterrupted as exc:
+                    # promptness over drain: kill running units, record
+                    # them pending, and flush the final checkpoint
+                    for flight in in_flight.values():
+                        out.pending.append(flight.unit.cursor)
+                    in_flight.clear()
                     interrupt(exc)
-                    break
-                fut = pool.submit(_pool_check, unit, gov.remaining_time())
-                in_flight[fut] = unit
+                    kill_pool()
 
-            if not in_flight:
+            if halt and not in_flight:
                 break
 
-            done, _ = wait(
-                in_flight, timeout=0.1, return_when=FIRST_COMPLETED
-            )
-            for fut in done:
-                unit = in_flight.pop(fut)
-                if fut.cancelled():
-                    out.pending.append(unit.cursor)
-                    continue
-                result = fut.result()
-                if result.events:
-                    events_by_cursor[unit.cursor] = result.events
-                if result.status == BUDGET:
-                    out.pending.append(unit.cursor)
-                    stats_by_cursor[unit.cursor] = result.stats
-                    interrupt(
-                        VerificationBudgetExceeded(
-                            result.message,
-                            limit=result.limit,
-                            stats=result.stats,
-                        )
-                    )
-                    continue
-                out.completed.append(unit.cursor)
-                stats_by_cursor[unit.cursor] = result.stats
-                if result.status == VIOLATED and (
-                    best is None or result.cursor < best.cursor
+            # promote retries whose backoff has elapsed
+            if retry_q and not halt:
+                now = _MONOTONIC()
+                due = sorted(
+                    (e for e in retry_q if e[0] <= now),
+                    key=lambda e: e[1].cursor,
+                )
+                if due:
+                    retry_q[:] = [e for e in retry_q if e[0] > now]
+                    pending_submit.extend((u, a) for (_, u, a) in due)
+
+            if pool is not None and not halt:
+                # keep the submission window full (one unit at a time
+                # while crash suspects are on probation).  The stream
+                # itself can raise (database cap, deadline during
+                # enumeration) — that interrupts submission but
+                # outstanding units still drain.
+                if probation:
+                    if not in_flight:
+                        unit, attempt = probation.pop(0)
+                        launch(unit, attempt)
+                else:
+                    while pool is not None and len(in_flight) < window:
+                        if pending_submit:
+                            unit, attempt = pending_submit.pop(0)
+                        elif not (exhausted or stop_stream):
+                            try:
+                                unit, attempt = next(units), 0
+                            except StopIteration:
+                                exhausted = True
+                                continue
+                            except VerificationBudgetExceeded as exc:
+                                interrupt(exc)
+                                break
+                        else:
+                            break
+                        if not launch(unit, attempt):
+                            break
+
+            if pool is not None and in_flight:
+                done, _ = wait(
+                    in_flight, timeout=0.1, return_when=FIRST_COMPLETED
+                )
+                broke = False
+                for fut in sorted(
+                    done, key=lambda f: in_flight[f].unit.cursor
                 ):
-                    best = result
-                try:
-                    gov.absorb(result.stats)
-                except VerificationBudgetExceeded as exc:
-                    interrupt(exc)
+                    flight = in_flight.pop(fut)
+                    if fut.cancelled():
+                        out.pending.append(flight.unit.cursor)
+                        continue
+                    try:
+                        result = fut.result()
+                    except BrokenProcessPool:
+                        # every in-flight future died with the pool
+                        in_flight[fut] = flight
+                        broke = True
+                        break
+                    except Exception as exc:
+                        handle_failure(flight.unit, flight.attempt, exc)
+                        continue
+                    handle_result(flight.unit, result)
+                if broke:
+                    on_pool_break()
+                else:
+                    if not done and not halt:
+                        # Idle tick: let the parent deadline fire even
+                        # when no unit completed in this window.
+                        try:
+                            gov.check_deadline()
+                        except VerificationBudgetExceeded as exc:
+                            interrupt(exc)
+                    scan_timeouts()
+            elif pool is None and not halt:
+                # in-process fallback: the pool could not be (re)built;
+                # run one unit per iteration with the same per-unit
+                # budget semantics a worker would have used
+                item = None
+                if probation:
+                    item = probation.pop(0)
+                elif pending_submit:
+                    item = pending_submit.pop(0)
+                elif not (exhausted or stop_stream):
+                    try:
+                        item = (next(units), 0)
+                    except StopIteration:
+                        exhausted = True
+                    except VerificationBudgetExceeded as exc:
+                        interrupt(exc)
+                if item is not None:
+                    unit, attempt = item
+                    sup.announce_fault(tracer, "unit", unit.cursor, attempt)
+                    try:
+                        result = _execute_unit(
+                            spec, unit, gov.remaining_time(), seq_cache,
+                            injector=sup.local_injector(), attempt=attempt,
+                        )
+                    except Exception as exc:
+                        handle_failure(unit, attempt, exc)
+                    else:
+                        handle_result(unit, result)
+
             if best is not None:
                 # Units beyond the best violation cannot change the
                 # answer: cancel what hasn't started, stop submitting,
                 # and only await the units below the best cursor.
-                stop_submitting = True
-                for fut, unit in list(in_flight.items()):
-                    if unit.cursor > best.cursor and fut.cancel():
+                stop_stream = True
+                for fut, flight in list(in_flight.items()):
+                    if flight.unit.cursor > best.cursor and fut.cancel():
                         del in_flight[fut]
-            if not done and not stop_submitting:
-                # Idle tick: let the parent deadline fire even when no
-                # unit completed in this window.
-                try:
-                    gov.check_deadline()
-                except VerificationBudgetExceeded as exc:
-                    interrupt(exc)
-            if stop_submitting and best is None:
+                pending_submit[:] = [
+                    (u, a) for (u, a) in pending_submit
+                    if u.cursor < best.cursor
+                ]
+                retry_q[:] = [
+                    e for e in retry_q if e[1].cursor < best.cursor
+                ]
+                probation[:] = [
+                    (u, a) for (u, a) in probation if u.cursor < best.cursor
+                ]
+            if halt and best is None:
                 # Interrupted: anything not yet started is pending; the
                 # already-running units drain (their own deadline mirrors
                 # the parent's, so this does not hang).
-                for fut, unit in list(in_flight.items()):
+                for fut, flight in list(in_flight.items()):
                     if fut.cancel():
-                        out.pending.append(unit.cursor)
+                        out.pending.append(flight.unit.cursor)
                         del in_flight[fut]
+
+            if (
+                not in_flight and not pending_submit and not probation
+                and retry_q and not halt
+            ):
+                # nothing runnable until the earliest backoff elapses
+                earliest = min(e[0] for e in retry_q)
+                _SLEEP(min(0.1, max(0.0, earliest - _MONOTONIC())))
+
+            if (
+                not in_flight and not retry_q and not probation
+                and not pending_submit
+                and (exhausted or stop_stream or halt)
+            ):
+                break
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     if best is not None:
         below = sorted(c for c in set(out.pending) if c < best.cursor)
@@ -627,4 +1413,5 @@ def _run_pool(
             out.pending = [stream.cursor]
         else:
             out.pending = sorted(set(out.pending))
+        sup.write_checkpoint(tracer, out, incomplete=out.pending)
     return out

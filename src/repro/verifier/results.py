@@ -120,6 +120,19 @@ class VerificationResult:
     def inconclusive(self) -> bool:
         return self.verdict is Verdict.INCONCLUSIVE
 
+    @property
+    def quarantined_units(self) -> tuple[tuple[int, int], ...]:
+        """Cursors of work units quarantined after exhausting retries.
+
+        Non-empty only under the supervised engine when a unit kept
+        failing (see :mod:`repro.verifier.parallel`); such units were
+        never verified, so an otherwise-clean run reports INCONCLUSIVE
+        with a checkpoint that retries them on resume.
+        """
+        return tuple(
+            tuple(c) for c in self.stats.get("quarantined_units", ())
+        )
+
     def __bool__(self) -> bool:
         return self.holds
 

@@ -17,7 +17,7 @@ so ``workers=N`` parallelises the enumeration deterministically.
 from __future__ import annotations
 
 import time
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.ctl.syntax import StateFormula, ctl_size, is_ctl
 from repro.obs import Tracer, finalize_result, resolve_tracer
@@ -32,8 +32,10 @@ from repro.verifier.branching import (
 from repro.verifier.budget import Budget, Checkpoint, degrade
 from repro.verifier.linear import _candidate_databases
 from repro.verifier.parallel import (
+    Supervisor,
     TaskSpec,
     UnitStream,
+    apply_quarantine,
     frontier_checkpoint,
     merge_unit_stats,
     resolve_workers,
@@ -60,6 +62,11 @@ def verify_input_driven_search(
     resume: Checkpoint | None = None,
     workers: int | None = None,
     tracer: Tracer | None = None,
+    retry: int | None = None,
+    unit_timeout_s: float | None = None,
+    faults: Any = None,
+    checkpoint_path: str | None = None,
+    checkpoint_every: int | None = None,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for input-driven-search services (Theorem 4.9).
 
@@ -72,6 +79,10 @@ def verify_input_driven_search(
     fans the databases out to a process pool with deterministic
     verdicts (see :mod:`repro.verifier.parallel`); ``tracer`` receives
     the structured event stream (see :mod:`repro.obs`).
+    ``retry``/``unit_timeout_s``/``faults``/``checkpoint_path``/
+    ``checkpoint_every`` configure worker supervision, fault injection
+    and crash-safe periodic checkpoints — see
+    :func:`repro.verifier.linear.verify_ltlfo` for the semantics.
     """
     if check_restrictions:
         report = classify(service)
@@ -123,16 +134,30 @@ def verify_input_driven_search(
     # The per-database work is identical to verify_ctl's (build the
     # configuration Kripke structure, model check), so the same unit
     # checker serves both procedures.
+    sup = Supervisor.resolve(
+        retry=retry, unit_timeout_s=unit_timeout_s, faults=faults,
+        checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every,
+    )
+    sup.frontier_kwargs = dict(
+        procedure="verify_input_driven_search",
+        property_name=str(formula),
+        domain_size=used_size,
+        up_to_iso=iso_used,
+        workers=n_workers,
+        resume=resume,
+    )
     spec = TaskSpec(
         procedure="verify_ctl",
         service=service,
         payload={"formula": formula},
         unit_limits={"max_states": gov.max_states},
         traced=tr.active,
+        faults=sup.plan,
     )
     stream = UnitStream(dbs, gov, stats, resume=resume)
-    outcome = run_units(spec, stream, gov, n_workers)
+    outcome = run_units(spec, stream, gov, n_workers, supervisor=sup)
     merge_unit_stats(stats, outcome.unit_stats)
+    apply_quarantine(outcome, stats)
 
     if outcome.violation is not None:
         detail = outcome.violation.detail

@@ -173,7 +173,7 @@ class TestResume:
         path = tmp_path / "ck.json"
         save_checkpoint(ck, path)
         data = json.loads(path.read_text())
-        assert data["format"] == "repro.checkpoint/1"
+        assert data["format"] == "repro.checkpoint/2"
         loaded = load_checkpoint(path)
         assert loaded == ck
 
@@ -243,11 +243,14 @@ class TestCLI:
             ["verify", spec_path, "--ltl", "G !ERROR", "--resume", str(bad)],
             capsys)
         assert code == 2
-        assert "cannot read checkpoint" in err
+        # a wrong format tag is now a coded CheckpointFormatError naming
+        # the offending field, not a generic read failure
+        assert "malformed" in err and "format" in err
         code, _, err = self._run(
             ["verify", spec_path, "--ltl", "G !ERROR",
              "--resume", str(tmp_path / "missing.json")], capsys)
         assert code == 2
+        assert "cannot read checkpoint" in err
 
     def test_resume_property_mismatch_exit_2(self, spec_path, tmp_path,
                                              capsys):
