@@ -32,17 +32,25 @@ from pathlib import Path
 
 import pytest
 
-from repro.fol import Atom, Not, Var, compilation, evaluate, evaluate_query
+from repro.fol import And, Atom, Not, Var, compilation, evaluate, evaluate_query
+from repro.fol.bitset import setwise
 from repro.fol.compile import clear_compile_cache
 from repro.ltl import B, LTLFOSentence
 from repro.obs import CollectingTracer
 from repro.service import RunContext, initial_snapshots, successors
 from repro.verifier import verify_ltlfo
 
-from workloads import registration_database, registration_service
+from workloads import (
+    registration_database,
+    registration_service,
+    session_registration_database,
+    session_registration_service,
+)
 
 EVAL_PHASE_REPS = 3
 MAX_TIMED_SNAPSHOTS = 800
+E14_SIGMA_BLOCK = 64
+E14_DATABASES = ((4, 3), (5, 4))  # (domain_size, n_rows) ring databases
 
 
 def _workload():
@@ -112,6 +120,50 @@ def _eval_phase(service, db, snaps, compiled: bool, reps: int = EVAL_PHASE_REPS)
         return time.perf_counter() - started, checksum
 
 
+def _e14_workload():
+    """E14 — the extended E13 workload for the set-at-a-time engine.
+
+    The session-registration service requests the input constant
+    ``who`` on a once-visited CONFIRM page, so every database yields
+    one sigma per candidate value (plus a fresh one), and the whole
+    FORM/REVIEW phase of the snapshot graph is shared across the
+    block.  The property closes over *three* variables — the valuation
+    count grows cubically with the domain, which is the axis the
+    bitset engine batches.
+    """
+    service = session_registration_service(2)
+    terms = lambda *vs: tuple(Var(v) for v in vs)  # noqa: E731
+    prop = LTLFOSentence(
+        ("x0", "x1", "x2"),
+        B(
+            Atom("record", terms("x0", "x1")),
+            Not(And(
+                Atom("stored", terms("x0", "x1")),
+                Atom("stored", terms("x1", "x2")),
+            )),
+        ),
+        name="no chained store before its record",
+    )
+    databases = [
+        session_registration_database(service, d, rows)
+        for d, rows in E14_DATABASES
+    ]
+    return service, prop, databases
+
+
+def _verify_e14(setwise_on: bool, sigma_block: int):
+    """One timed E14 run: compiled plans, sigma blocking as given."""
+    service, prop, databases = _e14_workload()
+    with compilation(True), setwise(setwise_on):
+        clear_compile_cache()
+        started = time.perf_counter()
+        result = verify_ltlfo(
+            service, prop, databases=databases, workers=1,
+            sigma_block=sigma_block,
+        )
+        return time.perf_counter() - started, result
+
+
 def _verify(compiled: bool, tracer=None):
     service, prop = _workload()
     with compilation(compiled):
@@ -169,6 +221,34 @@ def collect() -> dict:
         "traced_end_to_end_s": round(traced_s, 4),
         "traced_verdict_equal": traced_res.verdict == interp_res.verdict,
     }
+
+    # E14 — set-at-a-time engine vs the PR 5 baseline (compiled,
+    # valuation-at-a-time, no sigma blocking) on the extended workload.
+    base_s, base_res = _verify_e14(False, 1)
+    set_s, set_res = _verify_e14(True, E14_SIGMA_BLOCK)
+    record["set_at_a_time"] = {
+        "benchmark": (
+            "set-at-a-time bitset engine "
+            "(session registration arity 2, ring databases "
+            + ", ".join(f"{d}x{r}" for d, r in E14_DATABASES) + ")"
+        ),
+        "sigma_block": E14_SIGMA_BLOCK,
+        "end_to_end_baseline_s": round(base_s, 4),
+        "end_to_end_setwise_s": round(set_s, 4),
+        "speedup_end_to_end": (
+            round(base_s / set_s, 3) if set_s > 0 else None
+        ),
+        "verdict": base_res.verdict.name,
+        "verdicts_equal": base_res.verdict == set_res.verdict,
+        "witnesses_equal": (
+            str(base_res.counterexample) == str(set_res.counterexample)
+        ),
+        "stats_equal": (
+            _comparable_stats(base_res) == _comparable_stats(set_res)
+        ),
+        "sigmas_checked": base_res.stats.get("sigmas_checked"),
+        "valuations_checked": base_res.stats.get("valuations_checked"),
+    }
     return record
 
 
@@ -177,10 +257,14 @@ def main() -> int:
     out = Path(__file__).resolve().parent.parent / "BENCH_compile.json"
     out.write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
+    setwise_rec = record["set_at_a_time"]
     ok = (
         record["eval_phase_checksums_equal"]
         and record["verdicts_equal"]
         and record["stats_equal"]
+        and setwise_rec["verdicts_equal"]
+        and setwise_rec["witnesses_equal"]
+        and setwise_rec["stats_equal"]
     )
     if not ok:
         print("PARITY CHECK FAILED: engines disagree")
@@ -208,6 +292,14 @@ def test_engines_agree_end_to_end():
     _, compiled = _verify(True)
     assert interp.verdict == compiled.verdict
     assert _comparable_stats(interp) == _comparable_stats(compiled)
+
+
+def test_setwise_agrees_end_to_end():
+    _, base = _verify_e14(False, 1)
+    _, batched = _verify_e14(True, E14_SIGMA_BLOCK)
+    assert base.verdict == batched.verdict
+    assert str(base.counterexample) == str(batched.counterexample)
+    assert _comparable_stats(base) == _comparable_stats(batched)
 
 
 if __name__ == "__main__":

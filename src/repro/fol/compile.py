@@ -97,6 +97,7 @@ __all__ = [
     "compilation_enabled",
     "set_compilation",
     "clear_compile_cache",
+    "register_cache_clearer",
 ]
 
 
@@ -509,15 +510,34 @@ class CompiledFormula:
     copies nor mutates the environment it is given.
     """
 
-    __slots__ = ("formula", "scope", "_check")
+    __slots__ = ("formula", "scope", "_check", "_bits")
 
     def __init__(self, formula: Formula, scope: frozenset[str]) -> None:
         self.formula = formula
         self.scope = scope
         self._check = _compile(formula, scope)
+        self._bits: dict = {}
 
     def check(self, ctx, env: Env | None = None) -> bool:
         return self._check(ctx, env if env is not None else {})
+
+    def bits(self, ctx, block) -> int:
+        """Set-at-a-time check: the bitset of satisfying block valuations.
+
+        ``block`` is a :class:`repro.fol.bitset.ValuationBlock` whose
+        variables cover this plan's scope; bit *i* of the result equals
+        ``check(ctx, valuation_i)``.  The per-variable-tuple bits plan
+        is compiled lazily and cached on the plan object, so it shares
+        the plan cache's lifetime (and is dropped by
+        :func:`clear_compile_cache` with it).
+        """
+        fn = self._bits.get(block.variables)
+        if fn is None:
+            from repro.fol.bitset import compile_bits
+
+            fn = compile_bits(self.formula, block.variables)
+            self._bits[block.variables] = fn
+        return fn(ctx, block)
 
     def __repr__(self) -> str:
         return f"CompiledFormula({self.formula!r}, scope={sorted(self.scope)})"
@@ -603,10 +623,25 @@ def compile_query(
     return _cached_query(formula, tuple(variables), frozenset(scope))
 
 
+# Downstream plan caches (e.g. the weak-keyed CompiledService cache in
+# repro.service.compiled) register their clear functions here so one
+# clear_compile_cache() call invalidates every layer at once — a live
+# service object must never keep serving plans built under a previous
+# toggle state or cache generation.
+_CACHE_CLEARERS: list = []
+
+
+def register_cache_clearer(fn) -> None:
+    """Register a thunk to run whenever the plan caches are cleared."""
+    _CACHE_CLEARERS.append(fn)
+
+
 def clear_compile_cache() -> None:
     """Drop all cached plans (tests and memory-sensitive callers)."""
     _cached_formula.cache_clear()
     _cached_query.cache_clear()
+    for clear in _CACHE_CLEARERS:
+        clear()
 
 
 # Deferred import: evaluation.py imports this module at its bottom; the

@@ -245,3 +245,54 @@ def _flatten_parts(parts: tuple) -> tuple[Formula, ...]:
         else:
             out.extend(p)
     return tuple(out)
+
+
+# -- memoized structural hashing ---------------------------------------------
+#
+# Formulas key the plan caches (``functools.lru_cache`` over whole
+# trees), so without memoization every cache lookup rehashes the full
+# tree — O(|formula|) on what is meant to be a hot-path dictionary
+# probe.  Snapshots and instances already memoize their hashes; formulas
+# get the same treatment: the dataclass-generated ``__hash__`` runs once
+# per node and the result is stashed in the instance ``__dict__``
+# (subclasses are deliberately unslotted).  Hashing a tree therefore
+# hashes each *node* at most once across the process, not once per
+# lookup.  ``_HASH_MISSES`` counts the actual structural-hash
+# computations so tests can assert the memo works.
+
+_HASH_MISSES = 0
+
+
+def hash_miss_count() -> int:
+    """Number of structural (non-memoized) formula-node hash computations."""
+    return _HASH_MISSES
+
+
+def _formula_getstate(self):
+    # The memoized hash mixes seeded string hashes, which differ across
+    # processes — never let it travel through pickle (formulas ride in
+    # parallel-backend task specs).
+    state = dict(self.__dict__)
+    state.pop("_hash", None)
+    return state
+
+
+def _memoise_hash(cls: type) -> None:
+    structural = cls.__hash__
+
+    def __hash__(self, _structural=structural):
+        value = self.__dict__.get("_hash")
+        if value is None:
+            global _HASH_MISSES
+            _HASH_MISSES += 1
+            value = _structural(self)
+            object.__setattr__(self, "_hash", value)
+        return value
+
+    cls.__hash__ = __hash__
+    cls.__getstate__ = _formula_getstate
+
+
+for _cls in (Atom, Eq, Top, Bottom, Not, And, Or, Implies, Iff, Exists, Forall):
+    _memoise_hash(_cls)
+del _cls

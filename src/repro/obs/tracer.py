@@ -17,6 +17,9 @@ Event taxonomy (``name`` → meaning, extra fields):
   were enumerated (``count``);
 - ``buchi.compiled`` — the negated property's Büchi automaton was built
   (``dur``, ``n_states``; once per ``verify_ltlfo`` call);
+- ``label.bits`` — set-at-a-time labelling accounting for one work
+  unit (``computed``, ``shared``: label bitsets evaluated vs reused
+  from the block's shared cache; only when the bitset engine is on);
 - ``plan.compiled`` — the service's rule formulas were compiled to
   evaluation plans (``dur``, ``n_plans``; once per verification call,
   emitted parent-side so traces stay worker-count independent —

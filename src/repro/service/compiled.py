@@ -34,12 +34,14 @@ from repro.fol.compile import (
     compilation_enabled,
     compile_formula,
     compile_query,
+    register_cache_clearer,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runs.py)
     from repro.service.webservice import WebService
 
 __all__ = [
+    "BlockLabelCache",
     "CompiledPage",
     "CompiledService",
     "SnapshotInterner",
@@ -109,6 +111,16 @@ class CompiledService:
     def page(self, name: str) -> CompiledPage | None:
         return self.pages.get(name)
 
+    def block_labels(self, sigma_block=None) -> "BlockLabelCache":
+        """A label-bitset cache for batch labelling over one sigma block.
+
+        The verifier threads the returned cache through every sigma of
+        a ``(db_index, sigma_block)`` work unit, so snapshots labelled
+        under one sigma are free for every later sigma whose
+        gamma-scoped inputs agree (see :class:`BlockLabelCache`).
+        """
+        return BlockLabelCache()
+
 
 def compile_service(service: "WebService") -> CompiledService:
     """Compile every rule of ``service``, bypassing cache and toggle."""
@@ -120,6 +132,11 @@ def compile_service(service: "WebService") -> CompiledService:
 _CACHE: "weakref.WeakKeyDictionary[WebService, CompiledService]" = (
     weakref.WeakKeyDictionary()
 )
+
+# clear_compile_cache() must invalidate this layer too: a live service
+# object otherwise keeps serving CompiledPage plans built before the
+# clear (or before a compilation toggle), defeating the clear entirely.
+register_cache_clearer(_CACHE.clear)
 
 
 def compiled_service(service: "WebService") -> CompiledService | None:
@@ -145,6 +162,25 @@ def warm_service_plans(service: "WebService") -> int:
     """
     compiled = compiled_service(service)
     return compiled.n_plans if compiled is not None else 0
+
+
+class BlockLabelCache:
+    """Label bitsets shared across the sigmas of one work-unit block.
+
+    Keyed by ``(payload, snapshot, gamma-scoped sigma, block layout)`` —
+    everything a label bitset's value depends on.  Two sigmas of the
+    same database frequently agree on the constants a payload's page
+    actually reads (its gamma) and enumerate the same valuation domain,
+    in which case their label bitsets are *identical* and the second
+    sigma's labelling is a dictionary hit.  ``SnapshotInterner`` makes
+    the snapshot component of the key cheap: interned snapshots hash
+    once and usually compare by identity.
+    """
+
+    __slots__ = ("bits",)
+
+    def __init__(self) -> None:
+        self.bits: dict = {}
 
 
 class SnapshotInterner:

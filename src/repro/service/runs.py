@@ -179,14 +179,17 @@ class RunContext:
         database: Database,
         sigma: Mapping[str, Value] | None = None,
         extra_domain: Iterable[Value] = (),
+        interner: SnapshotInterner | None = None,
     ) -> None:
         self.service = service
         self.database = database
         self.sigma = dict(sigma or {})
         # Precompiled rule plans (None when plan compilation is off) and
         # the hash-consing pool for this exploration's configurations.
+        # Callers exploring several sigmas of one database pass a shared
+        # interner so equal snapshots collapse across run contexts.
         self.compiled = compiled_service(service)
-        self.interner = SnapshotInterner()
+        self.interner = interner if interner is not None else SnapshotInterner()
         # Active-domain semantics: the specification's literal constants
         # belong to every structure's domain (schemas share constant
         # symbols, paper §2), so quantifiers must range over them too.

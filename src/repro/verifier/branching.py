@@ -42,7 +42,7 @@ from repro.service.runs import (
     enumerate_choices,
     error_snapshot,
 )
-from repro.service.compiled import warm_service_plans
+from repro.service.compiled import SnapshotInterner, warm_service_plans
 from repro.service.webservice import WebService
 from repro.verifier.budget import Budget, Checkpoint, degrade
 from repro.verifier.linear import _candidate_databases, fresh_value_pool
@@ -96,12 +96,19 @@ def build_snapshot_kripke(
     gov.begin_structure()
     build_started = time.monotonic()
     contexts: dict[SigmaItems, RunContext] = {}
+    # One interner for the whole structure: Kripke states of different
+    # sigmas frequently share snapshots, and interning across the run
+    # contexts collapses them to one object (hash once, compare by
+    # identity) — which also makes the per-snapshot label cache below a
+    # near-pure identity lookup.
+    interner = SnapshotInterner()
 
     def ctx_for(sig: SigmaItems) -> RunContext:
         ctx = contexts.get(sig)
         if ctx is None:
             ctx = RunContext(
-                service, database, sigma=dict(sig), extra_domain=extra_domain
+                service, database, sigma=dict(sig),
+                extra_domain=extra_domain, interner=interner,
             )
             contexts[sig] = ctx
         return ctx
@@ -226,7 +233,18 @@ def build_snapshot_kripke(
         exc.stats.setdefault("kripke_states", len(seen))
         raise
 
-    labels = {node: _labels(service, node) for node in states}
+    # §4 labelling depends only on the snapshot component, and the
+    # shared interner collapsed equal snapshots across sigmas — label
+    # each distinct snapshot once instead of once per Kripke state.
+    label_cache: dict[Snapshot, frozenset] = {}
+    labels: dict[KripkeState, frozenset] = {}
+    for node in states:
+        snap = node[0]
+        lab = label_cache.get(snap)
+        if lab is None:
+            lab = _labels(service, node)
+            label_cache[snap] = lab
+        labels[node] = lab
     # The run tree of Appendix A.2 is rooted at the *empty prefix*; CTL(*)
     # sentences are evaluated there (the Theorem 4.2 proof's EX steps to
     # the first configuration).  Model the root explicitly.

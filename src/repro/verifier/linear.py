@@ -41,6 +41,7 @@ from collections import deque
 from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping
 
 from repro.fol.analysis import input_constants_of
+from repro.fol.bitset import ValuationBlock, setwise_enabled
 from repro.fol.compile import compilation_enabled, compile_formula
 from repro.fol.evaluation import EvalContext
 from repro.obs import Tracer, finalize_result, resolve_tracer
@@ -54,7 +55,11 @@ from repro.ltl.syntax import LNot
 from repro.schema.database import Database
 from repro.schema.enumerate import canonical_domain, enumerate_databases
 from repro.service.classify import ServiceClass, classify
-from repro.service.compiled import warm_service_plans
+from repro.service.compiled import (
+    SnapshotInterner,
+    compiled_service,
+    warm_service_plans,
+)
 from repro.service.runs import (
     Run,
     RunContext,
@@ -75,6 +80,7 @@ from repro.verifier.parallel import (
     apply_quarantine,
     frontier_checkpoint,
     merge_unit_stats,
+    resolve_sigma_block,
     resolve_workers,
     run_units,
     unit_checker,
@@ -231,6 +237,9 @@ class _SnapshotLabeller:
         self._cache: dict[Snapshot, tuple[EvalContext, frozenset[str]]] = {}
         # id-keyed with a strong payload reference, so ids stay valid.
         self._plans: dict[int, tuple[object, frozenset[str], object]] = {}
+        # set-at-a-time accounting (label.bits trace event)
+        self.bits_computed = 0
+        self.bits_shared = 0
 
     def _context(self, snap: Snapshot) -> tuple[EvalContext, frozenset[str]]:
         entry = self._cache.get(snap)
@@ -269,6 +278,50 @@ class _SnapshotLabeller:
             return plan.check(ectx, env)
         return fo_component_holds(payload, ectx, gamma, dict(env) if env else None)
 
+    def label_bits(
+        self, snap: Snapshot, payload, block: ValuationBlock, shared=None
+    ) -> int:
+        """Label ``snap`` for *every* valuation of ``block`` in one pass.
+
+        Bit *i* equals ``self(snap, payload, valuation_i)``.  Requires
+        plan compilation (the set-at-a-time engine lives behind the plan
+        IR).  ``shared`` is an optional
+        :class:`~repro.service.compiled.BlockLabelCache` spanning the
+        sigmas of one work-unit block: the key adds the gamma-scoped
+        sigma and the block layout — everything beyond ``(payload,
+        snap)`` the bitset's value depends on — so sigmas agreeing on
+        the constants the snapshot's page actually reads share one
+        computation.
+        """
+        # gamma without the eval context: a shared-cache hit must not
+        # pay EvalContext construction for a snapshot it never evaluates.
+        entry = self._cache.get(snap)
+        gamma = (
+            entry[1] if entry is not None
+            else snap.provided_here(self.ctx.service)
+        )
+        _payload, needed, plan = self._plan(payload)
+        # §3 gamma check, valuation-independent: all-false bitset.
+        if not needed <= gamma:
+            return 0
+        if shared is None:
+            self.bits_computed += 1
+            return plan.bits(self._context(snap)[0], block)
+        # (c, v) pairs sort by the distinct constant names alone, so
+        # mixed-type sigma values never get compared.
+        scoped = tuple(sorted(
+            (c, v) for c, v in self.ctx.sigma.items() if c in gamma
+        ))
+        key = (id(payload), snap, scoped, block.key())
+        value = shared.bits.get(key)
+        if value is None:
+            value = plan.bits(self._context(snap)[0], block)
+            shared.bits[key] = value
+            self.bits_computed += 1
+        else:
+            self.bits_shared += 1
+        return value
+
 
 def _candidate_databases(
     service: WebService,
@@ -298,54 +351,20 @@ def _candidate_databases(
     return dbs, size
 
 
-@unit_checker("verify_ltlfo")
-def _check_ltlfo_unit(
-    spec: TaskSpec, unit: WorkUnit, gov: Budget, cache: dict
-) -> UnitOutcome:
-    """Lasso search over one (database, sigma) pair — the Theorem 3.5 unit."""
-    service: WebService = spec.service
-    sentence: LTLFOSentence = spec.payload["sentence"]
-    literals: frozenset = spec.payload["literals"]
-    ba = spec.payload.get("automaton")
-    if ba is None:  # pragma: no cover - spec always precompiles today
-        ba = ltl_to_buchi(LNot(sentence.skeleton), cache=cache)
-    db, sigma = unit.database, unit.sigma or {}
+def _search_valuations(
+    ba, starts, succ, labeller, names, valuation_domain, gov, stats
+):
+    """Valuation-at-a-time lasso search (the reference engine).
 
-    gov.begin_pair()
-    stats: dict = {
-        "sigmas_checked": 1,
-        "valuations_checked": 0,
-        "snapshots_explored": 0,
-        "buchi_states": ba.n_states,
-    }
-    ctx = RunContext(service, db, sigma=sigma, extra_domain=literals)
-    labeller = _SnapshotLabeller(ctx, literals, variables=sentence.variables)
-
-    succ_cache: dict[Snapshot, list[Snapshot]] = {}
-    explored = 0
-
-    def succ(snap: Snapshot) -> list[Snapshot]:
-        nonlocal explored
-        out = succ_cache.get(snap)
-        if out is None:
-            out = successors(ctx, snap)
-            succ_cache[snap] = out
-            explored += 1
-            gov.charge_snapshot()
-        return out
-
-    starts = initial_snapshots(ctx)
-    valuation_domain = sorted(
-        set(db.domain) | set(sigma.values()) | set(ctx.extra_domain),
-        key=repr,
-    )
-    names = sentence.variables
+    One product search per valuation of the universal closure; label
+    results are pure per (snapshot, payload) at a fixed valuation and
+    the search revisits product states, so they are memoised per
+    valuation.  Returns ``(lasso, valuation)`` or None.
+    """
     for combo in itertools.product(valuation_domain, repeat=len(names)):
         gov.charge_valuation()
         stats["valuations_checked"] += 1
         valuation = dict(zip(names, combo))
-        # Label results are pure per (snapshot, payload) at a fixed
-        # valuation; the lasso search revisits product states, so memoise.
         memo: dict = {}
 
         def label(snap: Snapshot, payload, _env=valuation, _memo=memo) -> bool:
@@ -358,19 +377,199 @@ def _check_ltlfo_unit(
 
         lasso = find_accepting_lasso(ba, starts, succ, label)
         if lasso is not None:
+            return lasso, valuation
+    return None
+
+
+def _search_valuations_setwise(
+    ba, starts, succ, labeller, names, valuation_domain, gov, stats, shared
+):
+    """Set-at-a-time lasso search over the whole valuation block.
+
+    Each (snapshot, payload) pair is labelled once for *all* valuations
+    (a bitset; see :mod:`repro.fol.bitset`), and every clean search
+    records its *label class* — the valuations agreeing with it on
+    every bitset consulted so far.  A later valuation inside a clean
+    class would walk the identical product trajectory (the search is a
+    pure function of the labels it reads, and the class guarantees
+    agreement on every pair any earlier search read), so its search is
+    skipped outright.  The first violating valuation can never be
+    inside a clean class, so verdicts, witnesses, charge order and
+    stats stay bit-identical with :func:`_search_valuations`.
+    """
+    block = ValuationBlock(names, valuation_domain)
+    full = block.all_mask
+    bits_memo: dict = {}
+
+    def bits_for(snap: Snapshot, payload) -> int:
+        key = (id(payload), snap)
+        value = bits_memo.get(key)
+        if value is None:
+            value = labeller.label_bits(snap, payload, block, shared)
+            bits_memo[key] = value
+        return value
+
+    classes: list[int] = []  # one mask per clean label class found
+    for i, combo in enumerate(block.combos()):
+        # Charge and count every valuation — covered, not skipped.
+        gov.charge_valuation()
+        stats["valuations_checked"] += 1
+        bit = 1 << i
+        if any(mask & bit for mask in classes):
+            continue
+
+        def label(snap: Snapshot, payload, _bit=bit) -> bool:
+            return bool(bits_for(snap, payload) & _bit)
+
+        lasso = find_accepting_lasso(ba, starts, succ, label)
+        if lasso is not None:
+            return lasso, dict(zip(names, combo))
+        mask = full
+        for bits in bits_memo.values():
+            mask &= bits if bits & bit else (~bits & full)
+            if mask == bit:
+                break
+        classes.append(mask)
+    return None
+
+
+@unit_checker("verify_ltlfo")
+def _check_ltlfo_unit(
+    spec: TaskSpec, unit: WorkUnit, gov: Budget, cache: dict
+) -> UnitOutcome:
+    """Lasso search over one (database, sigma-range) unit (Theorem 3.5).
+
+    Classic units hold a single sigma; blocked units
+    (``unit.sigma_block``) cover a contiguous sigma range of one
+    database, sharing the snapshot interner and — with the set-at-a-time
+    engine on — label bitsets across the range's sigmas.  Every sigma
+    keeps its own run context, successor cache and charge order, so the
+    merged stats equal a classic one-sigma-per-unit run exactly.
+    """
+    service: WebService = spec.service
+    sentence: LTLFOSentence = spec.payload["sentence"]
+    literals: frozenset = spec.payload["literals"]
+    ba = spec.payload.get("automaton")
+    if ba is None:  # pragma: no cover - spec always precompiles today
+        ba = ltl_to_buchi(LNot(sentence.skeleton), cache=cache)
+    db = unit.database
+    pairs = unit.sigma_pairs()
+    names = sentence.variables
+    # The bitset engine lives behind the plan IR: REPRO_COMPILE=0 keeps
+    # the reference path no matter what REPRO_SETWISE says.
+    setwise = setwise_enabled() and compiled_service(service) is not None
+    interner = SnapshotInterner() if len(pairs) > 1 else None
+    shared = None
+    shared_succ: dict | None = None
+    page_extra: dict[str, frozenset] = {}
+    if len(pairs) > 1:
+        if setwise:
+            shared = compiled_service(service).block_labels(unit.sigma_block)
+        # successors(ctx, snap) reads sigma only scoped to the snapshot's
+        # gamma (deterministic_step) plus the next page's input constants
+        # (choice enumeration) — and the possible next pages are static:
+        # the page's target-rule targets and the page itself.  Key the
+        # block-shared successor cache on exactly that restriction, so
+        # sigmas agreeing on the constants a snapshot can actually read
+        # share one successors() computation.
+        shared_succ = {}
+        for name, page in service.pages.items():
+            extra = set(page.input_constants)
+            for target in {r.target for r in page.target_rules} | {name}:
+                nxt = service.pages.get(target)
+                if nxt is not None:
+                    extra.update(nxt.input_constants)
+            page_extra[name] = frozenset(extra)
+
+    stats: dict = {
+        "sigmas_checked": 0,
+        "valuations_checked": 0,
+        "snapshots_explored": 0,
+        "buchi_states": ba.n_states,
+    }
+    covered: list = []
+    bits_computed = 0
+    bits_shared = 0
+    tracer = gov.tracer
+
+    def emit_bits() -> None:
+        if tracer.active and setwise:
+            tracer.emit(
+                "label.bits", cursor=unit.cursor,
+                computed=bits_computed, shared=bits_shared,
+            )
+
+    for sigma_index, sigma in pairs:
+        sigma = sigma or {}
+        gov.begin_pair()
+        stats["sigmas_checked"] += 1
+        ctx = RunContext(
+            service, db, sigma=sigma, extra_domain=literals, interner=interner
+        )
+        labeller = _SnapshotLabeller(ctx, literals, variables=names)
+        succ_cache: dict[Snapshot, list[Snapshot]] = {}
+
+        def succ(
+            snap: Snapshot, _ctx=ctx, _cache=succ_cache, _sigma=sigma
+        ) -> list[Snapshot]:
+            out = _cache.get(snap)
+            if out is None:
+                if shared_succ is None:
+                    out = successors(_ctx, snap)
+                else:
+                    relevant = snap.provided_here(service) | page_extra.get(
+                        snap.page, frozenset()
+                    )
+                    scoped = tuple(sorted(
+                        (c, _sigma[c]) for c in relevant if c in _sigma
+                    ))
+                    skey = (snap, scoped)
+                    out = shared_succ.get(skey)
+                    if out is None:
+                        out = successors(_ctx, snap)
+                        shared_succ[skey] = out
+                # Per-sigma accounting even when the computation was
+                # shared: charges and stats stay block-size-independent.
+                _cache[snap] = out
+                stats["snapshots_explored"] += 1
+                gov.charge_snapshot()
+            return out
+
+        starts = initial_snapshots(ctx)
+        valuation_domain = sorted(
+            set(db.domain) | set(sigma.values()) | set(ctx.extra_domain),
+            key=repr,
+        )
+        if setwise:
+            found = _search_valuations_setwise(
+                ba, starts, succ, labeller, names, valuation_domain,
+                gov, stats, shared,
+            )
+            bits_computed += labeller.bits_computed
+            bits_shared += labeller.bits_shared
+        else:
+            found = _search_valuations(
+                ba, starts, succ, labeller, names, valuation_domain,
+                gov, stats,
+            )
+        if found is not None:
+            lasso, valuation = found
             run = Run(db, dict(sigma), list(lasso.states), lasso.loop_index)
-            stats["snapshots_explored"] = explored
             detail: dict = {"run": run}
             if spec.payload.get("confirm", True):
                 detail["confirmed"] = not _violation_confirmed_holds(
                     sentence, run, service, ctx, valuation
                 )
+            emit_bits()
             return UnitOutcome(
-                unit.db_index, unit.sigma_index, VIOLATED,
-                stats=stats, detail=detail,
+                unit.db_index, sigma_index, VIOLATED,
+                stats=stats, detail=detail, covered=covered,
             )
-    stats["snapshots_explored"] = explored
-    return UnitOutcome(unit.db_index, unit.sigma_index, CLEAN, stats=stats)
+        covered.append((unit.db_index, sigma_index))
+    emit_bits()
+    return UnitOutcome(
+        unit.db_index, unit.sigma_index, CLEAN, stats=stats, covered=covered
+    )
 
 
 def verify_ltlfo(
@@ -389,6 +588,7 @@ def verify_ltlfo(
     strict: bool = False,
     resume: Checkpoint | None = None,
     workers: int | None = None,
+    sigma_block: int | None = None,
     tracer: Tracer | None = None,
     retry: int | None = None,
     unit_timeout_s: float | None = None,
@@ -439,6 +639,14 @@ def verify_ltlfo(
         sequential).  Verdicts and counterexamples are deterministic
         regardless of ``N`` — the lowest-cursor violation is reported,
         not the first to finish.
+    sigma_block:
+        Batch that many consecutive sigmas of each database into one
+        work unit (default: ``REPRO_SIGMA_BLOCK``, else 1 — classic
+        one-pair units).  Blocked units share the snapshot interner and
+        the set-at-a-time label bitsets across their sigmas and cut
+        pool dispatch overhead; verdicts, counterexamples and stats are
+        block-size-independent (resume granularity coarsens to the
+        block for interrupted units).
     tracer:
         A :class:`repro.obs.Tracer` receiving the structured event
         stream (``buchi.compiled``, ``database.enumerated``,
@@ -472,6 +680,7 @@ def verify_ltlfo(
         _require_input_bounded(service, sentence)
 
     n_workers = resolve_workers(workers)
+    n_block = resolve_sigma_block(sigma_block)
     tr = resolve_tracer(tracer)
     gov = Budget.ensure(
         budget, max_snapshots=max_snapshots, timeout_s=timeout_s, strict=strict
@@ -557,7 +766,7 @@ def verify_ltlfo(
     snap_base = gov.snapshots_total
     stream = UnitStream(
         dbs, gov, stats, sigma_fn=sigma_fn, resume=resume,
-        on_database=on_database,
+        on_database=on_database, block_size=n_block,
     )
     outcome = run_units(spec, stream, gov, n_workers, supervisor=sup)
     merge_unit_stats(stats, outcome.unit_stats)

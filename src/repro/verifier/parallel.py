@@ -106,6 +106,7 @@ from repro.faults import (
     FaultPlan,
     resolve_fault_plan,
 )
+from repro.fol.bitset import SigmaBlock
 from repro.obs import NULL_TRACER, CollectingTracer, TraceEvent, Tracer
 from repro.verifier.budget import Budget, Checkpoint
 from repro.verifier.results import VerificationBudgetExceeded
@@ -125,6 +126,7 @@ __all__ = [
     "run_units",
     "unit_checker",
     "resolve_workers",
+    "resolve_sigma_block",
     "frontier_checkpoint",
     "merge_unit_stats",
     "CLEAN",
@@ -171,18 +173,59 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
+def resolve_sigma_block(sigma_block: int | None) -> int:
+    """The effective sigma-block size for one verification call.
+
+    ``None`` falls back to the ``REPRO_SIGMA_BLOCK`` environment
+    variable and finally to 1 — classic one-sigma work units.  Sizes
+    above 1 batch that many consecutive sigmas of a database into one
+    ``(db_index, sigma_block)`` unit (see :class:`WorkUnit`).
+    """
+    if sigma_block is None:
+        raw = os.environ.get("REPRO_SIGMA_BLOCK", "").strip()
+        if raw:
+            try:
+                sigma_block = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_SIGMA_BLOCK must be an integer, got {raw!r}"
+                ) from None
+    if sigma_block is None:
+        return 1
+    if sigma_block < 1:
+        raise ValueError(f"sigma_block must be >= 1, got {sigma_block}")
+    return sigma_block
+
+
 @dataclass(frozen=True)
 class WorkUnit:
-    """One independent model check: a (database, sigma) pair with its cursor."""
+    """One independent model check with its cursor.
+
+    Classically a single (database, sigma) pair; with sigma-blocking a
+    unit covers a contiguous ``(db_index, sigma_block)`` *range* of
+    sigmas of one database (``sigma_index``/``sigma`` then hold the
+    first pair of the block, keeping the cursor meaning — and every
+    pickled checkpoint — unchanged).  Blocked units amortise snapshot
+    interning and label bitsets across their sigmas and keep pool
+    dispatch overhead per block instead of per sigma (the
+    too-fine-grained-unit fix of ROADMAP item 3).
+    """
 
     db_index: int
     sigma_index: int
     database: Any
     sigma: dict | None  # None for the per-database procedures
+    sigma_block: Any = None  # SigmaBlock | None
 
     @property
     def cursor(self) -> tuple[int, int]:
         return (self.db_index, self.sigma_index)
+
+    def sigma_pairs(self) -> list:
+        """The ``(sigma_index, sigma)`` pairs this unit covers, in order."""
+        if self.sigma_block is not None:
+            return list(self.sigma_block.entries)
+        return [(self.sigma_index, self.sigma)]
 
 
 @dataclass
@@ -206,6 +249,11 @@ class UnitOutcome:
     message: str = ""
     detail: Any = None
     events: list[TraceEvent] = field(default_factory=list)
+    #: Cursors of the sigmas a blocked unit fully checked (empty for
+    #: classic single-sigma units — the unit's own cursor covers it).
+    #: Checkpoints record these, so resume stays sigma-granular even
+    #: when execution is block-granular.
+    covered: list = field(default_factory=list)
 
     @property
     def cursor(self) -> tuple[int, int]:
@@ -378,12 +426,14 @@ class UnitStream:
         sigma_fn: Callable[[Any], Iterable[Mapping[str, Any]]] | None = None,
         resume: Checkpoint | None = None,
         on_database: Callable[[Any], None] | None = None,
+        block_size: int = 1,
     ) -> None:
         self._databases = databases
         self._gov = gov
         self._stats = stats
         self._sigma_fn = sigma_fn
         self._on_database = on_database
+        self._block_size = max(1, block_size)
         self._skip_db = resume.db_index if resume is not None else 0
         self._skip_sigma = resume.sigma_index if resume is not None else 0
         self._done = resume.completed_units() if resume is not None else frozenset()
@@ -416,18 +466,39 @@ class UnitStream:
                 yield WorkUnit(db_index, 0, db, None)
                 continue
             n_sigmas = 0
+            # Pending (sigma_index, sigma) pairs batched into units of
+            # up to block_size consecutive sigmas (size 1 — the default
+            # — reproduces the classic one-pair unit exactly, pickled
+            # form included).
+            batch: list[tuple[int, dict]] = []
             for sigma_index, sigma in enumerate(self._sigma_fn(db)):
                 n_sigmas += 1
                 if db_index == self._skip_db and sigma_index < self._skip_sigma:
                     continue
                 if (db_index, sigma_index) in self._done:
                     continue
-                self.cursor = (db_index, sigma_index)
-                yield WorkUnit(db_index, sigma_index, db, dict(sigma))
+                batch.append((sigma_index, dict(sigma)))
+                if len(batch) >= self._block_size:
+                    yield self._make_unit(db_index, db, batch)
+                    batch = []
+            if batch:
+                yield self._make_unit(db_index, db, batch)
             if tracer.active:
                 tracer.emit(
                     "sigma.batch", cursor=(db_index, 0), count=n_sigmas
                 )
+
+    def _make_unit(
+        self, db_index: int, db, batch: list[tuple[int, dict]]
+    ) -> WorkUnit:
+        first_index, first_sigma = batch[0]
+        self.cursor = (db_index, first_index)
+        if len(batch) == 1 and self._block_size == 1:
+            return WorkUnit(db_index, first_index, db, first_sigma)
+        return WorkUnit(
+            db_index, first_index, db, first_sigma,
+            sigma_block=SigmaBlock(db_index, tuple(batch)),
+        )
 
     def clamp_db_stats(self, db_index: int) -> None:
         """Rewind the database counters to their values when ``db_index``
@@ -980,7 +1051,10 @@ def _run_sequential(
                 merge_unit_stats(out.unit_stats, result.stats)
                 out.violation = result
                 return out
-            out.completed.append(unit.cursor)
+            # A blocked unit reports every sigma it covered so resume
+            # frontiers stay sigma-granular; classic units cover exactly
+            # their own cursor.
+            out.completed.extend(result.covered or [unit.cursor])
             merge_unit_stats(out.unit_stats, result.stats)
             sup.note_completed(tracer, out)
     except VerificationBudgetExceeded as exc:
@@ -1080,7 +1154,12 @@ def _run_pool(
                 )
             )
             return
-        out.completed.append(unit.cursor)
+        if result.status == VIOLATED:
+            # the violating sigma's own cursor, plus any clean sigmas a
+            # blocked unit checked before it
+            out.completed.extend([*result.covered, result.cursor])
+        else:
+            out.completed.extend(result.covered or [unit.cursor])
         stats_by_cursor[unit.cursor] = result.stats
         if result.status == VIOLATED and (
             best is None or result.cursor < best.cursor

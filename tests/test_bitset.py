@@ -1,0 +1,362 @@
+"""Differential tests for the set-at-a-time bitset engine (repro.fol.bitset).
+
+The bitset evaluators must agree with the scalar interpreter bit by
+bit: for every plan and every block, bit *i* of ``plan.bits(ctx,
+block)`` equals ``plan.check(ctx, valuation_i)`` — including the
+exception-parity contract (the bitset path raises iff some valuation
+raises; ``MissingInputConstantError`` timing is error condition (i) of
+Definition 2.3, i.e. semantics, not an implementation detail).
+
+Three layers of evidence:
+
+- per-bit randomized differential over the same controlled formula
+  generator as ``test_compile`` plus every rule formula of the
+  ``examples/specs`` corpus;
+- end-to-end ``verify_ltlfo`` fingerprints (verdict, witness, stats)
+  with ``REPRO_SETWISE`` on and off, with and without sigma blocking,
+  sequential and pooled;
+- trace-level accounting: with sigma blocking on, the ``label.bits``
+  events show fewer bitsets computed (satellite of ROADMAP item 3).
+"""
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.fol import (
+    Atom,
+    MissingInputConstantError,
+    Not,
+    Var,
+    compilation,
+    compile_formula,
+    evaluate_interpreted,
+)
+from repro.fol.bitset import (
+    ValuationBlock,
+    compile_bits,
+    set_setwise,
+    setwise,
+    setwise_enabled,
+)
+from repro.ltl import B, G, LTLFOSentence
+from repro.obs import CollectingTracer
+from repro.service import RunContext, ServiceBuilder, initial_snapshots, successors
+from repro.verifier import Verdict, verify_ltlfo
+
+from tests.test_compile import (
+    EVAL_ERRORS,
+    VALUES,
+    VARS,
+    _gen_ctx,
+    _gen_formula,
+    _outcome,
+    _pingpong,
+    _registration,
+    _result_fingerprint,
+)
+
+# ---------------------------------------------------------------------------
+# block layout
+# ---------------------------------------------------------------------------
+
+def test_valuation_block_layout():
+    """Bit *i* of ``var_mask(v, val)`` iff ``combos()[i][j] == val``."""
+    block = ValuationBlock(("x", "y"), ("a", "b", "c"))
+    combos = list(block.combos())
+    assert len(combos) == block.n == 9
+    for j, var in enumerate(block.variables):
+        for val in block.values:
+            mask = block.var_mask(var, val)
+            for i, combo in enumerate(combos):
+                assert bool(mask & (1 << i)) == (combo[j] == val)
+
+
+def test_valuation_block_unknown_value_and_all_mask():
+    block = ValuationBlock(("x",), ("a", "b"))
+    assert block.var_mask("x", "zzz") == 0
+    assert block.all_mask == (1 << block.n) - 1
+
+
+# ---------------------------------------------------------------------------
+# per-bit randomized differential vs the scalar interpreter
+# ---------------------------------------------------------------------------
+
+def _bits_vs_scalar(formula, ctx, block):
+    """Assert the exception-parity contract on one (formula, block)."""
+    combos = list(block.combos())
+    scalar = [
+        _outcome(lambda c=c: evaluate_interpreted(
+            formula, ctx, dict(zip(block.variables, c))
+        ))
+        for c in combos
+    ]
+    fn = compile_bits(formula, block.variables)
+    try:
+        bits = fn(ctx, block)
+    except EVAL_ERRORS:
+        assert any(kind != "ok" for kind, *_ in scalar), (
+            f"bits raised but no valuation raises: {formula}"
+        )
+        return
+    assert all(kind == "ok" for kind, *_ in scalar), (
+        f"some valuation raises but bits returned {bits:#x}: {formula}"
+    )
+    for i, (_, value) in enumerate(scalar):
+        assert bool(bits & (1 << i)) == value, (
+            f"bit {i} ({dict(zip(block.variables, combos[i]))}): {formula}"
+        )
+
+
+def test_bits_differential_randomized():
+    rng = random.Random(20260808)
+    for _ in range(300):
+        ctx = _gen_ctx(rng)
+        k = rng.randint(1, 3)
+        names = tuple(rng.sample(VARS, k=k))
+        values = tuple(rng.sample(VALUES, k=rng.randint(1, 3)))
+        block = ValuationBlock(names, values)
+        formula = _gen_formula(rng, rng.randint(1, 4), set(names))
+        _bits_vs_scalar(formula, ctx, block)
+
+
+def test_bits_via_compiled_formula_plan():
+    """`CompiledFormula.bits` memoises one evaluator per block layout."""
+    rng = random.Random(11)
+    ctx = _gen_ctx(rng)
+    formula = _gen_formula(rng, 3, {"x"})
+    plan = compile_formula(formula, frozenset({"x"}))
+    block = ValuationBlock(("x",), ("a", "b", 1))
+    try:
+        bits = plan.bits(ctx, block)
+    except EVAL_ERRORS:
+        return
+    for i, combo in enumerate(block.combos()):
+        assert bool(bits & (1 << i)) == evaluate_interpreted(
+            formula, ctx, {"x": combo[0]}
+        )
+
+
+def test_bits_missing_input_constant_parity():
+    from repro.fol import And, Eq, InputConst
+
+    ctx = _gen_ctx(random.Random(3))
+    ctx.input_values.clear()
+    # Every valuation reads the missing @c0, so the bitset path must
+    # raise exactly as the scalar path does (error condition (i)).
+    formula = Eq(Var("x"), InputConst("c0"))
+    block = ValuationBlock(("x",), ("a", "b"))
+    fn = compile_bits(formula, ("x",))
+    with pytest.raises(MissingInputConstantError):
+        fn(ctx, block)
+    # Short-circuit parity: a conjunction whose first part kills every
+    # valuation never reaches the constant — on either path.
+    ctx.declare_empty(["S"])
+    guarded = And([Atom("S", (Var("x"),)), formula])
+    assert compile_bits(guarded, ("x",))(ctx, block) == 0
+    assert evaluate_interpreted(guarded, ctx, {"x": "a"}) is False
+
+
+# ---------------------------------------------------------------------------
+# corpus: every rule formula of the example specs
+# ---------------------------------------------------------------------------
+
+SPECS = sorted(
+    str(p)
+    for p in (Path(__file__).resolve().parent.parent / "examples" / "specs")
+    .glob("*.json")
+)
+
+
+@pytest.mark.parametrize("path", SPECS)
+def test_bits_specs_corpus(path):
+    """Per-bit parity on real rule formulas over reachable snapshots."""
+    from repro.io.json_format import load_service
+    from repro.schema import Database
+
+    service = load_service(path)
+    dom = ["a", "b"]
+    contents = {}
+    for sym in service.schema.database:
+        rows = []
+        for i in range(min(2, 2 ** sym.arity)):
+            rows.append(tuple(dom[(i + j) % 2] for j in range(sym.arity)))
+        contents[sym.name] = rows
+    db = Database(service.schema.database, contents)
+    sigma = {c: dom[0] for c in service.schema.input.constants}
+    ctx = RunContext(service, db, sigma=sigma)
+
+    # a short reachable prefix of the snapshot graph
+    snaps, frontier, seen = [], list(initial_snapshots(ctx)), set()
+    while frontier and len(snaps) < 12:
+        snap = frontier.pop(0)
+        if snap in seen or snap.is_error:
+            continue
+        seen.add(snap)
+        snaps.append(snap)
+        frontier.extend(successors(ctx, snap))
+
+    checked = 0
+    for snap in snaps:
+        page = service.page(snap.page)
+        ectx = ctx.make_eval_context(
+            snap.state, snap.inputs, snap.prev, snap.actions,
+            gamma=snap.provided_here(service), page=snap.page,
+        )
+        rules = (
+            list(page.input_rules) + list(page.state_rules)
+            + list(page.action_rules)
+        )
+        for rule in rules:
+            # Propositional rules still go through the bitset path when
+            # blocked over a variable the formula never mentions.
+            names = tuple(rule.variables) or ("x",)
+            block = ValuationBlock(names, tuple(dom))
+            _bits_vs_scalar(rule.formula, ectx, block)
+            checked += 1
+    assert checked, f"no rules exercised for {path}"
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: REPRO_SETWISE on/off is invisible to the verifier
+# ---------------------------------------------------------------------------
+
+def _session_service():
+    """Registration with an input constant: several sigmas per database."""
+    b = ServiceBuilder("session")
+    b.database("allowed", 1)
+    b.input("record", 1)
+    b.input("done")
+    b.state("stored", 1)
+    b.state("closed")
+    b.action("ack", 1)
+    b.input_constant("who")
+    form = b.page("FORM", home=True)
+    form.toggle("done")
+    form.options("record", "allowed(x)", ("x",))
+    form.insert("stored", "record(x) & !closed", ("x",))
+    form.insert("closed", "done")
+    form.target("CONFIRM", "done")
+    confirm = b.page("CONFIRM")
+    confirm.request("who")
+    confirm.act("ack", "stored(x) & x = who", ("x",))
+    confirm.target("FINAL", "true")
+    b.page("FINAL")
+    return b.build()
+
+
+def _stored_prop():
+    return LTLFOSentence(
+        ("x",),
+        B(Atom("record", (Var("x"),)), Not(Atom("stored", (Var("x"),)))),
+        name="stored only after recorded",
+    )
+
+
+def _setwise_on_off(call):
+    with compilation(True), setwise(True):
+        on = call()
+    with compilation(True), setwise(False):
+        off = call()
+    assert _result_fingerprint(on) == _result_fingerprint(off)
+    return on
+
+
+class TestVerifierSetwiseIdentity:
+    def test_ltlfo_holds(self):
+        svc = _registration()
+        result = _setwise_on_off(
+            lambda: verify_ltlfo(svc, _stored_prop(), domain_size=2)
+        )
+        assert result.verdict is Verdict.HOLDS
+
+    def test_ltlfo_violated_witness_identical(self):
+        svc = _pingpong()
+        prop = LTLFOSentence((), G(Not(Atom("P2", ()))), name="never P2")
+        result = _setwise_on_off(
+            lambda: verify_ltlfo(svc, prop, domain_size=2)
+        )
+        assert result.verdict is Verdict.VIOLATED
+        assert result.counterexample is not None
+
+    def test_sigma_blocked_unit_identical(self):
+        """Blocked units (many sigmas at once) change nothing observable."""
+        svc = _session_service()
+        blocked = _setwise_on_off(
+            lambda: verify_ltlfo(
+                svc, _stored_prop(), domain_size=2, sigma_block=8
+            )
+        )
+        plain = _setwise_on_off(
+            lambda: verify_ltlfo(
+                svc, _stored_prop(), domain_size=2, sigma_block=1
+            )
+        )
+        assert _result_fingerprint(blocked) == _result_fingerprint(plain)
+
+    def test_sigma_blocked_pool_identical(self):
+        svc = _session_service()
+        blocked = _setwise_on_off(
+            lambda: verify_ltlfo(
+                svc, _stored_prop(), domain_size=2, workers=2, sigma_block=4
+            )
+        )
+        sequential = _setwise_on_off(
+            lambda: verify_ltlfo(svc, _stored_prop(), domain_size=2)
+        )
+        assert blocked.verdict is sequential.verdict
+        base = {
+            k: v for k, v in sequential.stats.items() if k != "workers"
+        }
+        pooled = {k: v for k, v in blocked.stats.items() if k != "workers"}
+        assert base == pooled
+
+
+# ---------------------------------------------------------------------------
+# satellite: sigma blocking hoists the per-valuation label work
+# ---------------------------------------------------------------------------
+
+def _bits_computed(tracer):
+    return sum(
+        event.fields.get("computed", 0)
+        for event in tracer.events
+        if event.name == "label.bits"
+    )
+
+
+def test_sigma_blocking_reduces_label_evaluations():
+    """With blocking on, label bitsets are shared across the block's
+    sigmas instead of being rebuilt per (db, sigma) unit."""
+    svc = _session_service()
+    prop = _stored_prop()
+    with compilation(True), setwise(True):
+        t_plain = CollectingTracer()
+        plain = verify_ltlfo(
+            svc, prop, domain_size=2, sigma_block=1, tracer=t_plain
+        )
+        t_blocked = CollectingTracer()
+        blocked = verify_ltlfo(
+            svc, prop, domain_size=2, sigma_block=8, tracer=t_blocked
+        )
+    assert plain.verdict is blocked.verdict
+    assert dict(plain.stats) == dict(blocked.stats)
+    plain_n, blocked_n = _bits_computed(t_plain), _bits_computed(t_blocked)
+    assert plain_n > 0 and blocked_n > 0
+    assert blocked_n < plain_n, (blocked_n, plain_n)
+
+
+# ---------------------------------------------------------------------------
+# toggle plumbing
+# ---------------------------------------------------------------------------
+
+def test_set_setwise_restores():
+    previous = set_setwise(False)
+    try:
+        assert not setwise_enabled()
+        with setwise(True):
+            assert setwise_enabled()
+        assert not setwise_enabled()
+    finally:
+        set_setwise(previous)
+    assert setwise_enabled() == previous

@@ -405,3 +405,97 @@ def test_set_compilation_restores():
     finally:
         set_compilation(previous)
     assert compilation_enabled() == previous
+
+
+# ---------------------------------------------------------------------------
+# cache coherence: clear_compile_cache must clear *every* plan layer
+# ---------------------------------------------------------------------------
+
+def test_clear_compile_cache_invalidates_service_plans():
+    """Regression: the weak-keyed CompiledService cache survived
+    clear_compile_cache(), so a live service object kept serving plans
+    built before the clear."""
+    from repro.service.compiled import compiled_service
+
+    svc = _registration()
+    with compilation(True):
+        first = compiled_service(svc)
+        assert first is not None
+        assert compiled_service(svc) is first  # cached while untouched
+        clear_compile_cache()
+        second = compiled_service(svc)
+        assert second is not None
+        assert second is not first
+
+
+def test_toggle_between_verifies_on_same_service():
+    """Toggling compilation between two verify() calls on the *same*
+    service object must not leak plans across the toggle — and the
+    verdict/stats fingerprints must match in all four orderings."""
+    from repro.service.compiled import compiled_service
+
+    svc = _registration()
+    prop = LTLFOSentence(
+        ("x",),
+        B(Atom("record", (Var("x"),)), Not(Atom("stored", (Var("x"),)))),
+        name="stored only after recorded",
+    )
+    with compilation(True):
+        clear_compile_cache()
+        on_1 = verify_ltlfo(svc, prop, domain_size=2)
+    with compilation(False):
+        clear_compile_cache()
+        assert compiled_service(svc) is None
+        off = verify_ltlfo(svc, prop, domain_size=2)
+    with compilation(True):
+        on_2 = verify_ltlfo(svc, prop, domain_size=2)
+    assert _result_fingerprint(on_1) == _result_fingerprint(off)
+    assert _result_fingerprint(on_1) == _result_fingerprint(on_2)
+
+
+# ---------------------------------------------------------------------------
+# memoised structural hashes: each formula node hashes once
+# ---------------------------------------------------------------------------
+
+def test_formula_hash_memoised_per_node():
+    """Regression: _cached_formula/_cached_query rehashed the full
+    formula tree on every lookup.  Structural hashes are now computed
+    once per node and stashed on the instance."""
+    import pickle
+
+    from repro.fol.formulas import hash_miss_count
+
+    # 5 nodes: Exists / And / Atom / Eq+2 terms count as Eq node only.
+    body = And([Atom("S", (Var("x"),)), Eq(Var("x"), Lit("a"))])
+    formula = Exists(("x",), body)
+    nodes = 4  # Exists, And, Atom, Eq
+
+    before = hash_miss_count()
+    hash(formula)
+    first = hash_miss_count() - before
+    assert first == nodes, first
+    # Every node is memoised now: further hashing costs no recomputation.
+    before = hash_miss_count()
+    for _ in range(3):
+        hash(formula)
+        hash(body)
+    assert hash_miss_count() == before
+    assert "_hash" in formula.__dict__
+
+    # Seeded string hashes must never be pickled: the memo is dropped on
+    # serialisation and rebuilt in the receiving process.
+    clone = pickle.loads(pickle.dumps(formula))
+    assert "_hash" not in clone.__dict__
+    assert clone == formula
+
+
+def test_cached_formula_hits_do_not_rehash():
+    """An lru-cached compile lookup costs zero node re-hashes."""
+    from repro.fol.formulas import hash_miss_count
+
+    formula = Forall(("y",), Or([Atom("S", (Var("y"),)), Atom("P", ())]))
+    compile_formula(formula)  # prime: hashes every node once
+    before = hash_miss_count()
+    for _ in range(5):
+        compile_formula(formula)
+    assert hash_miss_count() == before
