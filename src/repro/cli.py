@@ -49,6 +49,7 @@ from pathlib import Path
 from repro.analysis import audit_service
 from repro.ctl.parser import parse_ctl
 from repro.io import (
+    SpecFormatError,
     database_from_dict,
     load_checkpoint,
     load_service,
@@ -93,28 +94,63 @@ EXIT_LINT_CLEAN = 0
 EXIT_LINT_FINDINGS = 1
 
 
+class _CliError(Exception):
+    """A usage-level failure: ``main`` prints one line and exits 2."""
+
+
+def _load_spec(path):
+    """Load a spec file, turning malformed payloads into one-line exits.
+
+    A raw ``KeyError`` traceback out of :func:`service_from_dict` used
+    to be the CLI's answer to a typo'd spec; every load error is now a
+    coded one-liner (exit 2).
+    """
+    try:
+        return load_service(path)
+    except SpecFormatError as exc:
+        raise _CliError(f"error: {path}: [{exc.code}] {exc}") from exc
+    except SpecificationError as exc:
+        problems = "; ".join(exc.problems[:3])
+        raise _CliError(
+            f"error: {path}: invalid specification: {problems} "
+            "(run `repro lint` for the full report)"
+        ) from exc
+    except OSError as exc:
+        raise _CliError(f"error: cannot read {path}: {exc}") from exc
+
+
 def _load_databases(service, paths):
     databases = []
     for path in paths or []:
-        data = json.loads(Path(path).read_text())
-        databases.append(database_from_dict(data, service.schema.database))
+        try:
+            data = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise _CliError(
+                f"error: {path}: [bad-json] not valid JSON: {exc}"
+            ) from exc
+        except OSError as exc:
+            raise _CliError(f"error: cannot read {path}: {exc}") from exc
+        try:
+            databases.append(database_from_dict(data, service.schema.database))
+        except SpecFormatError as exc:
+            raise _CliError(f"error: {path}: [{exc.code}] {exc}") from exc
     return databases or None
 
 
 def _cmd_show(args) -> int:
-    service = load_service(args.spec)
+    service = _load_spec(args.spec)
     print(service_to_text(service))
     return 0
 
 
 def _cmd_classify(args) -> int:
-    service = load_service(args.spec)
+    service = _load_spec(args.spec)
     print(classify(service).describe())
     return 0
 
 
 def _cmd_audit(args) -> int:
-    service = load_service(args.spec)
+    service = _load_spec(args.spec)
     print(audit_service(service))
     return 0
 
@@ -140,6 +176,9 @@ def _cmd_lint(args) -> int:
         )
         _emit_lint_report(report, args)
         return EXIT_LINT_FINDINGS
+    except SpecFormatError as exc:
+        print(f"error: {args.spec}: [{exc.code}] {exc}", file=sys.stderr)
+        return EXIT_USAGE
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: cannot load {args.spec}: {exc}", file=sys.stderr)
         return EXIT_USAGE
@@ -231,7 +270,7 @@ def _restore_stop_handlers(previous) -> None:
 
 
 def _cmd_verify(args) -> int:
-    service = load_service(args.spec)
+    service = _load_spec(args.spec)
     databases = _load_databases(service, args.db)
     options = {}
     if databases is not None:
@@ -388,7 +427,7 @@ def _run_verify(args, service, options) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    service = load_service(args.spec)
+    service = _load_spec(args.spec)
     databases = _load_databases(service, args.db)
     if not databases:
         print("error: simulate needs --db", file=sys.stderr)
@@ -398,6 +437,47 @@ def _cmd_simulate(args) -> int:
     run = random_run(ctx, args.steps, rng=args.seed)
     print(run.describe(service, limit=args.steps))
     return 0
+
+
+def _cmd_serve(args) -> int:
+    # imported here so plain CLI verification never pays for the server
+    # stack (and vice versa: the daemon has no argparse dependency)
+    from repro.io import SpecFormatError as _SFE
+    from repro.server import create_server, serve
+
+    server = create_server(
+        args.host, args.port,
+        job_workers=args.job_workers,
+        spool_dir=args.spool_dir,
+        quiet=args.quiet,
+    )
+    spec_files: list[Path] = []
+    for raw in args.specs:
+        p = Path(raw)
+        if p.is_dir():
+            spec_files.extend(sorted(p.glob("*.json")))
+        else:
+            spec_files.append(p)
+    for path in spec_files:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            entry, _created = server.registry.register(data)
+        except json.JSONDecodeError as exc:
+            raise _CliError(
+                f"error: {path}: [bad-json] not valid JSON: {exc}"
+            ) from exc
+        except _SFE as exc:
+            raise _CliError(f"error: {path}: [{exc.code}] {exc}") from exc
+        except OSError as exc:
+            raise _CliError(f"error: cannot read {path}: {exc}") from exc
+        print(f"registered {entry.spec_id}  {entry.summary()['name']} "
+              f"({entry.n_plans} plans)  [{path}]", file=sys.stderr)
+    host, port = server.server_address[:2]
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"({len(server.registry)} specs registered, "
+          f"{args.job_workers} job workers)", file=sys.stderr)
+    serve(server)
+    return EXIT_HOLDS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -510,6 +590,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="input constant value, e.g. name=alice (repeatable)")
     sim.set_defaults(func=_cmd_simulate)
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the verification daemon (HTTP, compiled-spec registry)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8080,
+                     help="TCP port (0 picks a free one)")
+    srv.add_argument("--specs", action="append", default=[],
+                     help="spec file or directory of *.json to preregister "
+                          "(repeatable)")
+    srv.add_argument("--job-workers", type=int, default=2,
+                     help="verification worker threads (default 2)")
+    srv.add_argument("--spool-dir", default=None,
+                     help="directory for per-job event/checkpoint files "
+                          "(default: a fresh temp dir)")
+    srv.add_argument("--quiet", action="store_true",
+                     help="suppress per-request access logging")
+    srv.set_defaults(func=_cmd_serve)
+
     return parser
 
 
@@ -517,6 +616,9 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except _CliError as exc:
+        print(exc, file=sys.stderr)
+        return EXIT_USAGE
     except BrokenPipeError:
         # stdout went away (e.g. piped into `head`); exit quietly the
         # way POSIX filters do instead of dumping a traceback

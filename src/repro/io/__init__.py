@@ -7,11 +7,13 @@ paper's "Page HP / Inputs / Rules / End Page" layout for review.
 """
 
 from repro.io.json_format import (
+    SpecFormatError,
     atomic_write_text,
     service_to_dict,
     service_from_dict,
     save_service,
     load_service,
+    loads_service,
     database_to_dict,
     database_from_dict,
     checkpoint_to_dict,
@@ -22,7 +24,9 @@ from repro.io.json_format import (
 from repro.io.pretty import service_to_text, page_to_text
 
 __all__ = [
+    "SpecFormatError",
     "atomic_write_text",
+    "loads_service",
     "service_to_dict",
     "service_from_dict",
     "save_service",

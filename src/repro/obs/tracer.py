@@ -15,8 +15,11 @@ Event taxonomy (``name`` → meaning, extra fields):
   database (``db_index``, ``domain``);
 - ``sigma.batch`` — the input-constant interpretations of one database
   were enumerated (``count``);
-- ``buchi.compiled`` — the negated property's Büchi automaton was built
-  (``dur``, ``n_states``; once per ``verify_ltlfo`` call);
+- ``buchi.compiled`` — the negated property's Büchi automaton was
+  obtained (``dur``, ``n_states``, ``cached``; once per
+  ``verify_ltlfo`` call — ``cached=True`` when it was served from a
+  caller-provided ``buchi_cache`` such as the serving daemon's
+  per-spec memo, instead of being constructed);
 - ``label.bits`` — set-at-a-time labelling accounting for one work
   unit (``computed``, ``shared``: label bitsets evaluated vs reused
   from the block's shared cache; only when the bitset engine is on);
@@ -36,6 +39,9 @@ Event taxonomy (``name`` → meaning, extra fields):
   (``code``, ``severity``, ``location``, ``message``); always precedes
   every ``database.enumerated`` event of the call, since the linter
   runs before any decision procedure;
+- ``registry.hit`` / ``registry.miss`` — a daemon request resolved a
+  registered spec with its compiled plans (``spec_id``, ``n_plans``) /
+  parsed an inline spec per-request (:mod:`repro.server` only);
 - ``verdict`` — the verification call finished (``verdict``,
   ``procedure``, ``method``).
 
@@ -147,7 +153,25 @@ class Tracer:
         return {}
 
     def close(self) -> None:
-        """Release any resource held (files); no-op for most tracers."""
+        """Release any resource held (files); no-op for most tracers.
+
+        Idempotent for every tracer in this module: closing twice (or
+        closing a tracer that never opened its file) is safe, so cleanup
+        paths never have to track whether a close already happened.
+        """
+
+    def __enter__(self) -> "Tracer":
+        """Tracers are context managers: ``with JsonlTracer(p) as tr:``.
+
+        A handler that raises mid-stream would otherwise leak the file
+        handle — ``__exit__`` guarantees :meth:`close` runs on every
+        exit path (the server's per-job event capture relies on this).
+        """
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 class NullTracer(Tracer):
@@ -224,6 +248,10 @@ class JsonlTracer(_RecordingTracer):
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+            # a straggler event emitted after close() (e.g. by a worker
+            # draining late) reopens in append mode — it must not clobber
+            # the lines already flushed
+            self._append = True
 
 
 class TeeTracer(_RecordingTracer):

@@ -1,0 +1,46 @@
+"""Verification as a service: the ``repro serve`` HTTP daemon.
+
+The CLI pays the whole pipeline — spec parse, lint, plan compilation,
+Büchi construction — on every invocation.  The daemon amortizes it:
+:mod:`repro.server.registry` pins parsed+compiled specs by content
+hash, :mod:`repro.server.jobs` keeps exponential verification work off
+the HTTP threads, :mod:`repro.server.wire` gives every failure one
+structured JSON shape, and :mod:`repro.server.app` is the stdlib
+``http.server`` front-end tying them together.
+
+Quick start::
+
+    from repro.server import create_server, server_in_thread
+    server = create_server(port=0)          # 0 = pick a free port
+    thread = server_in_thread(server)
+    host, port = server.server_address
+    # ... POST /specs, POST /verify, GET /jobs/<id> ...
+    server.shutdown(); server.jobs.shutdown()
+
+or from the shell: ``repro serve --port 8080 --specs examples/specs``.
+"""
+
+from repro.server.app import (
+    VerifierHTTPHandler,
+    create_server,
+    serve,
+    server_in_thread,
+)
+from repro.server.jobs import Job, JobManager
+from repro.server.registry import RegistryEntry, SpecRegistry, spec_id_of
+from repro.server.wire import WireError, result_to_dict, wire_error_from
+
+__all__ = [
+    "VerifierHTTPHandler",
+    "create_server",
+    "serve",
+    "server_in_thread",
+    "Job",
+    "JobManager",
+    "RegistryEntry",
+    "SpecRegistry",
+    "spec_id_of",
+    "WireError",
+    "result_to_dict",
+    "wire_error_from",
+]

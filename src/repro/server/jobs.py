@@ -1,0 +1,217 @@
+"""The daemon's job queue: bounded workers, streamable trace events.
+
+Verification is the slow operation of this codebase — worst-case
+exponential in the spec — so ``POST /verify`` never runs it on the HTTP
+thread.  Every request becomes a :class:`Job` on a queue drained by a
+small pool of worker threads (the heavy lifting inside a unit can still
+fan out to worker *processes* via the existing parallel runner;
+``options.workers`` composes with this layer).  A synchronous caller
+just waits on the job's condition variable; an asynchronous one polls
+``GET /jobs/<id>`` or streams ``GET /jobs/<id>/events``.
+
+Each job runs under its own tracer stack — an in-memory
+:class:`JobEventBuffer` feeding the NDJSON stream, plus a
+:class:`~repro.obs.JsonlTracer` spooling the same events to disk —
+entered as a context manager, so a handler that raises mid-stream
+cannot leak the spool file handle (the failure mode that motivated
+``Tracer.__enter__``/``__exit__``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs import CollectingTracer, JsonlTracer, TeeTracer, Tracer
+from repro.server.wire import WireError, wire_error_from
+
+__all__ = ["Job", "JobEventBuffer", "JobManager"]
+
+#: job lifecycle states
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+TERMINAL = frozenset({DONE, FAILED})
+
+
+class JobEventBuffer(CollectingTracer):
+    """A collecting tracer whose appends wake blocked event streamers."""
+
+    def __init__(self, cond: threading.Condition) -> None:
+        super().__init__()
+        self._cond = cond
+
+    def _record(self, event) -> None:
+        with self._cond:
+            self.events.append(event)
+            self._cond.notify_all()
+
+
+class Job:
+    """One queued verification/simulation task and its lifecycle."""
+
+    def __init__(self, job_id: str, kind: str, *,
+                 spec_id: str | None = None) -> None:
+        self.id = job_id
+        self.kind = kind
+        self.spec_id = spec_id
+        self.status = QUEUED
+        self.created = time.time()
+        self.started: float | None = None
+        self.finished: float | None = None
+        self.result: dict[str, Any] | None = None
+        self.error: dict[str, Any] | None = None
+        self.error_status = 500
+        self.cond = threading.Condition()
+        self.events = JobEventBuffer(self.cond)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL
+
+    def wait(self, timeout_s: float | None = None) -> bool:
+        """Block until the job reaches a terminal state; True if it did."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        with self.cond:
+            while not self.terminal:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self.cond.wait(remaining)
+            return True
+
+    def to_dict(self, *, include_result: bool = True) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "job_id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "created": self.created,
+            "events": len(self.events.events),
+        }
+        if self.spec_id:
+            out["spec_id"] = self.spec_id
+        if self.started is not None:
+            out["started"] = self.started
+        if self.finished is not None:
+            out["finished"] = self.finished
+            out["duration_s"] = round(self.finished - (self.started or
+                                                       self.created), 6)
+        if include_result and self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error["error"]
+        return out
+
+    # -- worker-side transitions (each notifies waiters) ----------------
+
+    def _start(self) -> None:
+        with self.cond:
+            self.status = RUNNING
+            self.started = time.time()
+            self.cond.notify_all()
+
+    def _finish(self, result: dict[str, Any]) -> None:
+        with self.cond:
+            self.status = DONE
+            self.result = result
+            self.finished = time.time()
+            self.cond.notify_all()
+
+    def _fail(self, err: WireError) -> None:
+        with self.cond:
+            self.status = FAILED
+            self.error = err.body()
+            self.error_status = err.status
+            self.finished = time.time()
+            self.cond.notify_all()
+
+
+class JobManager:
+    """A queue of jobs drained by daemon worker threads.
+
+    ``spool_dir`` receives one ``<job_id>.events.jsonl`` file per job
+    (the durable twin of the in-memory stream) and the per-job
+    checkpoint files the verify handler wires through
+    ``checkpoint_path``.
+    """
+
+    def __init__(self, workers: int = 2,
+                 spool_dir: str | Path | None = None) -> None:
+        self.spool_dir = Path(spool_dir) if spool_dir is not None else None
+        if self.spool_dir is not None:
+            self.spool_dir.mkdir(parents=True, exist_ok=True)
+        self._jobs: dict[str, Job] = {}
+        self._queue: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-job-worker-{i}", daemon=True
+            )
+            for i in range(max(1, workers))
+        ]
+        for t in self._threads:
+            t.start()
+
+    def submit(self, kind: str, fn: Callable[[Job, Tracer], dict[str, Any]],
+               *, spec_id: str | None = None) -> Job:
+        """Enqueue ``fn(job, tracer)``; returns the (queued) job."""
+        with self._lock:
+            job_id = f"job-{next(self._ids):06d}"
+            job = Job(job_id, kind, spec_id=spec_id)
+            self._jobs[job_id] = job
+        self._queue.put((job, fn))
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise WireError(404, "unknown-job", f"no job with id {job_id!r}")
+        return job
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def job_path(self, job: Job, suffix: str) -> Path | None:
+        if self.spool_dir is None:
+            return None
+        return self.spool_dir / f"{job.id}{suffix}"
+
+    def shutdown(self) -> None:
+        """Stop the workers after the queue drains (daemon threads — a
+        process exit never blocks on them)."""
+        for _ in self._threads:
+            self._queue.put(None)
+
+    # -- worker loop ----------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            job, fn = item
+            job._start()
+            tracers: list[Tracer] = [job.events]
+            spool = self.job_path(job, ".events.jsonl")
+            if spool is not None:
+                tracers.append(JsonlTracer(str(spool)))
+            try:
+                # the context manager guarantees the spool handle is
+                # released even when fn raises mid-stream
+                with TeeTracer(tracers) as tracer:
+                    result = fn(job, tracer)
+            except Exception as exc:  # noqa: BLE001 - jobs absorb failures
+                job._fail(wire_error_from(exc))
+            else:
+                job._finish(result)

@@ -1,0 +1,167 @@
+"""Wire-level shapes of the verification daemon.
+
+One place defines how domain exceptions map onto HTTP statuses and how
+results serialize, so every endpoint fails (and succeeds) the same way.
+
+Error bodies are always::
+
+    {"error": {"code": "<slug>", "message": "...", "path": "pages[2]..."}}
+
+with ``path`` present when the error is located inside the payload
+(:class:`~repro.io.json_format.SpecFormatError` carries it).  The status
+mapping:
+
+=========================================  ======  ====================
+exception                                  status  code
+=========================================  ======  ====================
+``SpecFormatError``                        400     its own ``code``
+``SpecificationError``                     400     ``spec-invalid``
+``FormulaSyntaxError`` (property text)     400     ``bad-property``
+``FaultPlanError``                         400     ``bad-fault-plan``
+``TypeError`` (unknown verify option)      400     ``bad-option``
+``SpecLintError`` (lint-strict refusal)    422     ``lint-errors``
+``UndecidableInstanceError``               422     ``undecidable``
+``VerificationBudgetExceeded`` (strict)    422     ``budget-exceeded``
+unknown ``spec_id`` / job id               404     ``unknown-spec``/...
+=========================================  ======  ====================
+
+400 means "fix the payload"; 422 means "the payload is well-formed but
+this instance cannot be (or was not) decided as asked".  Malformed
+payloads never surface as a 500 — that status is reserved for genuine
+server bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.fol.parser import FormulaSyntaxError
+from repro.io.json_format import SpecFormatError
+from repro.lint import SpecLintError
+from repro.faults import FaultPlanError
+from repro.service.webservice import SpecificationError
+from repro.verifier import (
+    UndecidableInstanceError,
+    VerificationBudgetExceeded,
+)
+
+__all__ = ["WireError", "wire_error_from", "result_to_dict"]
+
+
+class WireError(Exception):
+    """An error with a wire representation: status, code, message, path."""
+
+    def __init__(self, status: int, code: str, message: str, *,
+                 path: str = "", extra: dict[str, Any] | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.path = path
+        self.extra = dict(extra or {})
+
+    def body(self) -> dict[str, Any]:
+        error: dict[str, Any] = {"code": self.code, "message": str(self)}
+        if self.path:
+            error["path"] = self.path
+        error.update(self.extra)
+        return {"error": error}
+
+
+def wire_error_from(exc: BaseException) -> WireError:
+    """The :class:`WireError` for a domain exception (see module table)."""
+    if isinstance(exc, WireError):
+        return exc
+    if isinstance(exc, SpecFormatError):
+        # str(exc) already leads with the path; keep the bare message in
+        # the body and surface the path as its own field
+        return WireError(
+            400, exc.code, exc.args[0] if exc.args else str(exc),
+            path=exc.path,
+        )
+    if isinstance(exc, SpecificationError):
+        return WireError(
+            400, "spec-invalid", "structurally invalid specification",
+            extra={"problems": list(exc.problems)},
+        )
+    if isinstance(exc, FormulaSyntaxError):
+        return WireError(400, "bad-property", str(exc))
+    if isinstance(exc, FaultPlanError):
+        return WireError(400, "bad-fault-plan", str(exc))
+    if isinstance(exc, TypeError):
+        return WireError(400, "bad-option", str(exc))
+    if isinstance(exc, SpecLintError):
+        report = getattr(exc, "report", None)
+        extra = {}
+        if report is not None:
+            extra["findings"] = [
+                _diagnostic_to_dict(d) for d in report.diagnostics
+            ]
+        return WireError(422, "lint-errors", str(exc), extra=extra)
+    if isinstance(exc, UndecidableInstanceError):
+        return WireError(
+            422, "undecidable", "verification undecidable for this instance",
+            extra={"citation": exc.citation, "reasons": list(exc.reasons)},
+        )
+    if isinstance(exc, VerificationBudgetExceeded):
+        return WireError(
+            422, "budget-exceeded", str(exc) or "verification budget exceeded",
+            extra={"limit": exc.limit, "stats": _jsonable(exc.stats)},
+        )
+    if isinstance(exc, ValueError):
+        return WireError(400, "bad-request", str(exc))
+    return WireError(500, "internal", f"{type(exc).__name__}: {exc}")
+
+
+def _diagnostic_to_dict(d: Any) -> dict[str, Any]:
+    return {
+        "code": d.code,
+        "severity": getattr(d.severity, "value", str(d.severity)),
+        "location": d.location,
+        "message": d.message,
+    }
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON projection (tuples → lists, objects → str)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def result_to_dict(result: Any, service: Any = None) -> dict[str, Any]:
+    """JSON-ready projection of a :class:`VerificationResult`.
+
+    ``counterexample`` is the witness run rendered exactly as
+    ``result.describe()`` renders it, so a client can diff a served
+    verdict against an in-process ``verify()`` call verbatim — the
+    parity the CI smoke job asserts.
+    """
+    from repro.io.json_format import database_to_dict
+
+    out: dict[str, Any] = {
+        "verdict": result.verdict.value,
+        "holds": result.holds,
+        "property": result.property_name,
+        "method": result.method,
+        "procedure": result.procedure,
+        "stats": _jsonable(result.stats),
+    }
+    if result.coverage:
+        out["coverage"] = result.coverage
+    if result.timings:
+        out["timings"] = _jsonable(result.timings)
+    if result.diagnostics:
+        out["diagnostics"] = [
+            _diagnostic_to_dict(d) for d in result.diagnostics
+        ]
+    if result.counterexample is not None:
+        out["counterexample"] = result.counterexample.describe(service)
+        if result.counterexample_database is not None:
+            out["counterexample_database"] = database_to_dict(
+                result.counterexample_database
+            )
+    return out

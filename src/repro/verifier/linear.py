@@ -38,7 +38,9 @@ from __future__ import annotations
 import itertools
 import time
 from collections import deque
-from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping
+from typing import (
+    Any, Callable, Hashable, Iterable, Iterator, Mapping, MutableMapping,
+)
 
 from repro.fol.analysis import input_constants_of
 from repro.fol.bitset import ValuationBlock, setwise_enabled
@@ -595,6 +597,7 @@ def verify_ltlfo(
     faults: Any = None,
     checkpoint_path: str | None = None,
     checkpoint_every: int | None = None,
+    buchi_cache: "MutableMapping | None" = None,
 ) -> VerificationResult:
     """Decide ``service ⊨ sentence`` for input-bounded instances.
 
@@ -675,6 +678,16 @@ def verify_ltlfo(
         ``checkpoint_path`` every ``checkpoint_every`` completed units
         (env ``REPRO_CHECKPOINT_EVERY``) and on interruption, so a kill
         at any moment loses bounded work and never corrupts the file.
+    buchi_cache:
+        A mutable mapping memoizing the negated-skeleton Büchi
+        automaton across calls, keyed by the negated skeleton formula.
+        Long-running callers (the HTTP daemon's spec registry) pass a
+        per-spec dict so repeated verifications of the same property
+        skip the automaton construction; the ``buchi.compiled`` trace
+        event then carries ``cached=True`` with a ~0 duration.  The
+        automaton is immutable after construction (the symbolic
+        skeleton; valuations are supplied at labelling time), so reuse
+        cannot change verdicts.
     """
     if check_restrictions:
         _require_input_bounded(service, sentence)
@@ -700,13 +713,21 @@ def verify_ltlfo(
     method = "input-bounded LTL-FO (Theorem 3.5)"
 
     # One automaton per verification call: the negated *symbolic*
-    # skeleton, with valuations supplied at labelling time.
+    # skeleton, with valuations supplied at labelling time.  With a
+    # buchi_cache, one automaton per *property* across calls.
     compile_started = time.monotonic()
-    ba = ltl_to_buchi(LNot(sentence.skeleton))
+    negated = LNot(sentence.skeleton)
+    ba = buchi_cache.get(negated) if buchi_cache is not None else None
+    buchi_cached = ba is not None
+    if ba is None:
+        ba = ltl_to_buchi(negated)
+        if buchi_cache is not None:
+            buchi_cache[negated] = ba
     if tr.active:
         tr.emit(
             "buchi.compiled",
             dur=time.monotonic() - compile_started, n_states=ba.n_states,
+            cached=buchi_cached,
         )
     # Rule plans, likewise once per call (workers re-warm their own copy
     # in the pool initialiser, so traces stay worker-count independent).

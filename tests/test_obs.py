@@ -282,6 +282,71 @@ class TestTracers:
                      "cursor": [3, 4], "dur": 0.5}
 
 
+class TestTracerContextManager:
+    """Tracers are context managers; close() is idempotent.
+
+    Pinned because the server's per-job event capture relies on both:
+    a handler raising mid-stream must release the spool file handle via
+    ``__exit__``, and the worker may close an already-closed tee.
+    """
+
+    def test_enter_returns_self_and_exit_closes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tr = JsonlTracer(str(path))
+        with tr as inside:
+            assert inside is tr
+            tr.emit("one")
+        # the handle is released: the file is complete and reopenable
+        names = [json.loads(l)["name"] for l in path.read_text().splitlines()]
+        assert names == ["one"]
+
+    def test_exit_does_not_swallow_exceptions(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with pytest.raises(RuntimeError, match="mid-stream"):
+            with JsonlTracer(str(path)) as tr:
+                tr.emit("before-crash")
+                raise RuntimeError("mid-stream")
+        # ... yet the events emitted before the crash were flushed
+        names = [json.loads(l)["name"] for l in path.read_text().splitlines()]
+        assert names == ["before-crash"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tr = JsonlTracer(str(path))
+        tr.emit("one")
+        tr.close()
+        tr.close()  # second close: no error, file untouched
+        with tr:    # reuse as a context manager: also fine
+            pass
+        names = [json.loads(l)["name"] for l in path.read_text().splitlines()]
+        assert names == ["one"]
+
+    def test_emit_after_close_appends_not_clobbers(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tr = JsonlTracer(str(path))
+        tr.emit("one")
+        tr.close()
+        tr.emit("straggler")  # e.g. a late worker event
+        tr.close()
+        names = [json.loads(l)["name"] for l in path.read_text().splitlines()]
+        assert names == ["one", "straggler"]
+
+    def test_tee_context_manager_closes_children(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        child = JsonlTracer(str(path))
+        with TeeTracer([CollectingTracer(), child]) as tee:
+            tee.emit("x")
+        assert path.exists()
+        # child handle closed: a fresh append-mode tracer sees the line
+        names = [json.loads(l)["name"] for l in path.read_text().splitlines()]
+        assert names == ["x"]
+
+    def test_collecting_tracer_context_manager(self):
+        with CollectingTracer() as tr:
+            tr.emit("x")
+        assert [e.name for e in tr.events] == ["x"]
+
+
 # ---------------------------------------------------------------------------
 # CLI flags
 # ---------------------------------------------------------------------------
