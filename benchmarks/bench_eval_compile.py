@@ -37,7 +37,8 @@ from repro.fol.bitset import setwise
 from repro.fol.compile import clear_compile_cache
 from repro.ltl import B, LTLFOSentence
 from repro.obs import CollectingTracer
-from repro.service import RunContext, initial_snapshots, successors
+from repro.service import RunContext, ServiceBuilder, initial_snapshots, successors
+from repro.service.compiled import pruning, pruning_stats
 from repro.verifier import verify_ltlfo
 
 from workloads import (
@@ -164,6 +165,77 @@ def _verify_e14(setwise_on: bool, sigma_block: int):
         return time.perf_counter() - started, result
 
 
+E15_DEAD_RULES = 24
+E15_DEAD_PAGES = 6
+
+
+def _e15_workload():
+    """E15 — a registration variant drowning in statically-dead work.
+
+    ``ghost`` has no insertion rule, so every rule guarded by it is
+    refuted once emptiness is substituted — but only by the dataflow
+    analysis: plain constant folding keeps all of them, so the unpruned
+    engine compiles and re-evaluates every dead plan on every snapshot,
+    and the unpruned page set includes ``E15_DEAD_PAGES`` pages whose
+    only incoming edges are ghost-guarded.
+    """
+    b = ServiceBuilder("e15-pruning")
+    b.database("allowed", 1)
+    b.input("record", 1)
+    b.input("done")
+    b.state("stored", 1)
+    b.state("closed")
+    b.state("ghost")  # never inserted: statically false
+    b.action("ack", 1)
+
+    form = b.page("FORM", home=True)
+    form.toggle("done")
+    form.options("record", "allowed(x)", ("x",))
+    form.insert("stored", "record(x) & !closed", ("x",))
+    form.insert("closed", "done")
+    for _ in range(E15_DEAD_RULES):
+        form.insert("closed", "ghost & done & !closed")
+        form.act("ack", "ghost & record(x) & stored(x)", ("x",))
+    form.target("REVIEW", "done")
+    for i in range(E15_DEAD_PAGES):
+        form.target(f"DEAD{i}", "ghost & !done")
+
+    review = b.page("REVIEW")
+    review.act("ack", "stored(x)", ("x",))
+    review.toggle("done")
+    for _ in range(E15_DEAD_RULES):
+        review.insert("closed", "ghost & done & !closed")
+    review.target("FORM", "done")
+
+    for i in range(E15_DEAD_PAGES):
+        dead = b.page(f"DEAD{i}")
+        dead.toggle("done")
+        dead.options("record", "allowed(x)", ("x",))
+        dead.insert("stored", "record(x) & !closed", ("x",))
+        dead.act("ack", "record(x) & stored(x)", ("x",))
+        dead.target("FORM", "done")
+
+    variables = ("x0",)
+    prop = LTLFOSentence(
+        variables,
+        B(Atom("record", (Var("x0"),)), Not(Atom("stored", (Var("x0"),)))),
+        name="stored only after recorded",
+    )
+    return b.build(), prop
+
+
+def _verify_e15(pruned: bool):
+    """One timed E15 run: compiled plans, pruning as given."""
+    service, prop = _e15_workload()
+    with compilation(True), pruning(pruned):
+        clear_compile_cache()
+        started = time.perf_counter()
+        result = verify_ltlfo(service, prop, domain_size=2, workers=1)
+        elapsed = time.perf_counter() - started
+        stats = pruning_stats(service)
+        return elapsed, result, stats
+
+
 def _verify(compiled: bool, tracer=None):
     service, prop = _workload()
     with compilation(compiled):
@@ -249,6 +321,36 @@ def collect() -> dict:
         "sigmas_checked": base_res.stats.get("sigmas_checked"),
         "valuations_checked": base_res.stats.get("valuations_checked"),
     }
+
+    # E15 — dataflow pruning vs the full compiled plan set on the
+    # dead-rule-heavy workload.  Parity is the headline (bit-identical
+    # verdicts and stats); the timing win is recorded honestly even
+    # when modest — dead plans are cheap to evaluate, they are just
+    # pure waste.
+    full_s, full_res, _ = _verify_e15(False)
+    pruned_s, pruned_res, (pruned_rules, pruned_pages) = _verify_e15(True)
+    record["pruned"] = {
+        "benchmark": (
+            "dataflow-pruned plans "
+            f"(registration + {2 * E15_DEAD_RULES + E15_DEAD_RULES} dead "
+            f"rules + {E15_DEAD_PAGES} dead pages, domain 2)"
+        ),
+        "pruned_rules": pruned_rules,
+        "pruned_pages": pruned_pages,
+        "end_to_end_unpruned_s": round(full_s, 4),
+        "end_to_end_pruned_s": round(pruned_s, 4),
+        "speedup_end_to_end": (
+            round(full_s / pruned_s, 3) if pruned_s > 0 else None
+        ),
+        "verdict": full_res.verdict.name,
+        "verdicts_equal": full_res.verdict == pruned_res.verdict,
+        "witnesses_equal": (
+            str(full_res.counterexample) == str(pruned_res.counterexample)
+        ),
+        "stats_equal": (
+            _comparable_stats(full_res) == _comparable_stats(pruned_res)
+        ),
+    }
     return record
 
 
@@ -258,6 +360,7 @@ def main() -> int:
     out.write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
     setwise_rec = record["set_at_a_time"]
+    pruned_rec = record["pruned"]
     ok = (
         record["eval_phase_checksums_equal"]
         and record["verdicts_equal"]
@@ -265,6 +368,9 @@ def main() -> int:
         and setwise_rec["verdicts_equal"]
         and setwise_rec["witnesses_equal"]
         and setwise_rec["stats_equal"]
+        and pruned_rec["verdicts_equal"]
+        and pruned_rec["witnesses_equal"]
+        and pruned_rec["stats_equal"]
     )
     if not ok:
         print("PARITY CHECK FAILED: engines disagree")
@@ -300,6 +406,15 @@ def test_setwise_agrees_end_to_end():
     assert base.verdict == batched.verdict
     assert str(base.counterexample) == str(batched.counterexample)
     assert _comparable_stats(base) == _comparable_stats(batched)
+
+
+def test_pruned_agrees_end_to_end():
+    _, full, _ = _verify_e15(False)
+    _, pruned, (pruned_rules, pruned_pages) = _verify_e15(True)
+    assert pruned_rules > 0 and pruned_pages == E15_DEAD_PAGES
+    assert full.verdict == pruned.verdict
+    assert str(full.counterexample) == str(pruned.counterexample)
+    assert _comparable_stats(full) == _comparable_stats(pruned)
 
 
 if __name__ == "__main__":

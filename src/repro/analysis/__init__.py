@@ -20,6 +20,14 @@ from repro.analysis.protocol import (
     audit_service,
     AuditFinding,
 )
+from repro.analysis.dataflow import (
+    Tri,
+    RuleFact,
+    UnsetRead,
+    StaticFacts,
+    analyze_service,
+    static_facts,
+)
 
 __all__ = [
     "page_graph",
@@ -31,4 +39,10 @@ __all__ = [
     "ambiguity_audit",
     "audit_service",
     "AuditFinding",
+    "Tri",
+    "RuleFact",
+    "UnsetRead",
+    "StaticFacts",
+    "analyze_service",
+    "static_facts",
 ]

@@ -155,8 +155,8 @@ def _cmd_audit(args) -> int:
     return 0
 
 
-def _emit_lint_report(report: LintReport, args) -> None:
-    rendered = render(report, args.format)
+def _emit_lint_report(report: LintReport, args, facts=None) -> None:
+    rendered = render(report, args.format, facts=facts)
     if args.output:
         Path(args.output).write_text(rendered + "\n")
         print(f"lint report written to {args.output}", file=sys.stderr)
@@ -186,7 +186,32 @@ def _cmd_lint(args) -> int:
     from repro.lint import lint_service
 
     report = lint_service(service)
-    _emit_lint_report(report, args)
+    if args.baseline:
+        from repro.lint import apply_baseline, load_baseline
+        from repro.lint.baseline import BaselineFormatError
+
+        try:
+            known = load_baseline(args.baseline)
+        except BaselineFormatError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        except OSError as exc:
+            print(f"error: cannot load baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        report, suppressed = apply_baseline(report, known)
+        if suppressed:
+            print(
+                f"baseline {args.baseline}: suppressed {suppressed} known "
+                f"finding{'s' if suppressed != 1 else ''}",
+                file=sys.stderr,
+            )
+    facts = None
+    if args.analyze:
+        from repro.analysis.dataflow import static_facts
+
+        facts = static_facts(service)
+    _emit_lint_report(report, args, facts=facts)
     threshold = Severity(args.fail_on)
     return (
         EXIT_LINT_FINDINGS if report.at_least(threshold) else EXIT_LINT_CLEAN
@@ -506,12 +531,19 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=("text", "json", "sarif"),
                       default="text",
                       help="report format (default: text)")
-    lint.add_argument("--fail-on", choices=("error", "warning"),
+    lint.add_argument("--fail-on", choices=("error", "warning", "note"),
                       default="error", dest="fail_on",
                       help="exit 1 when findings at or above this severity "
-                           "exist (default: error)")
+                           "exist; note < warning < error (default: error)")
     lint.add_argument("--output", "-o", metavar="FILE",
                       help="write the report to FILE instead of stdout")
+    lint.add_argument("--analyze", action="store_true",
+                      help="include the whole-service dataflow facts "
+                           "(reachability, input-constant propagation, "
+                           "relation liveness, dead rules) in the report")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="suppress findings whose fingerprints appear in "
+                           "FILE (a baseline, lint JSON, or SARIF report)")
     lint.set_defaults(func=_cmd_lint)
 
     ver = sub.add_parser("verify", help="verify a temporal property")

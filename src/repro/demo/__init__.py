@@ -9,6 +9,9 @@
   Example 4.3, in the Theorem 4.4 class;
 - :mod:`repro.demo.search_site` — the Figure 1 / Example 4.8
   input-driven-search store (Theorem 4.9 class);
+- :mod:`repro.demo.dataflow_demo` — a service whose defects are only
+  visible to the whole-service dataflow analysis (the ``D5xx`` lint
+  family and the pruning benchmark exercise it);
 - :mod:`repro.demo.properties` — the paper's temporal properties,
   numbered as in the text.
 """
@@ -21,6 +24,7 @@ from repro.demo.search_site import (
     figure1_database,
     scaled_hierarchy_database,
 )
+from repro.demo.dataflow_demo import dataflow_demo_service
 from repro.demo.properties import (
     property_1_navigation,
     property_4_paid_before_ship,
@@ -38,6 +42,7 @@ __all__ = [
     "search_service",
     "figure1_database",
     "scaled_hierarchy_database",
+    "dataflow_demo_service",
     "property_1_navigation",
     "property_4_paid_before_ship",
     "example_41_cancel_until_ship",

@@ -1,0 +1,81 @@
+"""A small service whose bugs only whole-service dataflow can see.
+
+Every page of this spec is *syntactically* fine — the navigation graph
+reaches everything, every written relation has a reader, every rule
+condition is satisfiable in isolation — so the per-rule lint passes stay
+quiet.  The bugs live in the interaction of pages along executable
+paths, which is exactly what :mod:`repro.analysis.dataflow` computes:
+
+- ``MID`` re-requests the ``token`` constant that ``HOME`` already
+  provided, so every step from it fires error condition (ii) of
+  Definition 2.3 (its rules are dead, ``D502``) — and ``DEEP``, only
+  reachable through ``MID``, can never be entered (``D501``);
+- ``ghost`` has no insertion rule anywhere, so it is empty in every
+  reachable snapshot: the ``STAGE`` action guarded by it can never fire
+  (``D502``) and the ``STAGE → GHOSTLAND`` target conditioned on it is
+  always false (``D504``), stranding ``GHOSTLAND`` (``D501``);
+- ``audit`` is written on ``STAGE`` but its only reader sits on the
+  dead page ``DEEP``, so the write never influences a run (``D503``);
+- ``VIEW`` logs the ``key`` constant, but the only page that requests
+  ``key`` is the unreachable ``GHOSTLAND`` — the read fires error
+  condition (i) on every executable path (``D505``).
+
+Used by the lint tests and as the checked-in ``dataflow_demo.json``
+example spec; the statically-dead rules also make it the workload of
+the pruning benchmark (E15).
+"""
+
+from __future__ import annotations
+
+from repro.service.builder import ServiceBuilder
+from repro.service.webservice import WebService
+
+
+def dataflow_demo_service() -> WebService:
+    """Build the demo service described in the module docstring."""
+    b = ServiceBuilder("dataflow-demo")
+
+    b.input_constant("token", "key")
+    b.input("pick", 1)
+
+    b.state("audit", 1)
+    b.state("ghost", 1)
+
+    b.action("log", 1)
+    b.action("flush", 1)
+
+    home = b.page("HOME", home=True)
+    home.request("token")
+    home.options("pick", 'x = "mid" | x = "stage"', ("x",))
+    home.target("MID", 'pick("mid")')
+    home.target("STAGE", 'pick("stage")')
+
+    # BUG: token was provided on HOME; requesting it again makes every
+    # step from MID an error-condition-(ii) step, so none of these
+    # rules can ever fire and DEEP is unreachable despite its edge.
+    mid = b.page("MID")
+    mid.request("token")
+    mid.options("pick", 'x = "deep"', ("x",))
+    mid.target("DEEP", 'pick("deep")')
+
+    deep = b.page("DEEP")
+    deep.options("pick", 'x = "back"', ("x",))
+    deep.target("VIEW", "exists x . audit(x)")  # only reader of audit
+
+    stage = b.page("STAGE")
+    stage.options("pick", 'x = "view" | x = "ghosts"', ("x",))
+    stage.insert("audit", "x = token", ("x",))  # write never read live
+    stage.act("flush", "ghost(x)", ("x",))     # ghost is always empty
+    stage.target("GHOSTLAND", "exists x . ghost(x)")
+    stage.target("VIEW", 'pick("view")')
+
+    ghostland = b.page("GHOSTLAND")
+    ghostland.request("key")  # the only requester of key
+    ghostland.options("pick", 'x = "go"', ("x",))
+    ghostland.target("VIEW", 'pick("go")')
+
+    view = b.page("VIEW")
+    view.options("pick", 'x = "home"', ("x",))
+    view.act("log", "x = key", ("x",))  # key is never provided here
+
+    return b.build()

@@ -356,6 +356,47 @@ def rename_relations(f: Formula, mapping: Mapping[str, str]) -> Formula:
     raise TypeError(f"cannot rename in {f!r}")
 
 
+def assume_empty_relations(f: Formula, names: Iterable[str]) -> Formula:
+    """Replace every atom over the named relations with ``FALSE``.
+
+    Sound exactly when those relations are empty in every structure the
+    formula will be evaluated against — e.g. state relations without a
+    live insert rule anywhere in a service: the initial state instance
+    is empty and deletions cannot populate a relation.  Polarity needs
+    no care here: the replacement is applied to the atom itself, and
+    downstream :func:`constant_fold` normalises ``¬FALSE`` to ``TRUE``
+    through its NNF pass.
+    """
+    empty = frozenset(names)
+    if not empty:
+        return f
+    return _assume_empty(f, empty)
+
+
+def _assume_empty(f: Formula, empty: frozenset[str]) -> Formula:
+    if isinstance(f, Atom):
+        return FALSE if f.relation in empty else f
+    if isinstance(f, (Eq, Top, Bottom)):
+        return f
+    if isinstance(f, Not):
+        return Not(_assume_empty(f.body, empty))
+    if isinstance(f, And):
+        return And(tuple(_assume_empty(p, empty) for p in f.parts))
+    if isinstance(f, Or):
+        return Or(tuple(_assume_empty(p, empty) for p in f.parts))
+    if isinstance(f, Implies):
+        return Implies(
+            _assume_empty(f.antecedent, empty),
+            _assume_empty(f.consequent, empty),
+        )
+    if isinstance(f, Iff):
+        return Iff(_assume_empty(f.left, empty), _assume_empty(f.right, empty))
+    if isinstance(f, (Exists, Forall)):
+        cls = Exists if isinstance(f, Exists) else Forall
+        return cls(f.variables, _assume_empty(f.body, empty))
+    raise TypeError(f"cannot substitute in {f!r}")
+
+
 def formula_size(f: Formula) -> int:
     """Number of AST nodes (the complexity-theoretic size measure)."""
     if isinstance(f, (Atom, Eq, Top, Bottom)):

@@ -11,10 +11,13 @@ the expensive way, before any state enumeration runs.
   :class:`Diagnostic`, :class:`LintReport`, :class:`SpecLintError`;
 - :mod:`repro.lint.catalog` — the diagnostic-code registry
   (``S0xx`` structural, ``P1xx`` page-graph, ``U2xx`` schema-usage,
-  ``R3xx`` rule-level, ``F4xx`` decidability-frontier);
-- :mod:`repro.lint.passes` / :mod:`repro.lint.engine` — the four
+  ``R3xx`` rule-level, ``F4xx`` decidability-frontier, ``D5xx``
+  whole-service dataflow);
+- :mod:`repro.lint.passes` / :mod:`repro.lint.engine` — the five
   analysis passes and :func:`lint_service`;
-- :mod:`repro.lint.emit` — text / JSON / SARIF 2.1.0 emitters.
+- :mod:`repro.lint.emit` — text / JSON / SARIF 2.1.0 emitters;
+- :mod:`repro.lint.baseline` — fingerprint-based suppression for
+  ``repro lint --baseline`` (gate CI on *new* findings only).
 
 Usage::
 
@@ -52,6 +55,10 @@ __all__ = [
     "render_text",
     "report_to_json",
     "report_to_sarif",
+    "load_baseline",
+    "parse_baseline",
+    "apply_baseline",
+    "write_baseline",
 ]
 
 #: lazy exports (PEP 562): name -> defining submodule
@@ -63,6 +70,10 @@ _LAZY = {
     "render_text": "repro.lint.emit",
     "report_to_json": "repro.lint.emit",
     "report_to_sarif": "repro.lint.emit",
+    "load_baseline": "repro.lint.baseline",
+    "parse_baseline": "repro.lint.baseline",
+    "apply_baseline": "repro.lint.baseline",
+    "write_baseline": "repro.lint.baseline",
 }
 
 

@@ -1,0 +1,101 @@
+"""Fingerprint-based baseline suppression for ``repro lint``.
+
+A baseline file records the fingerprints of *known* findings so CI can
+gate on new ones only: ``repro lint spec.json --baseline known.json``
+filters every diagnostic whose :attr:`Diagnostic.fingerprint` appears
+in the file before the ``--fail-on`` threshold is applied.
+
+Three file shapes are accepted, so any prior lint output doubles as a
+baseline:
+
+- the native shape written by :func:`write_baseline` —
+  ``{"format": "repro.lint-baseline/1", "fingerprints": [...]}``;
+- a ``repro lint --format json`` report (fingerprints are read from
+  each entry of ``diagnostics``);
+- a ``repro lint --format sarif`` log (read from each result's
+  ``partialFingerprints["reproLint/v1"]``).
+
+Fingerprints hash the code and structural location, never the message
+(see :attr:`~repro.lint.diagnostics.Diagnostic.fingerprint`), so
+rewording diagnostics does not invalidate a checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.diagnostics import LintReport
+
+__all__ = ["BASELINE_FORMAT", "load_baseline", "apply_baseline",
+           "write_baseline", "baseline_dict"]
+
+BASELINE_FORMAT = "repro.lint-baseline/1"
+
+
+class BaselineFormatError(ValueError):
+    """The baseline file is not valid JSON or has no recognisable shape."""
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """Read the suppressed fingerprints from any accepted file shape."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineFormatError(f"cannot read baseline {path}: {exc}")
+    return parse_baseline(data, source=str(path))
+
+
+def parse_baseline(data: object, source: str = "<baseline>") -> frozenset[str]:
+    """Extract fingerprints from an already-parsed baseline document."""
+    if isinstance(data, dict):
+        if isinstance(data.get("fingerprints"), list):  # native shape
+            return frozenset(str(fp) for fp in data["fingerprints"])
+        if isinstance(data.get("diagnostics"), list):  # lint JSON report
+            return frozenset(
+                str(d["fingerprint"]) for d in data["diagnostics"]
+                if isinstance(d, dict) and "fingerprint" in d
+            )
+        if isinstance(data.get("runs"), list):  # SARIF log
+            found = set()
+            for run in data["runs"]:
+                for result in run.get("results", ()):
+                    fp = result.get("partialFingerprints", {}).get(
+                        "reproLint/v1")
+                    if fp:
+                        found.add(str(fp))
+            return frozenset(found)
+    raise BaselineFormatError(
+        f"{source}: not a lint baseline, JSON report, or SARIF log"
+    )
+
+
+def apply_baseline(
+    report: LintReport, fingerprints: frozenset[str]
+) -> tuple[LintReport, int]:
+    """Filter suppressed findings; return the new report and the count
+    of findings the baseline absorbed."""
+    kept = [d for d in report.diagnostics
+            if d.fingerprint not in fingerprints]
+    suppressed = len(report.diagnostics) - len(kept)
+    return (
+        LintReport(service_name=report.service_name, diagnostics=kept),
+        suppressed,
+    )
+
+
+def baseline_dict(reports: Iterable[LintReport]) -> dict:
+    """The native baseline document for a set of reports (sorted, so a
+    regenerated baseline is byte-stable for unchanged findings)."""
+    fingerprints = sorted({
+        d.fingerprint for report in reports for d in report.diagnostics
+    })
+    return {"format": BASELINE_FORMAT, "fingerprints": fingerprints}
+
+
+def write_baseline(reports: Iterable[LintReport], path: str | Path) -> int:
+    """Write the native baseline file; returns the fingerprint count."""
+    doc = baseline_dict(reports)
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    return len(doc["fingerprints"])

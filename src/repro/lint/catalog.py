@@ -10,7 +10,9 @@ the paper it rests on.  Codes are grouped by hundreds:
 - ``P1xx`` — page-graph pass (navigation + Definition 2.3 protocol);
 - ``U2xx`` — schema-usage pass (dead relations, broken dataflow);
 - ``R3xx`` — rule-level pass (constant folding, head variables);
-- ``F4xx`` — decidability-frontier pass (Theorems 3.7/3.8/3.9/4.2).
+- ``F4xx`` — decidability-frontier pass (Theorems 3.7/3.8/3.9/4.2);
+- ``D5xx`` — whole-service dataflow pass (fixpoint abstract
+  interpretation over the page graph, :mod:`repro.analysis.dataflow`).
 
 Like :mod:`repro.lint.diagnostics`, this module imports nothing from
 ``repro`` so the service layer can use it without import cycles.
@@ -123,6 +125,17 @@ _CATALOG: tuple[CodeInfo, ...] = (
              _NOTE, "Theorem 4.2"),
     CodeInfo("F405", "rules read prev inputs", "frontier", _NOTE,
              "Theorem 4.4"),
+    # -- whole-service dataflow pass --------------------------------------
+    CodeInfo("D501", "page unreachable on any executable path", "dataflow",
+             _WARN, "Definition 2.3"),
+    CodeInfo("D502", "dead rule: can never fire on a reachable snapshot",
+             "dataflow", _WARN, "Definition 2.3"),
+    CodeInfo("D503", "state relation written but never read on an "
+             "executable path", "dataflow", _WARN),
+    CodeInfo("D504", "target condition always false under whole-service "
+             "dataflow", "dataflow", _WARN, "Definition 2.3"),
+    CodeInfo("D505", "rule reads a definitely-unset input constant",
+             "dataflow", _ERR, "Definition 2.3(i)"),
 )
 
 #: code → catalog entry, the public registry
@@ -137,12 +150,14 @@ def diag(
     rule_kind: str | None = None,
     rule_head: str | None = None,
     severity: Severity | None = None,
+    witness_path: tuple[str, ...] | None = None,
 ) -> Diagnostic:
     """Build a :class:`Diagnostic` with catalog defaults for ``code``.
 
     ``severity`` overrides the catalog default (the protocol audit, for
     instance, grades the same code error or warning depending on whether
-    the anomaly must or merely may fire).
+    the anomaly must or merely may fire).  ``witness_path`` attaches a
+    page-graph path exhibiting the finding (dataflow-pass findings).
     """
     info = CODES[code]
     return Diagnostic(
@@ -153,4 +168,5 @@ def diag(
         rule_kind=rule_kind,
         rule_head=rule_head,
         theorem_ref=info.theorem_ref,
+        witness_path=tuple(witness_path) if witness_path else None,
     )

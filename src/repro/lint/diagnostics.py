@@ -16,6 +16,7 @@ with the lint passes that analyse services.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 
 
@@ -55,7 +56,9 @@ class Diagnostic:
     findings); ``rule_kind`` is one of ``"input"``, ``"state"``,
     ``"action"``, ``"target"``, ``"page"`` or ``"schema"``.
     ``theorem_ref`` cites the statement of the paper the finding rests
-    on, when there is one.
+    on, when there is one.  ``witness_path`` is a page-graph path from
+    the home page that exhibits the finding (dataflow-pass findings
+    carry one; purely local findings leave it ``None``).
     """
 
     code: str
@@ -65,6 +68,7 @@ class Diagnostic:
     rule_kind: str | None = None
     rule_head: str | None = None
     theorem_ref: str | None = None
+    witness_path: tuple[str, ...] | None = None
 
     @property
     def location(self) -> str:
@@ -77,11 +81,29 @@ class Diagnostic:
             bits.append(f"{self.rule_kind} rule{head}")
         return ", ".join(bits)
 
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline suppression.
+
+        Hashes the code and the *structural* location (page, rule kind,
+        rule head, witness path) — never the message, so rewording a
+        diagnostic does not invalidate baselines.  Emitted as SARIF
+        ``partialFingerprints`` under the ``reproLint/v1`` key.
+        """
+        path = "->".join(self.witness_path) if self.witness_path else ""
+        raw = "|".join([
+            self.code, self.page or "", self.rule_kind or "",
+            self.rule_head or "", path,
+        ])
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
     def __str__(self) -> str:
         cite = f" [{self.theorem_ref}]" if self.theorem_ref else ""
+        via = (f" (via {' -> '.join(self.witness_path)})"
+               if self.witness_path else "")
         return (
             f"{self.severity.value}[{self.code}] {self.location}: "
-            f"{self.message}{cite}"
+            f"{self.message}{cite}{via}"
         )
 
 

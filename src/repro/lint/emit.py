@@ -25,24 +25,36 @@ SARIF_VERSION = "2.1.0"
 _TOOL_NAME = "repro-lint"
 
 
-def render_text(report: LintReport) -> str:
-    """Human-readable report: one line per finding plus a summary."""
+def render_text(report: LintReport, facts: Any | None = None) -> str:
+    """Human-readable report: one line per finding plus a summary.
+
+    ``facts`` (a :class:`~repro.analysis.dataflow.StaticFacts`) appends
+    the dataflow fact block for ``repro lint --analyze``.
+    """
     lines = [f"lint report for {report.service_name!r}:"]
     if not report.diagnostics:
         lines.append("  no findings")
     for d in report.diagnostics:
         lines.append(f"  {d}")
     lines.append(f"summary: {report.summary()}")
+    if facts is not None:
+        lines.append("")
+        lines.append(facts.describe())
     return "\n".join(lines)
 
 
-def report_to_json(report: LintReport) -> dict[str, Any]:
+def report_to_json(
+    report: LintReport, facts: Any | None = None
+) -> dict[str, Any]:
     """Plain-JSON structure mirroring the :class:`Diagnostic` fields."""
-    return {
+    out: dict[str, Any] = {
         "service": report.service_name,
         "summary": report.counts(),
         "diagnostics": [_diag_to_dict(d) for d in report.diagnostics],
     }
+    if facts is not None:
+        out["static_facts"] = facts.to_dict()
+    return out
 
 
 def _diag_to_dict(d: Diagnostic) -> dict[str, Any]:
@@ -60,10 +72,15 @@ def _diag_to_dict(d: Diagnostic) -> dict[str, Any]:
         out["rule_head"] = d.rule_head
     if d.theorem_ref is not None:
         out["theorem_ref"] = d.theorem_ref
+    if d.witness_path is not None:
+        out["witness_path"] = list(d.witness_path)
+    out["fingerprint"] = d.fingerprint
     return out
 
 
-def report_to_sarif(report: LintReport) -> dict[str, Any]:
+def report_to_sarif(
+    report: LintReport, facts: Any | None = None
+) -> dict[str, Any]:
     """SARIF 2.1.0 log with one run, one result per diagnostic."""
     used_codes = sorted({d.code for d in report.diagnostics})
     rules = []
@@ -95,11 +112,22 @@ def report_to_sarif(report: LintReport) -> dict[str, Any]:
             "locations": [{
                 "logicalLocations": [_logical_location(d)],
             }],
+            # stable identity for baseline suppression and code-scanning
+            # dedup: never includes the message, so rewording is free
+            "partialFingerprints": {"reproLint/v1": d.fingerprint},
         }
+        properties: dict[str, Any] = {}
         if d.theorem_ref:
-            result["properties"] = {"theorem_ref": d.theorem_ref}
+            properties["theorem_ref"] = d.theorem_ref
+        if d.witness_path:
+            properties["witness_path"] = list(d.witness_path)
+        if properties:
+            result["properties"] = properties
         results.append(result)
 
+    run_properties: dict[str, Any] = {"service": report.service_name}
+    if facts is not None:
+        run_properties["static_facts"] = facts.to_dict()
     return {
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,
@@ -113,7 +141,7 @@ def report_to_sarif(report: LintReport) -> dict[str, Any]:
                 },
             },
             "results": results,
-            "properties": {"service": report.service_name},
+            "properties": run_properties,
         }],
     }
 
@@ -142,12 +170,16 @@ def _logical_location(d: Diagnostic) -> dict[str, Any]:
     return out
 
 
-def render(report: LintReport, fmt: str) -> str:
-    """Render a report in one of ``text`` / ``json`` / ``sarif``."""
+def render(report: LintReport, fmt: str, facts: Any | None = None) -> str:
+    """Render a report in one of ``text`` / ``json`` / ``sarif``.
+
+    ``facts`` attaches the dataflow :class:`StaticFacts` to the output
+    (text fact block, ``static_facts`` JSON key, SARIF run property).
+    """
     if fmt == "text":
-        return render_text(report)
+        return render_text(report, facts)
     if fmt == "json":
-        return json.dumps(report_to_json(report), indent=2)
+        return json.dumps(report_to_json(report, facts), indent=2)
     if fmt == "sarif":
-        return json.dumps(report_to_sarif(report), indent=2)
+        return json.dumps(report_to_sarif(report, facts), indent=2)
     raise ValueError(f"unknown lint output format {fmt!r}")

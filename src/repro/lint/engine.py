@@ -13,6 +13,7 @@ from typing import Callable, Iterable
 
 from repro.lint.diagnostics import Diagnostic, LintReport
 from repro.lint.passes import (
+    pass_dataflow,
     pass_frontier,
     pass_page_graph,
     pass_rule_level,
@@ -53,6 +54,12 @@ PASSES: tuple[LintPass, ...] = (
         "frontier",
         "decidability-frontier triggers (Theorems 3.7/3.8/3.9, §4)",
         pass_frontier,
+    ),
+    LintPass(
+        "dataflow",
+        "whole-service fixpoint facts: refined reachability, dead rules, "
+        "write-only state, definitely-unset constant reads",
+        pass_dataflow,
     ),
 )
 

@@ -21,7 +21,11 @@ located diagnostics.
   an interaction that can never happen), unconstrained head variables,
   and monotone state relations;
 - **frontier**: the undecidability triggers of Theorems 3.7/3.8/3.9 and
-  the propositional-class boundaries of §4, located per rule.
+  the propositional-class boundaries of §4, located per rule;
+- **dataflow**: whole-service facts from the fixpoint abstract
+  interpretation of :mod:`repro.analysis.dataflow` — refined
+  reachability, dead rules, write-only state relations and
+  definitely-unset constant reads, each with a page-graph witness path.
 """
 
 from __future__ import annotations
@@ -353,6 +357,100 @@ def pass_frontier(service: WebService) -> list[Diagnostic]:
             f"rules of page {page_name} read prev inputs, which the "
             "propositional class of Theorem 4.4 does not allow",
             page=page_name, rule_kind="page",
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# whole-service dataflow pass
+# ---------------------------------------------------------------------------
+
+def pass_dataflow(service: WebService) -> list[Diagnostic]:
+    """The ``D5xx`` family: findings only a whole-service analysis sees.
+
+    Every code here *refines* an existing syntactic check and stays
+    silent where the syntactic code already fires: ``D501`` flags pages
+    the navigation graph reaches (so ``P101`` is quiet) but no
+    executable path does; ``D502``/``D504`` flag rules refuted only
+    once statically-empty state relations are substituted (plain folds
+    stay ``R302``/``P104``); ``D503`` flags relations that *are* read
+    somewhere (``U201`` quiet) but only by dead rules; ``D505`` flags
+    definitely-unset constant reads the per-edge protocol audit
+    (``P105``/``P106``) cannot prove.
+    """
+    from repro.analysis.dataflow import static_facts
+
+    facts = static_facts(service)
+    out: list[Diagnostic] = []
+
+    for name in sorted(facts.unreachable_refined):
+        out.append(diag(
+            "D501",
+            f"page {name!r} is reachable in the navigation graph, but no "
+            "executable path from the home page enters it (every chain of "
+            "target rules leading here is statically dead)",
+            page=name, rule_kind="page", witness_path=facts.witness(name),
+        ))
+
+    empty = ", ".join(sorted(facts.empty_state_relations)) or "none"
+    for fact in facts.dead_rules:
+        if fact.reason == "unreachable-page" or fact.plain:
+            # whole-page deadness is D501/P101's finding; plain folds
+            # are already R302/R301/P104
+            continue
+        witness = facts.witness(fact.page)
+        if fact.reason == "always-error-page":
+            out.append(diag(
+                "D502",
+                f"{fact.kind} rule for {fact.head!r} can never fire: page "
+                f"{fact.page} re-requests an input constant that every "
+                "executable path has already provided, so error condition "
+                "(ii) fires before this rule is evaluated",
+                page=fact.page, rule_kind=fact.kind, rule_head=fact.head,
+                witness_path=witness,
+            ))
+        elif fact.kind == "target":
+            out.append(diag(
+                "D504",
+                f"target rule {fact.head} <- ... is always false: its "
+                "condition is unsatisfiable once the statically-empty "
+                f"state relations ({empty}) are substituted away",
+                page=fact.page, rule_kind="target", rule_head=fact.head,
+                witness_path=witness,
+            ))
+        else:
+            out.append(diag(
+                "D502",
+                f"{fact.kind} rule for {fact.head!r} can never fire: its "
+                "condition is unsatisfiable once the statically-empty "
+                f"state relations ({empty}) are substituted away",
+                page=fact.page, rule_kind=fact.kind, rule_head=fact.head,
+                witness_path=witness,
+            ))
+
+    for rel in sorted(facts.write_only):
+        info = facts.write_only[rel]
+        writers = list(info["writers"])
+        readers = ", ".join(info["readers"]) or "nowhere"
+        out.append(diag(
+            "D503",
+            f"state relation {rel!r} is written on an executable path but "
+            f"only ever read by dead rules (readers: {readers}) — the "
+            "writes can never influence a run",
+            page=writers[0] if writers else None, rule_kind="state",
+            rule_head=rel,
+            witness_path=facts.witness(writers[0]) if writers else None,
+        ))
+
+    for read in facts.unset_reads:
+        out.append(diag(
+            "D505",
+            f"{read.kind} rule for {read.head!r} reads input constant "
+            f"{read.constant!r}, which no executable path to page "
+            f"{read.page} ever provides: evaluating the read fires error "
+            "condition (i)",
+            page=read.page, rule_kind=read.kind, rule_head=read.head,
+            witness_path=facts.witness(read.page),
         ))
     return out
 

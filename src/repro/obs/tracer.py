@@ -28,6 +28,15 @@ Event taxonomy (``name`` → meaning, extra fields):
   emitted parent-side so traces stay worker-count independent —
   workers re-warm their own copy silently in the pool initialiser;
   ``n_plans`` is 0 when compilation is toggled off);
+- ``plan.pruned`` — dataflow pruning dropped plans from the compiled
+  service (``pruned_rules``, ``pruned_pages``; emitted right after
+  ``plan.compiled``, and only when something was actually dropped, so
+  traces of unprunable services are unchanged);
+- ``analysis.fact`` — one whole-service dataflow fact family from
+  :mod:`repro.analysis.dataflow` (``fact`` is one of
+  ``reachability`` / ``input_constants`` / ``relation_liveness`` /
+  ``rule_firability``, plus family-specific fields; emitted by the
+  lint pre-flight alongside ``lint.finding``);
 - ``kripke.built`` — one configuration Kripke structure was constructed
   (``dur``, ``n_states``);
 - ``budget.charge`` — the resource governor charged a coarse counter
@@ -281,7 +290,7 @@ class ProgressTracer(_RecordingTracer):
     #: event names worth a progress line (the rest are aggregated only)
     SHOWN = frozenset({
         "database.enumerated", "unit.finish", "buchi.compiled",
-        "plan.compiled", "kripke.built", "budget.exhausted",
+        "plan.compiled", "plan.pruned", "kripke.built", "budget.exhausted",
         "lint.finding", "verdict",
         "fault.injected", "unit.retry", "unit.timeout",
         "unit.quarantined", "pool.rebuilt", "checkpoint.saved",

@@ -425,23 +425,33 @@ class VerifierHTTPHandler(BaseHTTPRequestHandler):
 
     def _post_lint(self) -> None:
         payload = self._read_payload()
+        facts = None
         try:
             service, _ = self.registry.resolve(payload)
             from repro.lint import lint_service
 
             report = lint_service(service)
+            analyze = payload.get("analyze", False)
+            if not isinstance(analyze, bool):
+                raise WireError(400, "bad-type", "analyze must be a boolean",
+                                path="analyze")
+            if analyze:
+                from repro.analysis.dataflow import static_facts
+
+                facts = static_facts(service)
         except SpecificationError as exc:
             # structurally invalid: the S0xx diagnostics ARE the report,
             # exactly as `repro lint` renders them
             report = LintReport(
                 service_name="(invalid)", diagnostics=exc.diagnostics
             )
-        self._send_json(200, json.loads(render(report, "json")))
+        self._send_json(200, json.loads(render(report, "json", facts=facts)))
 
     def _post_classify(self) -> None:
         payload = self._read_payload()
         service, _ = self.registry.resolve(payload)
         report = classify(service)
+        facts = report.static_facts
         self._send_json(200, {
             "name": service.name,
             "classes": sorted(c.value for c in report.classes),
@@ -449,6 +459,7 @@ class VerifierHTTPHandler(BaseHTTPRequestHandler):
             "uses_prev": report.uses_prev,
             "state_projections": [str(s) for s in report.state_projections],
             "describe": report.describe(),
+            "static_facts": facts.to_dict() if facts is not None else None,
         })
 
     def _post_simulate(self) -> None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.fol.analysis import (
     atoms_of,
@@ -28,6 +29,9 @@ from repro.fol.analysis import (
 from repro.fol.formulas import And, Atom, Eq, Exists, Formula, Not, Or
 from repro.fol.terms import DbConst, Var
 from repro.service.webservice import WebService
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.analysis.dataflow import StaticFacts
 
 
 class ServiceClass(enum.Enum):
@@ -73,6 +77,10 @@ class ClassificationReport:
     has_state_projections: bool = False
     uses_prev: bool = False
     state_projections: list[ProjectionSite] = field(default_factory=list)
+    #: whole-service dataflow facts (repro.analysis.dataflow) — shared
+    #: with the classification so one report answers both "which
+    #: theorems apply" and "what does the fixpoint know".
+    static_facts: "StaticFacts | None" = None
 
     def is_in(self, cls: ServiceClass) -> bool:
         return cls in self.classes
@@ -126,6 +134,11 @@ def classify(service: WebService) -> ClassificationReport:
     report.state_projections = find_state_projections(service)
     report.has_state_projections = bool(report.state_projections)
     report.uses_prev = _uses_prev(service)
+    # Lazy import: the analysis layer sits above the service layer and
+    # must not become a hard import-time dependency of classification.
+    from repro.analysis.dataflow import static_facts
+
+    report.static_facts = static_facts(service)
     return report
 
 
@@ -345,11 +358,20 @@ def find_state_projections(service: WebService) -> list[ProjectionSite]:
     """
     state_names = {sym.name for sym in service.schema.state.relations}
     sites: list[ProjectionSite] = []
+    # The walk can surface the same (page, rule, atom) several times — a
+    # projected atom repeated across Or-branches, or reached through
+    # nested quantifier blocks — which used to double-report the site.
+    # One finding per distinct site, in discovery order.
+    seen: set[tuple[str, str, str]] = set()
     for page in service.pages.values():
         for rule in page.state_rules:
             if not rule.insert:
                 continue
             for atom in _projected_atoms(rule.formula, state_names, frozenset()):
+                key = (page.name, rule.state, str(atom))
+                if key in seen:
+                    continue
+                seen.add(key)
                 sites.append(
                     ProjectionSite(page.name, rule.state, str(atom), str(rule))
                 )

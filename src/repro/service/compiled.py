@@ -16,6 +16,21 @@ evaluation order — and therefore the timing of
 :class:`~repro.fol.evaluation.MissingInputConstantError`, error
 condition (i) — is identical to the interpreted path.
 
+**Static pruning** (``REPRO_PRUNE``, default on): with the toggle on,
+compilation consults the whole-service dataflow facts of
+:mod:`repro.analysis.dataflow` and skips plans that provably cannot
+influence any run — whole pages no executable path enters, the
+state/action/target rules of pages that always fire error condition
+(ii), and rules whose condition is refuted under the abstract
+environment *and* reads no input constant (reading one is semantics:
+error condition (i)).  Dropping a plan is observationally neutral by
+construction: an absent page falls back to the bit-identical
+interpreted path in :class:`~repro.service.runs.RunContext` — and is
+never entered anyway — while an absent rule's plan would have evaluated
+to false/empty without raising.  The differential suite in
+``tests/test_dataflow.py`` pins verdict/witness/stats equality across
+the toggle.
+
 :class:`SnapshotInterner` hash-conses the :class:`Instance`s and
 :class:`Snapshot`s produced while exploring one run context: equal
 configurations collapse to one object, so the BFS ``seen`` sets and
@@ -25,6 +40,9 @@ their hash) and equality checks usually short-circuit on identity.
 
 from __future__ import annotations
 
+import contextlib
+import os
+import threading
 import weakref
 from typing import TYPE_CHECKING
 
@@ -48,42 +66,109 @@ __all__ = [
     "compile_service",
     "compiled_service",
     "warm_service_plans",
+    "pruning_enabled",
+    "set_pruning",
+    "pruning",
+    "pruning_stats",
 ]
 
 
+_FALSEY = {"0", "off", "no", "false"}
+
+#: process-wide pruning toggle, seeded from ``REPRO_PRUNE`` (default on)
+_PRUNE_ENABLED = (
+    os.environ.get("REPRO_PRUNE", "1").strip().lower() not in _FALSEY
+)
+_PRUNE_LOCK = threading.Lock()
+
+
+def pruning_enabled() -> bool:
+    """Whether compiled plans are pruned with dataflow facts."""
+    return _PRUNE_ENABLED
+
+
+def set_pruning(on: bool) -> bool:
+    """Flip the pruning toggle; returns the previous value.
+
+    Takes effect on the next :func:`compiled_service` call — the cache
+    checks coherence against the toggle, so an already-compiled service
+    is transparently rebuilt when the flag changed.
+    """
+    global _PRUNE_ENABLED
+    with _PRUNE_LOCK:
+        previous = _PRUNE_ENABLED
+        _PRUNE_ENABLED = bool(on)
+    return previous
+
+
+@contextlib.contextmanager
+def pruning(on: bool):
+    """Context manager scoping the pruning toggle (tests, benchmarks)."""
+    previous = set_pruning(on)
+    try:
+        yield
+    finally:
+        set_pruning(previous)
+
+
 class CompiledPage:
-    """The compiled rule set of one page, in evaluation order."""
+    """The compiled rule set of one page, in evaluation order.
+
+    ``dead`` holds ``(kind, index)`` pairs of rules whose plans are
+    skipped (dataflow pruning); indices refer to declaration order
+    within the page's per-kind rule lists.  Skipping keeps relative
+    order of surviving plans — and, for input rules, leaves the options
+    key absent, which ``enumerate_choices`` reads as the empty set the
+    dead plan would have produced.
+    """
 
     __slots__ = (
         "name", "input_rules", "state_updates", "action_rules", "target_rules",
+        "pruned_rules",
     )
 
-    def __init__(self, page) -> None:
+    def __init__(
+        self, page, dead: frozenset[tuple[str, int]] = frozenset()
+    ) -> None:
         self.name: str = page.name
+        self.pruned_rules: int = 0
+
+        def keep(kind: str, index: int) -> bool:
+            if (kind, index) in dead:
+                self.pruned_rules += 1
+                return False
+            return True
+
         # Rule formulas are evaluated with an empty environment, so every
         # plan below is compiled against the empty scope.
         self.input_rules: tuple[tuple[str, CompiledQuery], ...] = tuple(
             (rule.input, compile_query(rule.formula, rule.variables))
-            for rule in page.input_rules
+            for i, rule in enumerate(page.input_rules)
+            if keep("input", i)
         )
         # Grouped exactly as _updated_state walks them: state names in
-        # sorted order, each state's rules in declaration order.
-        updates = []
-        for state_name in sorted(page.updated_states()):
-            plans = tuple(
-                (rule.insert, compile_query(rule.formula, rule.variables))
-                for rule in page.state_rules
-                if rule.state == state_name
-            )
-            updates.append((state_name, plans))
-        self.state_updates: tuple = tuple(updates)
+        # sorted order, each state's rules in declaration order.  A
+        # group emptied by pruning keeps its key: _updated_state then
+        # computes new = (old - ∅) ∪ ∅ = old, same as not running it.
+        by_state: dict[str, list] = {}
+        for i, rule in enumerate(page.state_rules):
+            if keep("state", i):
+                by_state.setdefault(rule.state, []).append(
+                    (rule.insert, compile_query(rule.formula, rule.variables))
+                )
+        self.state_updates: tuple = tuple(
+            (state_name, tuple(by_state.get(state_name, ())))
+            for state_name in sorted(page.updated_states())
+        )
         self.action_rules: tuple[tuple[str, CompiledQuery], ...] = tuple(
             (rule.action, compile_query(rule.formula, rule.variables))
-            for rule in page.action_rules
+            for i, rule in enumerate(page.action_rules)
+            if keep("action", i)
         )
         self.target_rules: tuple[tuple[str, CompiledFormula], ...] = tuple(
             (rule.target, compile_formula(rule.formula))
-            for rule in page.target_rules
+            for i, rule in enumerate(page.target_rules)
+            if keep("target", i)
         )
 
     @property
@@ -97,15 +182,48 @@ class CompiledPage:
 
 
 class CompiledService:
-    """All rule plans of a service, keyed by page name."""
+    """All rule plans of a service, keyed by page name.
 
-    __slots__ = ("service", "pages", "n_plans")
+    With ``prune=True`` the dataflow facts of
+    :mod:`repro.analysis.dataflow` drop pages no executable path
+    enters and rules that provably never fire; ``pruned_rules`` /
+    ``pruned_pages`` count what was skipped (0/0 when pruning is off or
+    the analysis found nothing to drop).
+    """
 
-    def __init__(self, service: "WebService") -> None:
+    __slots__ = ("service", "pages", "n_plans", "pruned", "pruned_rules",
+                 "pruned_pages")
+
+    def __init__(self, service: "WebService", prune: bool = False) -> None:
         self.service = service
-        self.pages: dict[str, CompiledPage] = {
-            name: CompiledPage(page) for name, page in service.pages.items()
-        }
+        self.pruned: bool = bool(prune)
+        self.pruned_rules: int = 0
+        self.pruned_pages: int = 0
+        dead_pages: frozenset[str] = frozenset()
+        dead_by_page: dict[str, set[tuple[str, int]]] = {}
+        if prune:
+            # lazy import: the analysis layer must not be a hard
+            # dependency of plain (unpruned) compilation
+            from repro.analysis.dataflow import static_facts
+
+            facts = static_facts(service)
+            dead_pages = facts.dead_pages
+            for page_name, kind, index in facts.prunable_keys():
+                dead_by_page.setdefault(page_name, set()).add((kind, index))
+        self.pages: dict[str, CompiledPage] = {}
+        for name, page in service.pages.items():
+            if name in dead_pages:
+                self.pruned_pages += 1
+                self.pruned_rules += (
+                    len(page.input_rules) + len(page.state_rules)
+                    + len(page.action_rules) + len(page.target_rules)
+                )
+                continue
+            compiled = CompiledPage(
+                page, frozenset(dead_by_page.get(name, ()))
+            )
+            self.pruned_rules += compiled.pruned_rules
+            self.pages[name] = compiled
         self.n_plans: int = sum(p.n_plans for p in self.pages.values())
 
     def page(self, name: str) -> CompiledPage | None:
@@ -122,9 +240,11 @@ class CompiledService:
         return BlockLabelCache()
 
 
-def compile_service(service: "WebService") -> CompiledService:
-    """Compile every rule of ``service``, bypassing cache and toggle."""
-    return CompiledService(service)
+def compile_service(
+    service: "WebService", prune: bool = False
+) -> CompiledService:
+    """Compile every rule of ``service``, bypassing cache and toggles."""
+    return CompiledService(service, prune=prune)
 
 
 # One compiled form per live service object per process.  Weak keys:
@@ -142,12 +262,17 @@ register_cache_clearer(_CACHE.clear)
 def compiled_service(service: "WebService") -> CompiledService | None:
     """The cached compiled form of ``service`` — None when the global
     compilation toggle is off (callers then take the interpreted path).
+
+    Coherent against the pruning toggle: a cached entry built under the
+    other setting is rebuilt, so ``pruning(...)`` contexts never serve
+    stale plans.
     """
     if not compilation_enabled():
         return None
+    want_prune = pruning_enabled()
     compiled = _CACHE.get(service)
-    if compiled is None:
-        compiled = CompiledService(service)
+    if compiled is None or compiled.pruned != want_prune:
+        compiled = CompiledService(service, prune=want_prune)
         _CACHE[service] = compiled
     return compiled
 
@@ -162,6 +287,18 @@ def warm_service_plans(service: "WebService") -> int:
     """
     compiled = compiled_service(service)
     return compiled.n_plans if compiled is not None else 0
+
+
+def pruning_stats(service: "WebService") -> tuple[int, int]:
+    """``(pruned_rules, pruned_pages)`` of the service's cached plans.
+
+    (0, 0) when compilation is off or pruning dropped nothing; feeds
+    the ``plan.pruned`` trace event at the verification entry points.
+    """
+    compiled = compiled_service(service)
+    if compiled is None:
+        return (0, 0)
+    return (compiled.pruned_rules, compiled.pruned_pages)
 
 
 class BlockLabelCache:

@@ -42,7 +42,11 @@ from repro.service.runs import (
     enumerate_choices,
     error_snapshot,
 )
-from repro.service.compiled import SnapshotInterner, warm_service_plans
+from repro.service.compiled import (
+    SnapshotInterner,
+    pruning_stats,
+    warm_service_plans,
+)
 from repro.service.webservice import WebService
 from repro.verifier.budget import Budget, Checkpoint, degrade
 from repro.verifier.linear import _candidate_databases, fresh_value_pool
@@ -373,6 +377,12 @@ def verify_ctl(
             dur=time.monotonic() - plan_started,
             n_plans=n_plans,
         )
+        pruned_rules, pruned_pages = pruning_stats(service)
+        if pruned_rules or pruned_pages:
+            tr.emit(
+                "plan.pruned",
+                pruned_rules=pruned_rules, pruned_pages=pruned_pages,
+            )
 
     sup = Supervisor.resolve(
         retry=retry, unit_timeout_s=unit_timeout_s, faults=faults,
@@ -503,6 +513,12 @@ def verify_fully_propositional(
             dur=time.monotonic() - plan_started,
             n_plans=n_plans,
         )
+        pruned_rules, pruned_pages = pruning_stats(service)
+        if pruned_rules or pruned_pages:
+            tr.emit(
+                "plan.pruned",
+                pruned_rules=pruned_rules, pruned_pages=pruned_pages,
+            )
     sup = Supervisor.resolve(
         retry=retry, unit_timeout_s=unit_timeout_s, faults=faults,
     )

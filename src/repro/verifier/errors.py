@@ -31,7 +31,7 @@ from repro.schema.schema import RelationalSchema, ServiceSchema
 from repro.schema.symbols import state_relation
 from repro.service.page import WebPageSchema
 from repro.service.rules import StateRule, TargetRule
-from repro.service.compiled import warm_service_plans
+from repro.service.compiled import pruning_stats, warm_service_plans
 from repro.service.runs import (
     Run,
     RunContext,
@@ -243,6 +243,12 @@ def verify_error_free(
             dur=time.monotonic() - plan_started,
             n_plans=n_plans,
         )
+        pruned_rules, pruned_pages = pruning_stats(service)
+        if pruned_rules or pruned_pages:
+            tr.emit(
+                "plan.pruned",
+                pruned_rules=pruned_rules, pruned_pages=pruned_pages,
+            )
 
     sup = Supervisor.resolve(
         retry=retry, unit_timeout_s=unit_timeout_s, faults=faults,

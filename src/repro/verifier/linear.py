@@ -60,6 +60,7 @@ from repro.service.classify import ServiceClass, classify
 from repro.service.compiled import (
     SnapshotInterner,
     compiled_service,
+    pruning_stats,
     warm_service_plans,
 )
 from repro.service.runs import (
@@ -738,6 +739,12 @@ def verify_ltlfo(
             "plan.compiled",
             dur=time.monotonic() - plan_started, n_plans=n_plans,
         )
+        pruned_rules, pruned_pages = pruning_stats(service)
+        if pruned_rules or pruned_pages:
+            tr.emit(
+                "plan.pruned",
+                pruned_rules=pruned_rules, pruned_pages=pruned_pages,
+            )
     sentence_literals = frozenset(sentence.literals())
     stats: dict = {
         "databases_checked": 0,

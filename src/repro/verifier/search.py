@@ -23,7 +23,7 @@ from repro.ctl.syntax import StateFormula, ctl_size, is_ctl
 from repro.obs import Tracer, finalize_result, resolve_tracer
 from repro.schema.database import Database
 from repro.service.classify import ServiceClass, classify
-from repro.service.compiled import warm_service_plans
+from repro.service.compiled import pruning_stats, warm_service_plans
 from repro.service.webservice import WebService
 from repro.verifier.branching import (
     DEFAULT_KRIPKE_BUDGET,
@@ -130,6 +130,12 @@ def verify_input_driven_search(
             dur=time.monotonic() - plan_started,
             n_plans=n_plans,
         )
+        pruned_rules, pruned_pages = pruning_stats(service)
+        if pruned_rules or pruned_pages:
+            tr.emit(
+                "plan.pruned",
+                pruned_rules=pruned_rules, pruned_pages=pruned_pages,
+            )
 
     # The per-database work is identical to verify_ctl's (build the
     # configuration Kripke structure, model check), so the same unit

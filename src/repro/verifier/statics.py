@@ -114,20 +114,55 @@ def lint_preflight(service: WebService, options: dict[str, Any]) -> list:
 
         report = lint_service(service)
         diagnostics = report.diagnostics
-        if diagnostics:
-            tracer = resolve_tracer(options.get("tracer"))
-            if tracer.active:
-                for d in diagnostics:
-                    tracer.emit(
-                        "lint.finding",
-                        code=d.code,
-                        severity=d.severity.value,
-                        location=d.location,
-                        message=d.message,
-                    )
+        tracer = resolve_tracer(options.get("tracer"))
+        if tracer.active:
+            for d in diagnostics:
+                tracer.emit(
+                    "lint.finding",
+                    code=d.code,
+                    severity=d.severity.value,
+                    location=d.location,
+                    message=d.message,
+                )
+            _emit_analysis_facts(tracer, service)
         if lint_mode == "strict" and report.has_errors:
             raise SpecLintError(report)
     return diagnostics
+
+
+def _emit_analysis_facts(tracer, service: WebService) -> None:
+    """Emit one ``analysis.fact`` event per whole-service dataflow fact
+    family (see :mod:`repro.analysis.dataflow`), so traced verifications
+    record what the fixpoint concluded about the instance they ran on."""
+    from repro.analysis.dataflow import static_facts
+
+    facts = static_facts(service)
+    tracer.emit(
+        "analysis.fact",
+        fact="reachability",
+        reachable=len(facts.reachable),
+        syntactic=len(facts.syntactic_reachable),
+        pages=len(facts.pages),
+        unreachable=sorted(facts.dead_pages),
+    )
+    tracer.emit(
+        "analysis.fact",
+        fact="input_constants",
+        always_error_pages=sorted(facts.always_error),
+        unset_reads=len(facts.unset_reads),
+    )
+    tracer.emit(
+        "analysis.fact",
+        fact="relation_liveness",
+        empty_state_relations=sorted(facts.empty_state_relations),
+        write_only=sorted(facts.write_only),
+    )
+    tracer.emit(
+        "analysis.fact",
+        fact="rule_firability",
+        dead_rules=facts.dead_rule_count(),
+        iterations=facts.iterations,
+    )
 
 
 def _dispatch(
