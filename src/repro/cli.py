@@ -65,7 +65,6 @@ from repro.service.webservice import SpecificationError
 from repro.service.runs import RunContext, random_run
 from repro.verifier import (
     GLOBAL_STOP,
-    Budget,
     CheckpointFormatError,
     CheckpointMismatchError,
     UndecidableInstanceError,
@@ -75,8 +74,7 @@ from repro.verifier import (
     verify,
     verify_error_free,
 )
-from repro.verifier.branching import DEFAULT_KRIPKE_BUDGET
-from repro.verifier.linear import DEFAULT_SNAPSHOT_BUDGET
+from repro.verifier.engine import add_cli_option, fold_budget
 
 EXIT_HOLDS = 0
 EXIT_VIOLATED = 1
@@ -218,22 +216,6 @@ def _cmd_lint(args) -> int:
     )
 
 
-def _make_budget(args) -> Budget:
-    return Budget(
-        max_snapshots=(
-            args.max_snapshots if args.max_snapshots is not None
-            else DEFAULT_SNAPSHOT_BUDGET
-        ),
-        max_states=(
-            args.max_snapshots if args.max_snapshots is not None
-            else DEFAULT_KRIPKE_BUDGET
-        ),
-        max_databases=args.max_databases,
-        timeout_s=args.timeout_s,
-        strict=args.strict,
-    )
-
-
 def _explain_budget_exceeded(exc: VerificationBudgetExceeded) -> str:
     lines = [
         f"verification stopped: {exc} (limit: {exc.limit or 'budget'}).",
@@ -302,7 +284,17 @@ def _cmd_verify(args) -> int:
         options["databases"] = databases
     if args.domain_size is not None:
         options["domain_size"] = args.domain_size
-    options["budget"] = _make_budget(args)
+    # the budget-shaped flags fold into one governor via the shared
+    # option table (always: the CLI's defaults must win over the
+    # procedures' own)
+    if args.max_snapshots is not None:
+        options["max_snapshots"] = args.max_snapshots
+    if args.max_databases is not None:
+        options["max_databases"] = args.max_databases
+    if args.timeout_s is not None:
+        options["timeout_s"] = args.timeout_s
+    options["strict"] = args.strict
+    fold_budget(options, always=True)
     options["lint"] = args.lint
     if args.retry is not None:
         options["retry"] = args.retry
@@ -554,63 +546,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="check error-freeness instead of a property")
     ver.add_argument("--db", action="append",
                      help="database JSON (repeatable); default: enumerate")
-    ver.add_argument("--domain-size", type=int,
-                     help="anonymous-domain size for the enumeration")
+    # option-table flags are generated from repro.verifier.engine's
+    # shared OPTION_TABLE, so the CLI, the server wire schema and the
+    # entry-point signatures can never drift apart
+    add_cli_option(ver, "domain_size")
     ver.add_argument("--force", action="store_true",
                      help="run the bounded search on undecidable instances")
     ver.add_argument("--explain", action="store_true",
                      help="print the decidability report first")
-    ver.add_argument("--max-snapshots", type=int,
-                     help="cap on snapshots per (database, sigma) pair / "
-                          "states per Kripke structure")
-    ver.add_argument("--max-databases", type=int,
-                     help="cap on candidate databases examined")
-    ver.add_argument("--timeout-s", type=float,
-                     help="wall-clock deadline in seconds")
-    ver.add_argument("--workers", type=int,
-                     help="worker processes for the (database, sigma) "
-                          "enumeration (default: $REPRO_WORKERS or 1); "
-                          "verdicts are deterministic regardless of N")
-    ver.add_argument("--strict", action="store_true",
-                     help="raise on a blown budget (exit 4) instead of "
-                          "returning INCONCLUSIVE (exit 5)")
+    add_cli_option(ver, "max_snapshots")
+    add_cli_option(ver, "max_databases")
+    add_cli_option(ver, "timeout_s")
+    add_cli_option(ver, "workers")
+    add_cli_option(ver, "strict")
     ver.add_argument("--resume", metavar="CHECKPOINT",
                      help="resume from a checkpoint JSON written by a "
                           "previous interrupted run")
     ver.add_argument("--checkpoint", metavar="PATH",
                      help="where to write the resume checkpoint when the "
                           "budget runs out or the run is interrupted")
-    ver.add_argument("--checkpoint-every", type=int, metavar="N",
-                     dest="checkpoint_every",
-                     help="with --checkpoint: atomically rewrite the "
-                          "checkpoint every N completed work units, so a "
-                          "kill at any moment loses at most N units "
-                          "(default: $REPRO_CHECKPOINT_EVERY or off)")
-    ver.add_argument("--retry", type=int, metavar="N",
-                     help="retry a failed work unit up to N times with "
-                          "exponential backoff before quarantining it "
-                          "(default: $REPRO_RETRY or 2)")
-    ver.add_argument("--unit-timeout-s", type=float, metavar="S",
-                     dest="unit_timeout_s",
-                     help="wall-clock allowance per work unit under "
-                          "--workers: a hung unit is killed with its pool "
-                          "and retried (default: $REPRO_UNIT_TIMEOUT_S "
-                          "or off)")
-    ver.add_argument("--faults", metavar="PLAN",
-                     help="deterministic fault-injection plan for testing "
-                          "the fault-tolerance paths: inline JSON or "
-                          "@path/to/plan.json (default: $REPRO_FAULTS)")
+    add_cli_option(ver, "checkpoint_every")
+    add_cli_option(ver, "retry")
+    add_cli_option(ver, "unit_timeout_s")
+    add_cli_option(ver, "faults")
     ver.add_argument("--trace", metavar="FILE",
                      help="stream structured trace events (JSONL) to FILE; "
                           "see the repro.obs event taxonomy")
     ver.add_argument("--progress", action="store_true",
                      help="print coarse progress events to stderr while "
                           "the verification runs")
-    ver.add_argument("--lint", choices=("warn", "strict", "off"),
-                     default="warn",
-                     help="static pre-flight: warn attaches findings to the "
-                          "result (default), strict refuses on lint errors "
-                          "(exit 6) before any enumeration, off skips it")
+    add_cli_option(ver, "lint")
     ver.set_defaults(func=_cmd_verify)
 
     sim = sub.add_parser("simulate", help="random run over a database")

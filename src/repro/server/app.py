@@ -48,9 +48,7 @@ from repro.ctl.parser import parse_ctl
 from repro.io.json_format import database_from_dict
 from repro.lint import LintReport, render
 from repro.ltl.parser import parse_ltlfo
-from repro.verifier.branching import DEFAULT_KRIPKE_BUDGET
-from repro.verifier.budget import Budget
-from repro.verifier.linear import DEFAULT_SNAPSHOT_BUDGET
+from repro.verifier.engine import budget_options, fold_budget, wire_options
 from repro.obs import Tracer
 from repro.server.jobs import Job, JobManager
 from repro.server.registry import SpecRegistry
@@ -68,48 +66,24 @@ __all__ = ["VerifierHTTPHandler", "create_server", "serve",
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
 #: verify-request options forwarded to the procedures, with the JSON
-#: types each accepts.  Mirrors the CLI flags; anything else is a 400.
-_VERIFY_OPTIONS: dict[str, tuple[type, ...]] = {
-    "domain_size": (int,),
-    "up_to_iso": (bool,),
-    "max_snapshots": (int,),
-    "max_databases": (int,),
-    "timeout_s": (int, float),
-    "strict": (bool,),
-    "workers": (int,),
-    "sigma_block": (int,),
-    "retry": (int,),
-    "unit_timeout_s": (int, float),
-    "checkpoint_every": (int,),
-    "confirm_counterexamples": (bool,),
-    "lint": (str,),
-}
+#: types each accepts.  Generated from the run engine's shared option
+#: table — the same table the CLI flags come from, so the two front
+#: doors can never drift apart; anything else is a 400.
+_VERIFY_OPTIONS: dict[str, tuple[type, ...]] = wire_options()
 
 #: options that feed the :class:`Budget` governor, not the procedures
-_BUDGET_OPTIONS = frozenset({
-    "max_snapshots", "max_databases", "timeout_s", "strict",
-})
+_BUDGET_OPTIONS = budget_options()
 
 
 def _fold_budget(options: dict[str, Any]) -> dict[str, Any]:
     """Replace the budget-shaped options with one ``budget=`` governor,
     exactly as the CLI's ``--max-*``/``--timeout-s``/``--strict`` flags
-    do.  The remaining keys forward to the dispatched procedure, which
-    raises ``TypeError`` (→ 400 ``bad-option``) for any it does not
+    do (the shared :func:`repro.verifier.engine.fold_budget`, built only
+    when the payload actually named a budget option).  The remaining
+    keys forward to the dispatched procedure, which raises the coded
+    ``RunConfigError`` (→ 400 ``bad-option``) for any it does not
     accept — nothing is silently dropped."""
-    if not (_BUDGET_OPTIONS & options.keys()):
-        return options
-    max_snapshots = options.pop("max_snapshots", None)
-    options["budget"] = Budget(
-        max_snapshots=(max_snapshots if max_snapshots is not None
-                       else DEFAULT_SNAPSHOT_BUDGET),
-        max_states=(max_snapshots if max_snapshots is not None
-                    else DEFAULT_KRIPKE_BUDGET),
-        max_databases=options.pop("max_databases", None),
-        timeout_s=options.pop("timeout_s", None),
-        strict=options.pop("strict", False),
-    )
-    return options
+    return fold_budget(options, always=False)
 
 #: top-level keys of a /verify payload
 _VERIFY_KEYS = frozenset({

@@ -18,6 +18,7 @@ exception                                  status  code
 ``SpecificationError``                     400     ``spec-invalid``
 ``FormulaSyntaxError`` (property text)     400     ``bad-property``
 ``FaultPlanError``                         400     ``bad-fault-plan``
+``RunConfigError`` (coded, with key path)  400     ``bad-option``
 ``TypeError`` (unknown verify option)      400     ``bad-option``
 ``SpecLintError`` (lint-strict refusal)    422     ``lint-errors``
 ``UndecidableInstanceError``               422     ``undecidable``
@@ -44,6 +45,7 @@ from repro.verifier import (
     UndecidableInstanceError,
     VerificationBudgetExceeded,
 )
+from repro.verifier.engine import RunConfigError
 
 __all__ = ["WireError", "wire_error_from", "result_to_dict"]
 
@@ -87,6 +89,11 @@ def wire_error_from(exc: BaseException) -> WireError:
         return WireError(400, "bad-property", str(exc))
     if isinstance(exc, FaultPlanError):
         return WireError(400, "bad-fault-plan", str(exc))
+    if isinstance(exc, RunConfigError):
+        # the engine's coded validation error: keep the key path so
+        # clients can point at the offending option
+        path = f"options.{exc.keys[0]}" if exc.keys else ""
+        return WireError(400, "bad-option", str(exc), path=path)
     if isinstance(exc, TypeError):
         return WireError(400, "bad-option", str(exc))
     if isinstance(exc, SpecLintError):

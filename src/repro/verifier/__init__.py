@@ -1,5 +1,12 @@
 """The verifier — decision procedures for the paper's theorems.
 
+- :mod:`repro.verifier.engine` — the run engine behind every entry
+  point: the shared option table (one source of truth for kwargs, CLI
+  flags, server wire options and ``REPRO_*`` variables), the frozen
+  :class:`~repro.verifier.engine.RunConfig` with coded validation
+  errors, the :class:`~repro.verifier.engine.Procedure` strategy
+  protocol, and the one driver pipeline
+  (:func:`~repro.verifier.engine.run_procedure`);
 - :mod:`repro.verifier.linear` — input-bounded LTL-FO verification
   (Theorem 3.5) by small-model database enumeration + Büchi products;
 - :mod:`repro.verifier.errors` — error-freeness (Theorem 3.5(i)), both
@@ -44,12 +51,20 @@ from repro.verifier.budget import (
     CheckpointMismatchError,
     coverage_summary,
 )
-from repro.verifier.linear import (
-    verify_ltlfo,
+from repro.verifier.engine import (
+    OPTION_TABLE,
+    Procedure,
+    RunConfig,
+    RunConfigError,
+    accepted_options,
     default_domain_size,
     enumerate_sigmas,
-    explore_configuration_graph,
     fresh_value_pool,
+    run_procedure,
+)
+from repro.verifier.linear import (
+    verify_ltlfo,
+    explore_configuration_graph,
 )
 from repro.verifier.parallel import (
     GLOBAL_STOP,
@@ -88,6 +103,12 @@ __all__ = [
     "StopToken",
     "GLOBAL_STOP",
     "Supervisor",
+    "OPTION_TABLE",
+    "Procedure",
+    "RunConfig",
+    "RunConfigError",
+    "accepted_options",
+    "run_procedure",
     "verify_ltlfo",
     "default_domain_size",
     "enumerate_sigmas",

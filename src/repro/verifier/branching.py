@@ -18,6 +18,10 @@ symbol; every true propositional state/action/input symbol; and a ground
 pair ``(name, tuple)`` for every chosen input tuple and every state or
 action tuple, so properties like ``button("login")`` from Example 4.3
 are expressible as ``CAtom(("button", ("login",)))``.
+
+The pipeline around the model checking lives in
+:mod:`repro.verifier.engine`; this module contributes the Theorem 4.4
+and 4.6 strategies plus the Kripke construction and per-unit checker.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ import time
 from typing import Any, Hashable, Iterable
 
 from repro.ctl.kripke import KripkeStructure
-from repro.obs import Tracer, finalize_result, resolve_tracer
+from repro.obs import Tracer
 from repro.ctl.modelcheck import satisfying_states
 from repro.ctl.syntax import StateFormula, ctl_size, is_ctl
 from repro.fol.evaluation import MissingInputConstantError
@@ -42,27 +46,23 @@ from repro.service.runs import (
     enumerate_choices,
     error_snapshot,
 )
-from repro.service.compiled import (
-    SnapshotInterner,
-    pruning_stats,
-    warm_service_plans,
-)
+from repro.service.compiled import SnapshotInterner
 from repro.service.webservice import WebService
-from repro.verifier.budget import Budget, Checkpoint, degrade
-from repro.verifier.linear import _candidate_databases, fresh_value_pool
+from repro.verifier.budget import Budget, Checkpoint
+from repro.verifier.engine import (  # noqa: F401 - historical home, re-exported
+    DEFAULT_KRIPKE_BUDGET,
+    FP_HINT,
+    Procedure,
+    RunConfig,
+    fresh_value_pool,
+    run_procedure,
+)
 from repro.verifier.parallel import (
     CLEAN,
     VIOLATED,
-    Supervisor,
     TaskSpec,
     UnitOutcome,
-    UnitStream,
     WorkUnit,
-    apply_quarantine,
-    frontier_checkpoint,
-    merge_unit_stats,
-    resolve_workers,
-    run_units,
     unit_checker,
 )
 from repro.verifier.results import (
@@ -75,8 +75,6 @@ from repro.verifier.results import (
 Value = Hashable
 SigmaItems = tuple  # sorted tuple of (constant, value) pairs
 KripkeState = tuple  # (Snapshot, SigmaItems)
-
-DEFAULT_KRIPKE_BUDGET = 100_000
 
 #: The run-tree root (the empty prefix of Appendix A.2): CTL(*) sentences
 #: are evaluated here, one step above the first configurations.
@@ -298,6 +296,133 @@ def _check_ctl_unit(
     return UnitOutcome(unit.db_index, unit.sigma_index, CLEAN, stats=stats)
 
 
+class _CtlProcedure(Procedure):
+    """The Theorem 4.4 strategy behind :func:`verify_ctl`."""
+
+    name = "verify_ctl"
+    unit_procedure = "verify_ctl"
+
+    def __init__(
+        self, service: WebService, formula: StateFormula, cfg: RunConfig
+    ) -> None:
+        super().__init__(service, cfg)
+        self.formula = formula
+
+    def preflight(self) -> None:
+        if self.cfg.check_restrictions:
+            report = classify(self.service)
+            if not report.is_in(ServiceClass.PROPOSITIONAL):
+                raise UndecidableInstanceError(
+                    report.why_not(ServiceClass.PROPOSITIONAL),
+                    "Theorem 4.2 (input-bounded CTL-FO is undecidable "
+                    "in general)",
+                )
+
+    def property_name(self) -> str:
+        return str(self.formula)
+
+    def method(self) -> str:
+        fragment = "CTL" if is_ctl(self.formula) else "CTL*"
+        return f"propositional {fragment} (Theorem 4.4)"
+
+    def compile_payload(self, tracer: Tracer) -> dict:
+        return {"formula": self.formula}
+
+    def init_stats(self, used_size: int | None, n_workers: int) -> dict:
+        return {
+            "databases_checked": 0,
+            "databases_skipped": 0,
+            "kripke_states": 0,
+            "formula_size": ctl_size(self.formula),
+            "domain_size": used_size,
+            "workers": n_workers,
+        }
+
+    def fold_violation(
+        self, outcome, stats: dict, property_name: str, method: str
+    ) -> VerificationResult:
+        detail = outcome.violation.detail
+        stats["counterexample_db_index"] = outcome.violation.db_index
+        return VerificationResult(
+            verdict=Verdict.VIOLATED,
+            property_name=property_name,
+            method=method,
+            counterexample_database=detail["database"],
+            stats={
+                **stats,
+                "violating_initial_states": detail["violating_initial_states"],
+            },
+            procedure=self.name,
+        )
+
+    def interrupt_phase(self, exc) -> str:
+        return "Kripke construction / model checking"
+
+
+class _FullyPropositionalProcedure(Procedure):
+    """The Theorem 4.6 strategy behind :func:`verify_fully_propositional`.
+
+    The database plays no role, so there is no enumeration, no resume
+    cursor and no checkpoint — a single empty-database structure is the
+    whole space.
+    """
+
+    name = "verify_fully_propositional"
+    unit_procedure = "verify_ctl"
+    enumerates = False
+
+    def __init__(
+        self, service: WebService, formula: StateFormula, cfg: RunConfig
+    ) -> None:
+        super().__init__(service, cfg)
+        self.formula = formula
+
+    def preflight(self) -> None:
+        if self.cfg.check_restrictions:
+            report = classify(self.service)
+            if not report.is_in(ServiceClass.FULLY_PROPOSITIONAL):
+                raise UndecidableInstanceError(
+                    report.why_not(ServiceClass.FULLY_PROPOSITIONAL),
+                    "Theorem 4.6 requires a fully propositional service",
+                )
+
+    def property_name(self) -> str:
+        return str(self.formula)
+
+    def method(self) -> str:
+        fragment = "CTL" if is_ctl(self.formula) else "CTL*"
+        return f"fully propositional {fragment} (Theorem 4.6)"
+
+    def compile_payload(self, tracer: Tracer) -> dict:
+        return {"formula": self.formula}
+
+    def init_stats(self, used_size: int | None, n_workers: int) -> dict:
+        return {
+            "databases_checked": 0,
+            "databases_skipped": 0,
+            "kripke_states": 0,
+            "formula_size": ctl_size(self.formula),
+            "workers": n_workers,
+        }
+
+    def fold_violation(
+        self, outcome, stats: dict, property_name: str, method: str
+    ) -> VerificationResult:
+        stats["violating_initial_states"] = (
+            outcome.violation.detail["violating_initial_states"]
+        )
+        return VerificationResult(
+            verdict=Verdict.VIOLATED,
+            property_name=property_name,
+            method=method,
+            stats=stats,
+            procedure=self.name,
+        )
+
+    def interrupt_phase(self, exc) -> str:
+        return "Kripke construction"
+
+
 def verify_ctl(
     service: WebService,
     formula: StateFormula,
@@ -316,6 +441,7 @@ def verify_ctl(
     faults: Any = None,
     checkpoint_path: str | None = None,
     checkpoint_every: int | None = None,
+    **unsupported: Any,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for propositional input-bounded services
     (Theorem 4.4; Corollary 4.5 is the fixed-parameter special case).
@@ -332,124 +458,24 @@ def verify_ctl(
     supervision, fault injection and crash-safe periodic checkpoints —
     see :func:`repro.verifier.linear.verify_ltlfo` for the semantics.
     """
-    if check_restrictions:
-        report = classify(service)
-        if not report.is_in(ServiceClass.PROPOSITIONAL):
-            raise UndecidableInstanceError(
-                report.why_not(ServiceClass.PROPOSITIONAL),
-                "Theorem 4.2 (input-bounded CTL-FO is undecidable in general)",
-            )
-
-    n_workers = resolve_workers(workers)
-    tr = resolve_tracer(tracer)
-    gov = Budget.ensure(
-        budget, max_states=max_states, timeout_s=timeout_s, strict=strict
-    )
-    gov.tracer = tr
-    dbs, used_size = _candidate_databases(
-        service, None, databases, domain_size, up_to_iso=True,
-        on_step=gov.check_deadline,
-    )
-    iso_used = True if databases is None else None
-    if resume is not None:
-        resume.ensure_compatible(
-            domain_size=used_size, up_to_iso=iso_used, workers=n_workers
-        )
-    total_dbs = len(dbs) if isinstance(dbs, list) else None
-    fragment = "CTL" if is_ctl(formula) else "CTL*"
-    method = f"propositional {fragment} (Theorem 4.4)"
-    stats: dict = {
-        "databases_checked": 0,
-        "databases_skipped": 0,
-        "kripke_states": 0,
-        "formula_size": ctl_size(formula),
-        "domain_size": used_size,
-        "workers": n_workers,
-    }
-
-    # Warm the rule plans in the parent (workers re-warm their own copy
-    # in the pool initialiser), so traces stay worker-count independent.
-    plan_started = time.monotonic()
-    n_plans = warm_service_plans(service)
-    if tr.active:
-        tr.emit(
-            "plan.compiled",
-            dur=time.monotonic() - plan_started,
-            n_plans=n_plans,
-        )
-        pruned_rules, pruned_pages = pruning_stats(service)
-        if pruned_rules or pruned_pages:
-            tr.emit(
-                "plan.pruned",
-                pruned_rules=pruned_rules, pruned_pages=pruned_pages,
-            )
-
-    sup = Supervisor.resolve(
-        retry=retry, unit_timeout_s=unit_timeout_s, faults=faults,
-        checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every,
-    )
-    sup.frontier_kwargs = dict(
-        procedure="verify_ctl",
-        property_name=str(formula),
-        domain_size=used_size,
-        up_to_iso=iso_used,
-        workers=n_workers,
+    cfg = RunConfig.build("verify_ctl", dict(
+        databases=databases,
+        domain_size=domain_size,
+        check_restrictions=check_restrictions,
+        max_states=max_states,
+        budget=budget,
+        timeout_s=timeout_s,
+        strict=strict,
         resume=resume,
-    )
-    spec = TaskSpec(
-        procedure="verify_ctl",
-        service=service,
-        payload={"formula": formula},
-        unit_limits={"max_states": gov.max_states},
-        traced=tr.active,
-        faults=sup.plan,
-    )
-    stream = UnitStream(dbs, gov, stats, resume=resume)
-    outcome = run_units(spec, stream, gov, n_workers, supervisor=sup)
-    merge_unit_stats(stats, outcome.unit_stats)
-    apply_quarantine(outcome, stats)
-
-    if outcome.violation is not None:
-        detail = outcome.violation.detail
-        stats["counterexample_db_index"] = outcome.violation.db_index
-        return finalize_result(tr, VerificationResult(
-            verdict=Verdict.VIOLATED,
-            property_name=str(formula),
-            method=method,
-            counterexample_database=detail["database"],
-            stats={
-                **stats,
-                "violating_initial_states": detail["violating_initial_states"],
-            },
-            procedure="verify_ctl",
-        ))
-    if outcome.interrupted is not None:
-        return finalize_result(tr, degrade(
-            outcome.interrupted,
-            budget=gov,
-            property_name=str(formula),
-            method=method,
-            stats=stats,
-            checkpoint=frontier_checkpoint(
-                outcome,
-                procedure="verify_ctl",
-                property_name=str(formula),
-                domain_size=used_size,
-                up_to_iso=iso_used,
-                workers=n_workers,
-                resume=resume,
-            ),
-            phase="Kripke construction / model checking",
-            total_databases=total_dbs,
-            procedure="verify_ctl",
-        ))
-    return finalize_result(tr, VerificationResult(
-        verdict=Verdict.HOLDS,
-        property_name=str(formula),
-        method=method,
-        stats=stats,
-        procedure="verify_ctl",
-    ))
+        workers=workers,
+        tracer=tracer,
+        retry=retry,
+        unit_timeout_s=unit_timeout_s,
+        faults=faults,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    ), unsupported)
+    return run_procedure(_CtlProcedure(service, formula, cfg))
 
 
 def verify_fully_propositional(
@@ -465,6 +491,7 @@ def verify_fully_propositional(
     retry: int | None = None,
     unit_timeout_s: float | None = None,
     faults: Any = None,
+    **unsupported: Any,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for fully propositional services (Theorem 4.6).
 
@@ -482,83 +509,16 @@ def verify_fully_propositional(
     :func:`repro.verifier.linear.verify_ltlfo`); there is no periodic
     checkpointing here because there is no cursor to checkpoint.
     """
-    if check_restrictions:
-        report = classify(service)
-        if not report.is_in(ServiceClass.FULLY_PROPOSITIONAL):
-            raise UndecidableInstanceError(
-                report.why_not(ServiceClass.FULLY_PROPOSITIONAL),
-                "Theorem 4.6 requires a fully propositional service",
-            )
-    n_workers = resolve_workers(workers)
-    tr = resolve_tracer(tracer)
-    gov = Budget.ensure(
-        budget, max_states=max_states, timeout_s=timeout_s, strict=strict
-    )
-    gov.tracer = tr
-    fragment = "CTL" if is_ctl(formula) else "CTL*"
-    method = f"fully propositional {fragment} (Theorem 4.6)"
-    empty_db = Database(service.schema.database)
-    stats: dict = {
-        "databases_checked": 0,
-        "databases_skipped": 0,
-        "kripke_states": 0,
-        "formula_size": ctl_size(formula),
-        "workers": n_workers,
-    }
-    plan_started = time.monotonic()
-    n_plans = warm_service_plans(service)
-    if tr.active:
-        tr.emit(
-            "plan.compiled",
-            dur=time.monotonic() - plan_started,
-            n_plans=n_plans,
-        )
-        pruned_rules, pruned_pages = pruning_stats(service)
-        if pruned_rules or pruned_pages:
-            tr.emit(
-                "plan.pruned",
-                pruned_rules=pruned_rules, pruned_pages=pruned_pages,
-            )
-    sup = Supervisor.resolve(
-        retry=retry, unit_timeout_s=unit_timeout_s, faults=faults,
-    )
-    spec = TaskSpec(
-        procedure="verify_ctl",
-        service=service,
-        payload={"formula": formula},
-        unit_limits={"max_states": gov.max_states},
-        traced=tr.active,
-        faults=sup.plan,
-    )
-    stream = UnitStream([empty_db], gov, stats)
-    outcome = run_units(spec, stream, gov, n_workers, supervisor=sup)
-    merge_unit_stats(stats, outcome.unit_stats)
-    apply_quarantine(outcome, stats)
-    if outcome.interrupted is not None:
-        return finalize_result(tr, degrade(
-            outcome.interrupted,
-            budget=gov,
-            property_name=str(formula),
-            method=method,
-            stats=stats,
-            phase="Kripke construction",
-            procedure="verify_fully_propositional",
-        ))
-    if outcome.violation is not None:
-        stats["violating_initial_states"] = (
-            outcome.violation.detail["violating_initial_states"]
-        )
-        return finalize_result(tr, VerificationResult(
-            verdict=Verdict.VIOLATED,
-            property_name=str(formula),
-            method=method,
-            stats=stats,
-            procedure="verify_fully_propositional",
-        ))
-    return finalize_result(tr, VerificationResult(
-        verdict=Verdict.HOLDS,
-        property_name=str(formula),
-        method=method,
-        stats=stats,
-        procedure="verify_fully_propositional",
-    ))
+    cfg = RunConfig.build("verify_fully_propositional", dict(
+        check_restrictions=check_restrictions,
+        max_states=max_states,
+        budget=budget,
+        timeout_s=timeout_s,
+        strict=strict,
+        workers=workers,
+        tracer=tracer,
+        retry=retry,
+        unit_timeout_s=unit_timeout_s,
+        faults=faults,
+    ), unsupported, hint=FP_HINT)
+    return run_procedure(_FullyPropositionalProcedure(service, formula, cfg))

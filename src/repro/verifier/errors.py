@@ -13,11 +13,14 @@ A Web service is *error free* when no run reaches the error page
   sentence ``G ¬trap`` with the Theorem 3.5 verifier.  Slower, but it is
   the construction the theorem uses; the test suite checks both methods
   agree.
+
+The pipeline around the reachability search lives in
+:mod:`repro.verifier.engine`; this module contributes the direct
+strategy, the per-unit checker, and the Lemma A.5 transformation.
 """
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from typing import Any, Hashable, Iterable
 
@@ -25,13 +28,12 @@ from repro.fol.analysis import input_constants_of
 from repro.fol.formulas import And, Atom, Formula, Not, Or, TRUE
 from repro.fol.transforms import simplify
 from repro.ltl.ltlfo import G, LTLFOSentence
-from repro.obs import Tracer, finalize_result, resolve_tracer
+from repro.obs import Tracer
 from repro.schema.database import Database
 from repro.schema.schema import RelationalSchema, ServiceSchema
 from repro.schema.symbols import state_relation
 from repro.service.page import WebPageSchema
 from repro.service.rules import StateRule, TargetRule
-from repro.service.compiled import pruning_stats, warm_service_plans
 from repro.service.runs import (
     Run,
     RunContext,
@@ -40,26 +42,20 @@ from repro.service.runs import (
     successors,
 )
 from repro.service.webservice import WebService
-from repro.verifier.budget import Budget, Checkpoint, degrade
-from repro.verifier.linear import (
+from repro.verifier.budget import Budget, Checkpoint
+from repro.verifier.engine import (
     DEFAULT_SNAPSHOT_BUDGET,
-    _candidate_databases,
-    enumerate_sigmas,
-    verify_ltlfo,
+    Procedure,
+    RunConfig,
+    run_procedure,
 )
+from repro.verifier.linear import verify_ltlfo
 from repro.verifier.parallel import (
     CLEAN,
     VIOLATED,
-    Supervisor,
     TaskSpec,
     UnitOutcome,
-    UnitStream,
     WorkUnit,
-    apply_quarantine,
-    frontier_checkpoint,
-    merge_unit_stats,
-    resolve_workers,
-    run_units,
     unit_checker,
 )
 from repro.verifier.results import (
@@ -135,6 +131,52 @@ def _check_errorfree_unit(
     return UnitOutcome(unit.db_index, unit.sigma_index, CLEAN, stats=stats)
 
 
+class _ErrorFreeProcedure(Procedure):
+    """The direct error-page-reachability strategy."""
+
+    name = "verify_error_free"
+    unit_procedure = "verify_error_free"
+    has_sigmas = True
+    snap_parity = True
+    budget_cap = "max_snapshots"
+    checkpoint_extra = {"method": "direct"}
+
+    def property_name(self) -> str:
+        return f"error-free({self.service.name})"
+
+    def method(self) -> str:
+        return "error-page reachability (direct)"
+
+    def init_stats(self, used_size: int | None, n_workers: int) -> dict:
+        return {
+            "databases_checked": 0,
+            "databases_skipped": 0,
+            "sigmas_checked": 0,
+            "snapshots_explored": 0,
+            "domain_size": used_size,
+            "workers": n_workers,
+        }
+
+    def fold_violation(
+        self, outcome, stats: dict, property_name: str, method: str
+    ) -> VerificationResult:
+        trace: Run = outcome.violation.detail["run"]
+        stats["counterexample_db_index"] = outcome.violation.db_index
+        stats["counterexample_sigma_index"] = outcome.violation.sigma_index
+        return VerificationResult(
+            verdict=Verdict.VIOLATED,
+            property_name=property_name,
+            method=method,
+            counterexample=trace,
+            counterexample_database=trace.database,
+            stats=stats,
+            procedure=self.name,
+        )
+
+    def interrupt_phase(self, exc) -> str:
+        return "error-page reachability"
+
+
 def verify_error_free(
     service: WebService,
     databases: Iterable[Database] | None = None,
@@ -153,6 +195,7 @@ def verify_error_free(
     faults: Any = None,
     checkpoint_path: str | None = None,
     checkpoint_every: int | None = None,
+    **unsupported: Any,
 ) -> VerificationResult:
     """Decide error-freeness over the small-model database space.
 
@@ -168,158 +211,62 @@ def verify_error_free(
     supervision, fault injection and crash-safe periodic checkpoints —
     see :func:`repro.verifier.linear.verify_ltlfo` for the semantics.
     """
+    cfg = RunConfig.build("verify_error_free", dict(
+        databases=databases,
+        domain_size=domain_size,
+        method=method,
+        max_snapshots=max_snapshots,
+        sigmas=sigmas,
+        budget=budget,
+        timeout_s=timeout_s,
+        strict=strict,
+        resume=resume,
+        workers=workers,
+        tracer=tracer,
+        retry=retry,
+        unit_timeout_s=unit_timeout_s,
+        faults=faults,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    ), unsupported)
     property_name = f"error-free({service.name})"
-    if method == "reduction":
+    if cfg.method == "reduction":
         transformed, sentence = errorfree_reduction(service)
         result = verify_ltlfo(
             transformed,
             sentence,
-            databases=databases,
-            domain_size=domain_size,
+            databases=cfg.databases,
+            domain_size=cfg.domain_size,
             check_restrictions=False,
-            max_snapshots=max_snapshots,
-            sigmas=sigmas,
-            budget=budget,
-            timeout_s=timeout_s,
-            strict=strict,
-            resume=resume,
-            workers=workers,
-            tracer=tracer,
-            retry=retry,
-            unit_timeout_s=unit_timeout_s,
-            faults=faults,
-            checkpoint_path=checkpoint_path,
-            checkpoint_every=checkpoint_every,
+            max_snapshots=cfg.max_snapshots,
+            sigmas=cfg.sigmas,
+            budget=cfg.budget,
+            timeout_s=cfg.timeout_s,
+            strict=cfg.strict,
+            resume=cfg.resume,
+            workers=cfg.workers,
+            tracer=cfg.tracer,
+            retry=cfg.retry,
+            unit_timeout_s=cfg.unit_timeout_s,
+            faults=cfg.faults,
+            checkpoint_path=cfg.checkpoint_path,
+            checkpoint_every=cfg.checkpoint_every,
         )
         result.method = "error-freeness via Lemma A.5 reduction + Theorem 3.5"
         result.property_name = property_name
         result.procedure = "verify_error_free"
+        if "config" in result.stats:
+            result.stats["config"]["procedure"] = "verify_error_free"
         if result.checkpoint is not None:
             result.checkpoint.procedure = "verify_error_free"
             result.checkpoint.property_name = property_name
             result.checkpoint.extra["method"] = "reduction"
         return result
-    if method != "direct":
-        raise ValueError(f"unknown method {method!r}; use 'direct' or 'reduction'")
-
-    n_workers = resolve_workers(workers)
-    tr = resolve_tracer(tracer)
-    gov = Budget.ensure(
-        budget, max_snapshots=max_snapshots, timeout_s=timeout_s, strict=strict
-    )
-    gov.tracer = tr
-    dbs, used_size = _candidate_databases(
-        service, None, databases, domain_size, up_to_iso=True,
-        on_step=gov.check_deadline,
-    )
-    iso_used = True if databases is None else None
-    if resume is not None:
-        resume.ensure_compatible(
-            domain_size=used_size, up_to_iso=iso_used, workers=n_workers
+    if cfg.method != "direct":
+        raise ValueError(
+            f"unknown method {cfg.method!r}; use 'direct' or 'reduction'"
         )
-    total_dbs = len(dbs) if isinstance(dbs, list) else None
-    stats: dict = {
-        "databases_checked": 0,
-        "databases_skipped": 0,
-        "sigmas_checked": 0,
-        "snapshots_explored": 0,
-        "domain_size": used_size,
-        "workers": n_workers,
-    }
-
-    if sigmas is not None:
-        sigma_list = [dict(s) for s in sigmas]
-        sigma_fn = lambda db: sigma_list  # noqa: E731
-    else:
-        sigma_fn = lambda db: enumerate_sigmas(service, db)  # noqa: E731
-
-    # Warm the rule plans in the parent (workers re-warm their own copy
-    # in the pool initialiser), so traces stay worker-count independent.
-    plan_started = time.monotonic()
-    n_plans = warm_service_plans(service)
-    if tr.active:
-        tr.emit(
-            "plan.compiled",
-            dur=time.monotonic() - plan_started,
-            n_plans=n_plans,
-        )
-        pruned_rules, pruned_pages = pruning_stats(service)
-        if pruned_rules or pruned_pages:
-            tr.emit(
-                "plan.pruned",
-                pruned_rules=pruned_rules, pruned_pages=pruned_pages,
-            )
-
-    sup = Supervisor.resolve(
-        retry=retry, unit_timeout_s=unit_timeout_s, faults=faults,
-        checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every,
-    )
-    sup.frontier_kwargs = dict(
-        procedure="verify_error_free",
-        property_name=property_name,
-        domain_size=used_size,
-        up_to_iso=iso_used,
-        workers=n_workers,
-        resume=resume,
-        extra={"method": "direct"},
-    )
-    spec = TaskSpec(
-        procedure="verify_error_free",
-        service=service,
-        payload={},
-        unit_limits={"max_snapshots": gov.max_snapshots},
-        traced=tr.active,
-        faults=sup.plan,
-    )
-    snap_base = gov.snapshots_total
-    stream = UnitStream(dbs, gov, stats, sigma_fn=sigma_fn, resume=resume)
-    outcome = run_units(spec, stream, gov, n_workers, supervisor=sup)
-    merge_unit_stats(stats, outcome.unit_stats)
-    apply_quarantine(outcome, stats)
-
-    if outcome.violation is not None:
-        trace: Run = outcome.violation.detail["run"]
-        stats["counterexample_db_index"] = outcome.violation.db_index
-        stats["counterexample_sigma_index"] = outcome.violation.sigma_index
-        return finalize_result(tr, VerificationResult(
-            verdict=Verdict.VIOLATED,
-            property_name=property_name,
-            method="error-page reachability (direct)",
-            counterexample=trace,
-            counterexample_database=trace.database,
-            stats=stats,
-            procedure="verify_error_free",
-        ))
-    if outcome.interrupted is not None:
-        if n_workers == 1:
-            stats["snapshots_explored"] = gov.snapshots_total - snap_base
-        return finalize_result(tr, degrade(
-            outcome.interrupted,
-            budget=gov,
-            property_name=property_name,
-            method="error-page reachability (direct)",
-            stats=stats,
-            checkpoint=frontier_checkpoint(
-                outcome,
-                procedure="verify_error_free",
-                property_name=property_name,
-                domain_size=used_size,
-                up_to_iso=iso_used,
-                workers=n_workers,
-                resume=resume,
-                extra={"method": "direct"},
-            ),
-            phase="error-page reachability",
-            total_databases=total_dbs,
-            procedure="verify_error_free",
-        ))
-    return finalize_result(tr, VerificationResult(
-        verdict=Verdict.HOLDS,
-        property_name=property_name,
-        method="error-page reachability (direct)",
-        stats=stats,
-        procedure="verify_error_free",
-    ))
+    return run_procedure(_ErrorFreeProcedure(service, cfg))
 
 
 # ---------------------------------------------------------------------------

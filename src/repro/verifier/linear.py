@@ -31,6 +31,12 @@ reference lasso semantics before being reported).  "HOLDS" means no
 violation exists over the explored bound; with the default bound derived
 from the small-model lemmas this is the paper's decision procedure, and
 larger bounds trade time for extra assurance.
+
+The pipeline around the lasso search — option resolution, database
+enumeration, plan warming, unit streaming, supervision, verdict folding
+— lives in :mod:`repro.verifier.engine`; this module contributes only
+the Theorem 3.5 strategy (:class:`_LtlfoProcedure`) and the per-unit
+checker.
 """
 
 from __future__ import annotations
@@ -39,14 +45,14 @@ import itertools
 import time
 from collections import deque
 from typing import (
-    Any, Callable, Hashable, Iterable, Iterator, Mapping, MutableMapping,
+    Any, Callable, Hashable, Iterable, Mapping, MutableMapping,
 )
 
 from repro.fol.analysis import input_constants_of
 from repro.fol.bitset import ValuationBlock, setwise_enabled
 from repro.fol.compile import compilation_enabled, compile_formula
 from repro.fol.evaluation import EvalContext
-from repro.obs import Tracer, finalize_result, resolve_tracer
+from repro.obs import Tracer
 from repro.ltl.buchi import find_accepting_lasso, ltl_to_buchi
 from repro.ltl.ltlfo import (
     LTLFOSentence,
@@ -55,14 +61,8 @@ from repro.ltl.ltlfo import (
 )
 from repro.ltl.syntax import LNot
 from repro.schema.database import Database
-from repro.schema.enumerate import canonical_domain, enumerate_databases
 from repro.service.classify import ServiceClass, classify
-from repro.service.compiled import (
-    SnapshotInterner,
-    compiled_service,
-    pruning_stats,
-    warm_service_plans,
-)
+from repro.service.compiled import SnapshotInterner, compiled_service
 from repro.service.runs import (
     Run,
     RunContext,
@@ -71,21 +71,24 @@ from repro.service.runs import (
     successors,
 )
 from repro.service.webservice import WebService
-from repro.verifier.budget import Budget, Checkpoint, degrade
+from repro.verifier.budget import Budget, Checkpoint
+from repro.verifier.engine import (  # noqa: F401 - historical home, re-exported
+    DEFAULT_DOMAIN_CAP,
+    DEFAULT_SNAPSHOT_BUDGET,
+    Procedure,
+    RunConfig,
+    default_domain_size,
+    enumerate_sigmas,
+    fresh_value_pool,
+    run_procedure,
+)
+from repro.verifier.engine import candidate_databases as _candidate_databases  # noqa: F401,E501
 from repro.verifier.parallel import (
     CLEAN,
     VIOLATED,
-    Supervisor,
     TaskSpec,
     UnitOutcome,
-    UnitStream,
     WorkUnit,
-    apply_quarantine,
-    frontier_checkpoint,
-    merge_unit_stats,
-    resolve_sigma_block,
-    resolve_workers,
-    run_units,
     unit_checker,
 )
 from repro.verifier.results import (
@@ -96,85 +99,6 @@ from repro.verifier.results import (
 )
 
 Value = Hashable
-
-#: Default cap on the number of anonymous database elements.
-DEFAULT_DOMAIN_CAP = 3
-
-#: Default cap on explored snapshots per (database, sigma) pair.
-DEFAULT_SNAPSHOT_BUDGET = 200_000
-
-
-def default_domain_size(
-    service: WebService,
-    sentence: LTLFOSentence | None = None,
-    cap: int = DEFAULT_DOMAIN_CAP,
-) -> int:
-    """Anonymous-domain size heuristic from the small-model argument.
-
-    The Local Run Lemma's constant set consists of the database constants
-    and one witness per existentially quantified variable of the negated
-    property (= the universal-closure variables); one extra element
-    separates "everything else".
-    """
-    n_vars = len(sentence.variables) if sentence is not None else 0
-    n_consts = len(service.schema.database.constants)
-    return max(1, min(cap, n_consts + n_vars + 1))
-
-
-def fresh_value_pool(
-    database: Database, count: int, prefix: str = "$new"
-) -> tuple[list[str], str]:
-    """``count`` fresh values guaranteed disjoint from the database domain.
-
-    The fresh values stand for user-typed inputs outside the database;
-    they are recognised later by string prefix, so the prefix must not
-    collide with any genuine domain value (a domain value that *starts
-    with* the prefix would be misclassified as fresh, collapsing
-    distinct sigmas).  Underscores are appended until the prefix is
-    disjoint from every string in the domain.
-    """
-    taken = {v for v in database.domain if isinstance(v, str)}
-    while any(v.startswith(prefix) for v in taken):
-        prefix += "_"
-    return [f"{prefix}{i}" for i in range(count)], prefix
-
-
-def enumerate_sigmas(
-    service: WebService,
-    database: Database,
-    fresh_prefix: str = "$new",
-) -> Iterator[dict[str, Value]]:
-    """All interpretations of the input constants, up to genericity.
-
-    Each constant may take any database-domain value or a fresh value;
-    fresh values are shared left-to-right so that every equality type
-    among fresh values is produced exactly once.
-    """
-    constants = sorted(service.schema.input_constants)
-    if not constants:
-        yield {}
-        return
-    base = sorted(database.domain, key=repr)
-    fresh, _prefix = fresh_value_pool(database, len(constants), fresh_prefix)
-    fresh_set = frozenset(fresh)
-    candidate_lists = [base + fresh[: i + 1] for i in range(len(constants))]
-    seen: set[tuple] = set()
-    for combo in itertools.product(*candidate_lists):
-        # Normalise fresh-value patterns: renaming fresh values yields
-        # the same generic run, so skip duplicates up to that renaming.
-        norm: dict[Value, str] = {}
-        key = []
-        for v in combo:
-            if v in fresh_set:
-                norm.setdefault(v, fresh[len(norm)])
-                key.append(norm[v])
-            else:
-                key.append(v)
-        key_t = tuple(key)
-        if key_t in seen:
-            continue
-        seen.add(key_t)
-        yield dict(zip(constants, key_t))
 
 
 def explore_configuration_graph(
@@ -324,34 +248,6 @@ class _SnapshotLabeller:
         else:
             self.bits_shared += 1
         return value
-
-
-def _candidate_databases(
-    service: WebService,
-    sentence: LTLFOSentence | None,
-    databases: Iterable[Database] | None,
-    domain_size: int | None,
-    up_to_iso: bool,
-    on_step: Callable[[], None] | None = None,
-) -> tuple[Iterable[Database], int | None]:
-    if databases is not None:
-        return list(databases), None
-    size = domain_size
-    if size is None:
-        size = default_domain_size(service, sentence)
-    literals = set(service.literal_constants())
-    if sentence is not None:
-        literals |= set(sentence.literals())
-    dom = sorted(literals, key=repr) + canonical_domain(size)
-    dbs = enumerate_databases(
-        service.schema.database,
-        len(dom),
-        up_to_iso=up_to_iso,
-        domain=dom,
-        fixed_elements=literals,
-        on_step=on_step,
-    )
-    return dbs, size
 
 
 def _search_valuations(
@@ -575,6 +471,108 @@ def _check_ltlfo_unit(
     )
 
 
+class _LtlfoProcedure(Procedure):
+    """The Theorem 3.5 strategy behind :func:`verify_ltlfo`."""
+
+    name = "verify_ltlfo"
+    unit_procedure = "verify_ltlfo"
+    has_sigmas = True
+    has_sigma_block = True
+    snap_parity = True
+    budget_cap = "max_snapshots"
+
+    def __init__(
+        self, service: WebService, sentence: LTLFOSentence, cfg: RunConfig
+    ) -> None:
+        super().__init__(service, cfg)
+        self.sentence = sentence
+        self.ba = None
+
+    def preflight(self) -> None:
+        if self.cfg.check_restrictions:
+            _require_input_bounded(self.service, self.sentence)
+
+    def property_name(self) -> str:
+        return self.sentence.name or str(self.sentence)
+
+    def method(self) -> str:
+        return "input-bounded LTL-FO (Theorem 3.5)"
+
+    def enum_sentence(self):
+        return self.sentence
+
+    def compile_payload(self, tracer: Tracer) -> dict:
+        # One automaton per verification call: the negated *symbolic*
+        # skeleton, with valuations supplied at labelling time.  With a
+        # buchi_cache, one automaton per *property* across calls.
+        buchi_cache = self.cfg.buchi_cache
+        compile_started = time.monotonic()
+        negated = LNot(self.sentence.skeleton)
+        ba = buchi_cache.get(negated) if buchi_cache is not None else None
+        buchi_cached = ba is not None
+        if ba is None:
+            ba = ltl_to_buchi(negated)
+            if buchi_cache is not None:
+                buchi_cache[negated] = ba
+        if tracer.active:
+            tracer.emit(
+                "buchi.compiled",
+                dur=time.monotonic() - compile_started, n_states=ba.n_states,
+                cached=buchi_cached,
+            )
+        self.ba = ba
+        return {
+            "sentence": self.sentence,
+            "automaton": ba,
+            "literals": frozenset(self.sentence.literals()),
+            "confirm": self.cfg.confirm_counterexamples,
+        }
+
+    def init_stats(self, used_size: int | None, n_workers: int) -> dict:
+        return {
+            "databases_checked": 0,
+            "databases_skipped": 0,
+            "sigmas_checked": 0,
+            "valuations_checked": 0,
+            "snapshots_explored": 0,
+            "buchi_states": self.ba.n_states,
+            "domain_size": used_size,
+            "workers": n_workers,
+        }
+
+    def unit_limits(self, gov: Budget) -> dict:
+        return {
+            "max_snapshots": gov.max_snapshots,
+            "max_valuations": gov.max_valuations,
+        }
+
+    def fold_violation(
+        self, outcome, stats: dict, property_name: str, method: str
+    ) -> VerificationResult:
+        detail = outcome.violation.detail
+        run: Run = detail["run"]
+        stats["counterexample_db_index"] = outcome.violation.db_index
+        stats["counterexample_sigma_index"] = outcome.violation.sigma_index
+        if "confirmed" in detail:
+            stats["counterexample_confirmed"] = detail["confirmed"]
+        return VerificationResult(
+            verdict=Verdict.VIOLATED,
+            property_name=property_name,
+            method=method,
+            counterexample=run,
+            counterexample_database=run.database,
+            stats=stats,
+            procedure=self.name,
+        )
+
+    def interrupt_phase(self, exc) -> str:
+        return (
+            "lasso search"
+            if exc.limit in ("max_snapshots", "max_valuations")
+            else "database enumeration"
+        )
+
+
 def verify_ltlfo(
     service: WebService,
     sentence: LTLFOSentence,
@@ -599,6 +597,7 @@ def verify_ltlfo(
     checkpoint_path: str | None = None,
     checkpoint_every: int | None = None,
     buchi_cache: "MutableMapping | None" = None,
+    **unsupported: Any,
 ) -> VerificationResult:
     """Decide ``service ⊨ sentence`` for input-bounded instances.
 
@@ -690,169 +689,30 @@ def verify_ltlfo(
         skeleton; valuations are supplied at labelling time), so reuse
         cannot change verdicts.
     """
-    if check_restrictions:
-        _require_input_bounded(service, sentence)
-
-    n_workers = resolve_workers(workers)
-    n_block = resolve_sigma_block(sigma_block)
-    tr = resolve_tracer(tracer)
-    gov = Budget.ensure(
-        budget, max_snapshots=max_snapshots, timeout_s=timeout_s, strict=strict
-    )
-    gov.tracer = tr
-    dbs, used_size = _candidate_databases(
-        service, sentence, databases, domain_size, up_to_iso,
-        on_step=gov.check_deadline,
-    )
-    iso_used = up_to_iso if databases is None else None
-    if resume is not None:
-        resume.ensure_compatible(
-            domain_size=used_size, up_to_iso=iso_used, workers=n_workers
-        )
-    total_dbs = len(dbs) if isinstance(dbs, list) else None
-    property_name = sentence.name or str(sentence)
-    method = "input-bounded LTL-FO (Theorem 3.5)"
-
-    # One automaton per verification call: the negated *symbolic*
-    # skeleton, with valuations supplied at labelling time.  With a
-    # buchi_cache, one automaton per *property* across calls.
-    compile_started = time.monotonic()
-    negated = LNot(sentence.skeleton)
-    ba = buchi_cache.get(negated) if buchi_cache is not None else None
-    buchi_cached = ba is not None
-    if ba is None:
-        ba = ltl_to_buchi(negated)
-        if buchi_cache is not None:
-            buchi_cache[negated] = ba
-    if tr.active:
-        tr.emit(
-            "buchi.compiled",
-            dur=time.monotonic() - compile_started, n_states=ba.n_states,
-            cached=buchi_cached,
-        )
-    # Rule plans, likewise once per call (workers re-warm their own copy
-    # in the pool initialiser, so traces stay worker-count independent).
-    plan_started = time.monotonic()
-    n_plans = warm_service_plans(service)
-    if tr.active:
-        tr.emit(
-            "plan.compiled",
-            dur=time.monotonic() - plan_started, n_plans=n_plans,
-        )
-        pruned_rules, pruned_pages = pruning_stats(service)
-        if pruned_rules or pruned_pages:
-            tr.emit(
-                "plan.pruned",
-                pruned_rules=pruned_rules, pruned_pages=pruned_pages,
-            )
-    sentence_literals = frozenset(sentence.literals())
-    stats: dict = {
-        "databases_checked": 0,
-        "databases_skipped": 0,
-        "sigmas_checked": 0,
-        "valuations_checked": 0,
-        "snapshots_explored": 0,
-        "buchi_states": ba.n_states,
-        "domain_size": used_size,
-        "workers": n_workers,
-    }
-
-    if sigmas is not None:
-        sigma_list = [dict(s) for s in sigmas]
-        sigma_fn = lambda db: sigma_list  # noqa: E731
-    else:
-        sigma_fn = lambda db: enumerate_sigmas(service, db)  # noqa: E731
-
-    sup = Supervisor.resolve(
-        retry=retry, unit_timeout_s=unit_timeout_s, faults=faults,
-        checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every,
-    )
-    sup.frontier_kwargs = dict(
-        procedure="verify_ltlfo",
-        property_name=property_name,
-        domain_size=used_size,
-        up_to_iso=iso_used,
-        workers=n_workers,
+    cfg = RunConfig.build("verify_ltlfo", dict(
+        databases=databases,
+        domain_size=domain_size,
+        check_restrictions=check_restrictions,
+        up_to_iso=up_to_iso,
+        max_snapshots=max_snapshots,
+        confirm_counterexamples=confirm_counterexamples,
+        on_database=on_database,
+        sigmas=sigmas,
+        budget=budget,
+        timeout_s=timeout_s,
+        strict=strict,
         resume=resume,
-    )
-    spec = TaskSpec(
-        procedure="verify_ltlfo",
-        service=service,
-        payload={
-            "sentence": sentence,
-            "automaton": ba,
-            "literals": sentence_literals,
-            "confirm": confirm_counterexamples,
-        },
-        unit_limits={
-            "max_snapshots": gov.max_snapshots,
-            "max_valuations": gov.max_valuations,
-        },
-        traced=tr.active,
-        faults=sup.plan,
-    )
-    snap_base = gov.snapshots_total
-    stream = UnitStream(
-        dbs, gov, stats, sigma_fn=sigma_fn, resume=resume,
-        on_database=on_database, block_size=n_block,
-    )
-    outcome = run_units(spec, stream, gov, n_workers, supervisor=sup)
-    merge_unit_stats(stats, outcome.unit_stats)
-    apply_quarantine(outcome, stats)
-
-    if outcome.violation is not None:
-        detail = outcome.violation.detail
-        run: Run = detail["run"]
-        stats["counterexample_db_index"] = outcome.violation.db_index
-        stats["counterexample_sigma_index"] = outcome.violation.sigma_index
-        if "confirmed" in detail:
-            stats["counterexample_confirmed"] = detail["confirmed"]
-        return finalize_result(tr, VerificationResult(
-            verdict=Verdict.VIOLATED,
-            property_name=property_name,
-            method=method,
-            counterexample=run,
-            counterexample_database=run.database,
-            stats=stats,
-            procedure="verify_ltlfo",
-        ))
-    if outcome.interrupted is not None:
-        if n_workers == 1:
-            # Sequential parity: include the interrupted pair's partial
-            # exploration, which the parent governor already charged.
-            stats["snapshots_explored"] = gov.snapshots_total - snap_base
-        exc = outcome.interrupted
-        phase = (
-            "lasso search"
-            if exc.limit in ("max_snapshots", "max_valuations")
-            else "database enumeration"
-        )
-        return finalize_result(tr, degrade(
-            exc,
-            budget=gov,
-            property_name=property_name,
-            method=method,
-            stats=stats,
-            checkpoint=frontier_checkpoint(
-                outcome,
-                procedure="verify_ltlfo",
-                property_name=property_name,
-                domain_size=used_size,
-                up_to_iso=iso_used,
-                workers=n_workers,
-                resume=resume,
-            ),
-            phase=phase,
-            total_databases=total_dbs,
-            procedure="verify_ltlfo",
-        ))
-    return finalize_result(tr, VerificationResult(
-        verdict=Verdict.HOLDS,
-        property_name=property_name,
-        method=method,
-        stats=stats,
-        procedure="verify_ltlfo",
-    ))
+        workers=workers,
+        sigma_block=sigma_block,
+        tracer=tracer,
+        retry=retry,
+        unit_timeout_s=unit_timeout_s,
+        faults=faults,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        buchi_cache=buchi_cache,
+    ), unsupported)
+    return run_procedure(_LtlfoProcedure(service, sentence, cfg))
 
 
 def _violation_confirmed_holds(

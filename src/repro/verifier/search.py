@@ -12,41 +12,99 @@ small-model schema as the rest of the verifier, specialised with the
 IDS shape check.  Each database is one work unit of
 :mod:`repro.verifier.parallel` (the same unit as :func:`verify_ctl`),
 so ``workers=N`` parallelises the enumeration deterministically.
+
+The pipeline lives in :mod:`repro.verifier.engine`; this module
+contributes only the Theorem 4.9 strategy, which reuses the
+``verify_ctl`` unit checker.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Any, Iterable
 
 from repro.ctl.syntax import StateFormula, ctl_size, is_ctl
-from repro.obs import Tracer, finalize_result, resolve_tracer
+from repro.obs import Tracer
 from repro.schema.database import Database
 from repro.service.classify import ServiceClass, classify
-from repro.service.compiled import pruning_stats, warm_service_plans
 from repro.service.webservice import WebService
-from repro.verifier.branching import (
+from repro.verifier.budget import Budget, Checkpoint
+from repro.verifier.engine import (
     DEFAULT_KRIPKE_BUDGET,
-    build_snapshot_kripke,
-)
-from repro.verifier.budget import Budget, Checkpoint, degrade
-from repro.verifier.linear import _candidate_databases
-from repro.verifier.parallel import (
-    Supervisor,
-    TaskSpec,
-    UnitStream,
-    apply_quarantine,
-    frontier_checkpoint,
-    merge_unit_stats,
-    resolve_workers,
-    run_units,
+    Procedure,
+    RunConfig,
+    run_procedure,
 )
 from repro.verifier.results import (
     UndecidableInstanceError,
     Verdict,
-    VerificationBudgetExceeded,
     VerificationResult,
 )
+
+
+class _InputDrivenSearchProcedure(Procedure):
+    """The Theorem 4.9 strategy behind :func:`verify_input_driven_search`.
+
+    The per-database work is identical to ``verify_ctl``'s (build the
+    configuration Kripke structure, model check), so the same unit
+    checker serves both procedures.
+    """
+
+    name = "verify_input_driven_search"
+    unit_procedure = "verify_ctl"
+
+    def __init__(
+        self, service: WebService, formula: StateFormula, cfg: RunConfig
+    ) -> None:
+        super().__init__(service, cfg)
+        self.formula = formula
+
+    def preflight(self) -> None:
+        if self.cfg.check_restrictions:
+            report = classify(self.service)
+            if not report.is_in(ServiceClass.INPUT_DRIVEN_SEARCH):
+                raise UndecidableInstanceError(
+                    report.why_not(ServiceClass.INPUT_DRIVEN_SEARCH),
+                    "Theorem 4.9 requires the input-driven-search shape "
+                    "(Definition 4.7)",
+                )
+
+    def property_name(self) -> str:
+        return str(self.formula)
+
+    def method(self) -> str:
+        fragment = "CTL" if is_ctl(self.formula) else "CTL*"
+        return f"input-driven search {fragment} (Theorem 4.9)"
+
+    def compile_payload(self, tracer: Tracer) -> dict:
+        return {"formula": self.formula}
+
+    def init_stats(self, used_size: int | None, n_workers: int) -> dict:
+        return {
+            "databases_checked": 0,
+            "databases_skipped": 0,
+            "kripke_states": 0,
+            "formula_size": ctl_size(self.formula),
+            "domain_size": used_size,
+            "workers": n_workers,
+        }
+
+    def fold_violation(
+        self, outcome, stats: dict, property_name: str, method: str
+    ) -> VerificationResult:
+        detail = outcome.violation.detail
+        stats["counterexample_db_index"] = outcome.violation.db_index
+        stats["violating_initial_states"] = detail["violating_initial_states"]
+        return VerificationResult(
+            verdict=Verdict.VIOLATED,
+            property_name=property_name,
+            method=method,
+            counterexample_database=detail["database"],
+            stats=stats,
+            procedure=self.name,
+        )
+
+    def interrupt_phase(self, exc) -> str:
+        return "search-graph Kripke construction / model checking"
 
 
 def verify_input_driven_search(
@@ -67,6 +125,7 @@ def verify_input_driven_search(
     faults: Any = None,
     checkpoint_path: str | None = None,
     checkpoint_every: int | None = None,
+    **unsupported: Any,
 ) -> VerificationResult:
     """Decide ``W ⊨ φ`` for input-driven-search services (Theorem 4.9).
 
@@ -84,123 +143,21 @@ def verify_input_driven_search(
     and crash-safe periodic checkpoints — see
     :func:`repro.verifier.linear.verify_ltlfo` for the semantics.
     """
-    if check_restrictions:
-        report = classify(service)
-        if not report.is_in(ServiceClass.INPUT_DRIVEN_SEARCH):
-            raise UndecidableInstanceError(
-                report.why_not(ServiceClass.INPUT_DRIVEN_SEARCH),
-                "Theorem 4.9 requires the input-driven-search shape "
-                "(Definition 4.7)",
-            )
-
-    n_workers = resolve_workers(workers)
-    tr = resolve_tracer(tracer)
-    gov = Budget.ensure(
-        budget, max_states=max_states, timeout_s=timeout_s, strict=strict
-    )
-    gov.tracer = tr
-    dbs, used_size = _candidate_databases(
-        service, None, databases, domain_size, up_to_iso=True,
-        on_step=gov.check_deadline,
-    )
-    iso_used = True if databases is None else None
-    if resume is not None:
-        resume.ensure_compatible(
-            domain_size=used_size, up_to_iso=iso_used, workers=n_workers
-        )
-    total_dbs = len(dbs) if isinstance(dbs, list) else None
-    fragment = "CTL" if is_ctl(formula) else "CTL*"
-    method = f"input-driven search {fragment} (Theorem 4.9)"
-    stats: dict = {
-        "databases_checked": 0,
-        "databases_skipped": 0,
-        "kripke_states": 0,
-        "formula_size": ctl_size(formula),
-        "domain_size": used_size,
-        "workers": n_workers,
-    }
-
-    # Warm the rule plans in the parent (workers re-warm their own copy
-    # in the pool initialiser), so traces stay worker-count independent.
-    plan_started = time.monotonic()
-    n_plans = warm_service_plans(service)
-    if tr.active:
-        tr.emit(
-            "plan.compiled",
-            dur=time.monotonic() - plan_started,
-            n_plans=n_plans,
-        )
-        pruned_rules, pruned_pages = pruning_stats(service)
-        if pruned_rules or pruned_pages:
-            tr.emit(
-                "plan.pruned",
-                pruned_rules=pruned_rules, pruned_pages=pruned_pages,
-            )
-
-    # The per-database work is identical to verify_ctl's (build the
-    # configuration Kripke structure, model check), so the same unit
-    # checker serves both procedures.
-    sup = Supervisor.resolve(
-        retry=retry, unit_timeout_s=unit_timeout_s, faults=faults,
-        checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every,
-    )
-    sup.frontier_kwargs = dict(
-        procedure="verify_input_driven_search",
-        property_name=str(formula),
-        domain_size=used_size,
-        up_to_iso=iso_used,
-        workers=n_workers,
+    cfg = RunConfig.build("verify_input_driven_search", dict(
+        databases=databases,
+        domain_size=domain_size,
+        check_restrictions=check_restrictions,
+        max_states=max_states,
+        budget=budget,
+        timeout_s=timeout_s,
+        strict=strict,
         resume=resume,
-    )
-    spec = TaskSpec(
-        procedure="verify_ctl",
-        service=service,
-        payload={"formula": formula},
-        unit_limits={"max_states": gov.max_states},
-        traced=tr.active,
-        faults=sup.plan,
-    )
-    stream = UnitStream(dbs, gov, stats, resume=resume)
-    outcome = run_units(spec, stream, gov, n_workers, supervisor=sup)
-    merge_unit_stats(stats, outcome.unit_stats)
-    apply_quarantine(outcome, stats)
-
-    if outcome.violation is not None:
-        detail = outcome.violation.detail
-        stats["counterexample_db_index"] = outcome.violation.db_index
-        stats["violating_initial_states"] = detail["violating_initial_states"]
-        return finalize_result(tr, VerificationResult(
-            verdict=Verdict.VIOLATED,
-            property_name=str(formula),
-            method=method,
-            counterexample_database=detail["database"],
-            stats=stats,
-            procedure="verify_input_driven_search",
-        ))
-    if outcome.interrupted is not None:
-        return finalize_result(tr, degrade(
-            outcome.interrupted,
-            budget=gov,
-            property_name=str(formula),
-            method=method,
-            stats=stats,
-            checkpoint=frontier_checkpoint(
-                outcome,
-                procedure="verify_input_driven_search",
-                property_name=str(formula),
-                domain_size=used_size,
-                up_to_iso=iso_used,
-                workers=n_workers,
-                resume=resume,
-            ),
-            phase="search-graph Kripke construction / model checking",
-            total_databases=total_dbs,
-            procedure="verify_input_driven_search",
-        ))
-    return finalize_result(tr, VerificationResult(
-        verdict=Verdict.HOLDS,
-        property_name=str(formula),
-        method=method,
-        stats=stats,
-        procedure="verify_input_driven_search",
-    ))
+        workers=workers,
+        tracer=tracer,
+        retry=retry,
+        unit_timeout_s=unit_timeout_s,
+        faults=faults,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    ), unsupported)
+    return run_procedure(_InputDrivenSearchProcedure(service, formula, cfg))

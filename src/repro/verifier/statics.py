@@ -12,7 +12,6 @@ search anyway (sound for violations found, no completeness claim).
 
 from __future__ import annotations
 
-import inspect
 from typing import Any
 
 from repro.ctl.syntax import StateFormula
@@ -27,15 +26,6 @@ from repro.verifier.search import verify_input_driven_search
 
 #: accepted values of verify()'s ``lint=`` option
 _LINT_MODES = ("off", "warn", "strict")
-
-#: Options verify_fully_propositional actually accepts, derived from its
-#: signature so the dispatcher can never drift out of sync with the
-#: procedure.  Anything outside this set must not be silently dropped on
-#: the fully propositional fast path — ``resume=`` in particular used to
-#: be discarded, turning a resumed verification into a silent no-op.
-_FP_PARAMS = frozenset(
-    inspect.signature(verify_fully_propositional).parameters
-) - {"service", "formula", "check_restrictions"}
 
 
 def verify(
@@ -178,15 +168,9 @@ def _dispatch(
     if isinstance(prop, StateFormula):
         report = classify(service)
         if report.is_in(ServiceClass.FULLY_PROPOSITIONAL) and "databases" not in options and "domain_size" not in options:
-            unsupported = sorted(set(options) - _FP_PARAMS)
-            if unsupported:
-                raise TypeError(
-                    "verify() routed this fully propositional service to "
-                    "verify_fully_propositional (Theorem 4.6), which does "
-                    f"not accept: {', '.join(unsupported)}.  Pass "
-                    "databases= or domain_size= to request the Theorem 4.4 "
-                    "enumeration instead, or drop the option(s)."
-                )
+            # Options the Theorem 4.6 fast path does not accept raise a
+            # coded RunConfigError inside the procedure (with the
+            # enumeration hint appended) — nothing is silently dropped.
             return verify_fully_propositional(
                 service, prop, check_restrictions=not force, **options
             )

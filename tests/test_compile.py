@@ -342,12 +342,14 @@ def _registration():
 
 
 def _result_fingerprint(result):
+    # stats["config"] records the resolved toggles, which differ across
+    # the on/off arms by construction — everything else must match.
     return (
         result.verdict,
         result.procedure,
         result.method,
         result.counterexample,
-        dict(result.stats),
+        {k: v for k, v in result.stats.items() if k != "config"},
     )
 
 

@@ -393,12 +393,14 @@ def _constant_only_note_service():
 # ---------------------------------------------------------------------------
 
 def _result_fingerprint(result):
+    # stats["config"] records the resolved toggles, which differ across
+    # the on/off arms by construction — everything else must match.
     return (
         result.verdict,
         result.procedure,
         result.method,
         result.counterexample,
-        dict(result.stats),
+        {k: v for k, v in result.stats.items() if k != "config"},
     )
 
 

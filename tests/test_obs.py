@@ -69,13 +69,15 @@ def _never_p2():
     return LTLFOSentence((), G(Not(Atom("P2", ()))), name="never P2")
 
 
-def _stats_match(a, b, *, ignore=("workers",)):
+def _stats_match(a, b, *, ignore=("workers", "config")):
+    # stats["config"] records the resolved options (traced, workers, …)
+    # and so differs between the compared runs by construction
     keys = (set(a) | set(b)) - set(ignore)
     diff = {k: (a.get(k), b.get(k)) for k in keys if a.get(k) != b.get(k)}
     assert not diff, f"stats diverge: {diff}"
 
 
-def _result_match(a, b, *, ignore=("workers",)):
+def _result_match(a, b, *, ignore=("workers", "config")):
     assert a.verdict is b.verdict
     assert a.procedure == b.procedure
     assert a.method == b.method

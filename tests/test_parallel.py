@@ -88,8 +88,12 @@ def _no_error():
     return LTLFOSentence((), G(Not(Atom("ERROR", ()))))
 
 
-def _stats_match(a, b, *, ignore=("workers",)):
-    """Assert two stats dicts agree on every key except ``ignore``."""
+def _stats_match(a, b, *, ignore=("workers", "config")):
+    """Assert two stats dicts agree on every key except ``ignore``.
+
+    ``stats["config"]`` records the resolved options — including the
+    worker count — and so differs between the backends by construction.
+    """
     keys = (set(a) | set(b)) - set(ignore)
     diff = {k: (a.get(k), b.get(k)) for k in keys if a.get(k) != b.get(k)}
     assert not diff, f"stats diverge between backends: {diff}"
